@@ -1,0 +1,86 @@
+"""Experiment E3 — Corollaries 4.2 / 4.4: SRFO+TC = NL and SRFO+DTC = L.
+
+Reachability (the NL-complete problem behind TC) and deterministic
+reachability (the L workload behind DTC) are computed three ways — the SRL
+closure programs of Section 4, the logic evaluator's TC/DTC operators, and
+graph-search baselines — over random digraphs and functional graphs.  Shape
+to reproduce: all three agree, DTC answers are always a subset of TC
+answers, and the DTC computation touches no more state than the TC one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Evaluator, run_program
+from repro.logic import evaluate
+from repro.logic.queries import reachability_dtc, reachability_tc
+from repro.queries import (
+    deterministic_reachability_program,
+    deterministic_reachable_baseline,
+    graph_database,
+    reachability_program,
+    reachable_baseline,
+)
+from repro.structures import functional_graph, random_graph
+
+SIZES = (6, 8, 10, 12)
+
+
+def test_tc_three_way_agreement(table):
+    rows = []
+    for size in SIZES:
+        graph = random_graph(size, seed=size)
+        srl = run_program(reachability_program(), graph_database(graph))
+        logic = evaluate(reachability_tc(), graph)
+        base = reachable_baseline(graph)
+        assert srl == logic == base
+        rows.append([size, srl, logic, base])
+    table("E3: reachability (TC / NL side)", ["n", "SRL", "FO+TC", "baseline"], rows)
+
+
+def test_dtc_three_way_agreement(table):
+    rows = []
+    for size in SIZES:
+        graph = functional_graph(size, seed=size)
+        srl = run_program(deterministic_reachability_program(), graph_database(graph))
+        logic = evaluate(reachability_dtc(), graph)
+        base = deterministic_reachable_baseline(graph)
+        assert srl == logic == base
+        rows.append([size, srl, logic, base])
+    table("E3: deterministic reachability (DTC / L side)",
+          ["n", "SRL", "FO+DTC", "baseline"], rows)
+
+
+def test_dtc_is_contained_in_tc(table):
+    rows = []
+    for seed in range(6):
+        graph = random_graph(8, seed=seed, edge_probability=0.25)
+        database = graph_database(graph)
+        tc_answer = run_program(reachability_program(), database)
+        dtc_answer = run_program(deterministic_reachability_program(), database)
+        if dtc_answer:
+            assert tc_answer
+        rows.append([seed, dtc_answer, tc_answer])
+    table("E3: DTC implies TC (L ⊆ NL shape)", ["seed", "DTC", "TC"], rows)
+
+
+@pytest.mark.parametrize("size", (8, 12))
+def test_benchmark_srl_tc(benchmark, size):
+    graph = random_graph(size, seed=1)
+    database = graph_database(graph)
+    result = benchmark.pedantic(
+        lambda: run_program(reachability_program(), database), rounds=1, iterations=1
+    )
+    assert result == reachable_baseline(graph)
+
+
+@pytest.mark.parametrize("size", (8, 12))
+def test_benchmark_srl_dtc(benchmark, size):
+    graph = functional_graph(size, seed=1)
+    database = graph_database(graph)
+    result = benchmark.pedantic(
+        lambda: run_program(deterministic_reachability_program(), database),
+        rounds=1, iterations=1,
+    )
+    assert result == deterministic_reachable_baseline(graph)

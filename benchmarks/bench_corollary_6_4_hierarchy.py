@@ -1,0 +1,74 @@
+"""Experiment E8 — Corollary 6.4: SRL_h = DTIME(2_h # n).
+
+The hierarchy is exercised through iterated powersets: a set-height-(h+1)
+program applying ``powerset`` h times produces output of size 2_h # n.
+Shape to reproduce: output sizes follow the tower function exactly, and the
+syntactic classifier places each program on the corresponding hierarchy
+level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity import hierarchy_level, iterated_powerset_size, tower
+from repro.core import Evaluator, run_program
+from repro.core import builders as b
+from repro.core.typecheck import database_types
+from repro.complexity import classify_program
+from repro.queries import powerset_database, powerset_program
+
+
+def _iterated_powerset_program(iterations: int):
+    """powerset applied ``iterations`` times to the input set S."""
+    program = powerset_program()
+    expr = b.var("S")
+    for _ in range(iterations):
+        expr = b.call("powerset", expr)
+    program.main = expr
+    return program
+
+
+def test_output_sizes_follow_the_tower_function(table):
+    rows = []
+    cases = [(1, 2), (1, 3), (1, 4), (2, 2), (2, 3)]
+    for iterations, base in cases:
+        result = run_program(_iterated_powerset_program(iterations), powerset_database(base))
+        expected = iterated_powerset_size(iterations, base)
+        assert len(result) == expected == tower(iterations, base)
+        rows.append([iterations, base, len(result), expected])
+    table("E8: iterated powerset sizes vs 2_h#n",
+          ["powerset iterations h", "|S| = n", "measured size", "2_h#n"], rows)
+
+
+def test_classifier_places_programs_on_the_hierarchy(table):
+    rows = []
+    for iterations in (1, 2):
+        program = _iterated_powerset_program(iterations)
+        verdict = classify_program(program, database_types(powerset_database(2)))
+        assert verdict.hierarchy is not None
+        assert verdict.hierarchy.set_height == iterations + 1
+        rows.append([iterations, verdict.hierarchy.set_height, verdict.hierarchy.time_class])
+    table("E8: syntactic classification of the hierarchy programs",
+          ["powerset iterations", "set-height", "class"], rows)
+
+
+def test_hierarchy_levels_are_strictly_ordered():
+    assert tower(1, 4) < tower(2, 4) < tower(3, 4)
+    assert "P" in hierarchy_level(1).time_class
+    assert "EXPTIME" in hierarchy_level(2).time_class
+
+
+@pytest.mark.parametrize("base", (6, 10))
+def test_benchmark_single_powerset(benchmark, base):
+    program = _iterated_powerset_program(1)
+    database = powerset_database(base)
+    result = benchmark.pedantic(lambda: run_program(program, database), rounds=1, iterations=1)
+    assert len(result) == 2 ** base
+
+
+def test_benchmark_double_powerset(benchmark):
+    program = _iterated_powerset_program(2)
+    database = powerset_database(3)
+    result = benchmark.pedantic(lambda: run_program(program, database), rounds=1, iterations=1)
+    assert len(result) == 2 ** 8

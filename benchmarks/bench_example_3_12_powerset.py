@@ -1,0 +1,66 @@
+"""Experiment E2 — Example 3.12: set-height 2 escapes polynomial time.
+
+The powerset program is swept over growing base sets.  Shape to reproduce:
+the output cardinality (and the evaluator's insert count) doubles with every
+added element — exponential in the input — while every SRL (set-height <= 1)
+program from E1 stays polynomial; the restriction checker flags the program
+as outside SRL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Evaluator, run_program
+from repro.core.restrictions import SRL
+from repro.core.typecheck import database_types
+from repro.queries import powerset_baseline, powerset_database, powerset_program
+from repro.queries.powerset import doubling_list_program
+
+SIZES = (2, 4, 6, 8, 10)
+
+
+def test_powerset_output_doubles_per_element(table):
+    rows = []
+    previous = None
+    for size in SIZES:
+        evaluator = Evaluator(powerset_program())
+        result = evaluator.run(powerset_database(size))
+        assert len(result) == 2 ** size
+        rows.append([size, len(result), evaluator.stats.inserts, evaluator.stats.max_set_size])
+        if previous is not None:
+            assert len(result) == 4 * previous  # sizes step by 2
+        previous = len(result)
+    table("E2: powerset output size vs |S| (exponential, Example 3.12)",
+          ["|S|", "|powerset(S)|", "inserts", "max set size"], rows)
+
+
+def test_powerset_is_flagged_as_outside_srl():
+    violations = SRL.check(powerset_program(), database_types(powerset_database(4)))
+    assert any("set-height" in v for v in violations)
+
+
+def test_small_outputs_match_the_baseline():
+    result = run_program(powerset_program(), powerset_database(5))
+    from repro.core.values import value_to_python
+
+    assert value_to_python(result) == powerset_baseline(range(5))
+
+
+def test_lrl_doubling_list_is_also_exponential(table):
+    rows = []
+    for size in SIZES[:4]:
+        result = run_program(doubling_list_program(), powerset_database(size))
+        assert len(result) == 2 ** size
+        rows.append([size, len(result)])
+    table("E2: LRL doubling-list length vs |S| (ℒ(LRL) ⊄ FP)", ["|S|", "list length"], rows)
+
+
+@pytest.mark.parametrize("size", (6, 10))
+def test_benchmark_powerset(benchmark, size):
+    result = benchmark.pedantic(
+        lambda: run_program(powerset_program(), powerset_database(size)),
+        rounds=1, iterations=1,
+    )
+    assert len(result) == 2 ** size
+    benchmark.extra_info["output_size"] = 2 ** size

@@ -1,0 +1,97 @@
+"""Experiment E6 — Proposition 6.1: the DTIME(n^{ad} · T_ins) syntactic bound.
+
+A family of programs sweeping width a ∈ {1, 2} × depth d ∈ {1, 2} is run
+over growing domains; for each program the measured evaluator cost is
+compared against its syntactic bound n^{ad}.  Shape to reproduce: measured
+cost stays below the bound (the bound is sound) and deeper/wider programs
+really do cost more (the bound tracks the right syntactic quantities), while
+the bound itself is loose — exactly the paper's remark that "the bound
+leaves much room for improvement".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Atom, Database, Evaluator, Program, make_set, parse_expression
+from repro.core.analysis import analyze
+from repro.core.typecheck import database_types
+
+# width 1, depth 1: copy the domain.
+COPY = "(set-reduce D (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+
+# width 2, depth 1: the set of [x, x] pairs.
+PAIRS = "(set-reduce D (lambda (x e) (tuple x x)) (lambda (a r) (insert a r)) emptyset emptyset)"
+
+# width 1, depth 2: for each element, rebuild the whole domain copy.
+NESTED = """(set-reduce D (lambda (x e) x)
+              (lambda (a r)
+                (set-reduce D (lambda (y e) y) (lambda (c s) (insert c s)) emptyset emptyset))
+              emptyset emptyset)"""
+
+# width 2, depth 2: for each element, rebuild the pair set.
+NESTED_PAIRS = """(set-reduce D (lambda (x e) x)
+                    (lambda (a r)
+                      (set-reduce D (lambda (y e) (tuple y y))
+                                    (lambda (c s) (insert c s)) emptyset emptyset))
+                    emptyset emptyset)"""
+
+PROGRAMS = {
+    "copy (a=1, d=1)": COPY,
+    "pairs (a=2, d=1)": PAIRS,
+    "nested copy (a=1, d=2)": NESTED,
+    "nested pairs (a=2, d=2)": NESTED_PAIRS,
+}
+
+SIZES = (8, 16, 32)
+
+
+def _database(size: int) -> Database:
+    return Database({"D": make_set(*(Atom(i) for i in range(size)))})
+
+
+def test_measured_cost_respects_the_syntactic_bound(table):
+    rows = []
+    for name, text in PROGRAMS.items():
+        program = Program(main=parse_expression(text))
+        analysis = analyze(program, input_types=database_types(_database(4)))
+        exponent = analysis.time_exponent
+        for size in SIZES:
+            evaluator = Evaluator(program)
+            evaluator.run(_database(size))
+            bound = size ** exponent
+            # T_ins is at least 1, so steps <= c * n^{ad} for a modest c.
+            assert evaluator.stats.steps <= 40 * bound
+            rows.append([name, analysis.width, analysis.depth, size,
+                         evaluator.stats.steps, bound])
+    table("E6: measured evaluator steps vs the n^{a*d} bound",
+          ["program", "a", "d", "n", "steps", "n^(a*d)"], rows)
+
+
+def test_deeper_programs_cost_more(table):
+    size = 24
+    costs = {}
+    for name, text in PROGRAMS.items():
+        evaluator = Evaluator(Program(main=parse_expression(text)))
+        evaluator.run(_database(size))
+        costs[name] = evaluator.stats.steps
+    table("E6: cost ordering at n=24", ["program", "steps"],
+          [[name, steps] for name, steps in costs.items()])
+    assert costs["nested copy (a=1, d=2)"] > costs["copy (a=1, d=1)"]
+    assert costs["nested pairs (a=2, d=2)"] > costs["pairs (a=2, d=1)"]
+
+
+def test_analysis_reports_the_right_measures():
+    program = Program(main=parse_expression(NESTED_PAIRS))
+    analysis = analyze(program, input_types=database_types(_database(4)))
+    assert analysis.depth == 2
+    assert analysis.width == 2
+    assert analysis.time_exponent == 4
+
+
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_benchmark_programs(benchmark, name):
+    program = Program(main=parse_expression(PROGRAMS[name]))
+    database = _database(24)
+    benchmark.pedantic(lambda: Evaluator(program).run(database), rounds=1, iterations=1)
+    benchmark.extra_info["program"] = name

@@ -1,0 +1,84 @@
+"""Experiment E1 — Theorem 3.10: ℒ(SRL) = P.
+
+The SRL program for the P-complete problem AGAP (Lemma 3.6) is run against
+the direct fixed-point baseline over a sweep of alternating graphs.  The
+shape to reproduce: (a) the SRL program agrees with the baseline everywhere,
+and (b) its evaluator cost grows polynomially in the universe size (the
+Lemma 3.9 argument), with the measured growth exponent well below the crude
+Proposition 6.1 bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Evaluator, run_program
+from repro.core.restrictions import SRL
+from repro.core.typecheck import database_types
+from repro.queries import agap_baseline, agap_database, agap_program
+from repro.structures import random_alternating_graph
+
+SIZES = (4, 6, 8, 10)
+
+
+def _run_agap(size: int, seed: int = 0):
+    graph = random_alternating_graph(size, seed=seed)
+    evaluator = Evaluator(agap_program())
+    answer = evaluator.run(agap_database(graph))
+    return answer, evaluator.stats, graph
+
+
+def test_srl_agap_agrees_with_baseline_everywhere(table):
+    rows = []
+    for size in SIZES:
+        for seed in (0, 1):
+            graph = random_alternating_graph(size, seed=seed)
+            srl = run_program(agap_program(), agap_database(graph))
+            base = agap_baseline(graph)
+            assert srl == base
+            rows.append([size, seed, srl, base])
+    table("E1: AGAP — SRL program vs direct baseline", ["n", "seed", "SRL", "baseline"], rows)
+
+
+def test_agap_program_is_inside_the_srl_restriction():
+    graph = random_alternating_graph(6, seed=0)
+    assert SRL.is_member(agap_program(), database_types(agap_database(graph)))
+
+
+def test_evaluator_cost_grows_polynomially(table):
+    rows = []
+    steps = {}
+    for size in SIZES:
+        _, stats, _ = _run_agap(size)
+        steps[size] = stats.steps
+        rows.append([size, stats.steps, stats.inserts, stats.max_set_size])
+    # Empirical growth exponent between consecutive sizes.
+    exponents = [
+        math.log(steps[b] / steps[a]) / math.log(b / a)
+        for a, b in zip(SIZES, SIZES[1:])
+    ]
+    rows.append(["growth exponent", f"{max(exponents):.2f}", "", ""])
+    table("E1: AGAP evaluator cost vs n (polynomial, Lemma 3.9)",
+          ["n", "steps", "inserts", "max set size"], rows)
+    # Polynomial (the program is roughly cubic/quartic here), certainly not
+    # exponential: the exponent stays bounded.
+    assert max(exponents) < 8
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_benchmark_agap_srl(benchmark, size):
+    answer, stats, graph = _run_agap(size)
+    result = benchmark.pedantic(
+        lambda: run_program(agap_program(), agap_database(graph)),
+        rounds=1, iterations=1,
+    )
+    assert result == agap_baseline(graph)
+    benchmark.extra_info["universe"] = size
+    benchmark.extra_info["evaluator_steps"] = stats.steps
+
+
+def test_benchmark_agap_baseline(benchmark):
+    graph = random_alternating_graph(max(SIZES), seed=0)
+    benchmark(agap_baseline, graph)

@@ -1,0 +1,112 @@
+"""Experiment E4 — Theorem 4.13: BASRL = L.
+
+Two BASRL workloads are swept: the Proposition 4.5 / Lemma 4.6 arithmetic
+and the Lemma 4.10 iterated permutation product IM_Sn (complete for L).
+Shape to reproduce: (a) the programs agree with the baselines, and (b) the
+peak *accumulator* footprint stays constant as the input grows — the
+logspace signature — whereas the SRL copy-the-set program's accumulator
+grows linearly with the input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Atom, Evaluator, Program, parse_expression
+from repro.core.restrictions import BASRL
+from repro.core.typecheck import database_types
+from repro.queries import (
+    arithmetic_database,
+    arithmetic_program,
+    compose_permutations_baseline,
+    evaluate_arithmetic,
+    im_database,
+    ip_program,
+)
+from repro.queries.arithmetic_basrl import rank_of
+from repro.structures import random_permutations
+
+DOMAIN_SIZES = (8, 16, 24, 32)
+
+
+def test_arithmetic_agrees_with_python(table):
+    rows = []
+    for a, bb in ((3, 4), (7, 2), (5, 5)):
+        rows.append(["add", a, bb, evaluate_arithmetic("add", a, bb, size=32), a + bb])
+        rows.append(["mult", a, bb, evaluate_arithmetic("mult", a, bb, size=32), a * bb])
+    for value in (9, 10):
+        rows.append(["shift", value, "", evaluate_arithmetic("shift", value, size=32), value // 2])
+        rows.append(["parity", value, "", evaluate_arithmetic("parity", value, size=32),
+                     value % 2 == 1])
+    for row in rows:
+        assert row[3] == row[4]
+    table("E4: BASRL arithmetic vs Python", ["op", "a", "b", "BASRL", "expected"], rows)
+
+
+def test_basrl_accumulators_stay_flat_as_the_domain_grows(table):
+    """The logspace signature: peak accumulator size is O(1) (a bounded
+    tuple), independent of |D|, while the SRL set-copy accumulator grows
+    linearly."""
+    rows = []
+    copy_text = "(set-reduce D (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+    for size in DOMAIN_SIZES:
+        database = arithmetic_database(size)
+        basrl_eval = Evaluator(arithmetic_program())
+        basrl_eval.call("add", Atom(size // 2), Atom(size // 3), database=database)
+        srl_eval = Evaluator(Program(main=parse_expression(copy_text)))
+        srl_eval.run(database)
+        rows.append([size, basrl_eval.stats.max_accumulator_size,
+                     srl_eval.stats.max_accumulator_size])
+    table("E4: peak accumulator footprint vs |D| (BASRL flat, SRL grows)",
+          ["|D|", "BASRL add accumulator", "SRL set-copy accumulator"], rows)
+    basrl_footprints = [row[1] for row in rows]
+    srl_footprints = [row[2] for row in rows]
+    assert max(basrl_footprints) <= 4           # a bounded-width tuple
+    assert srl_footprints[-1] >= DOMAIN_SIZES[-1]   # grows with the input
+
+
+def test_iterated_permutation_product_matches_baseline(table):
+    rows = []
+    for count, degree in ((3, 4), (4, 5), (5, 6)):
+        perms = random_permutations(count, degree, seed=count)
+        product = compose_permutations_baseline(perms)
+        evaluator = Evaluator(ip_program())
+        for start in range(degree):
+            result = evaluator.call("ip", Atom(start), database=im_database(perms, start))
+            assert rank_of(result[1]) == product[start]
+        rows.append([count, degree, "agrees on all start points",
+                     evaluator.stats.max_accumulator_size])
+    table("E4: IM_Sn (Lemma 4.10) vs baseline", ["#perms", "degree", "verdict",
+                                                 "peak accumulator"], rows)
+    assert all(row[3] <= 2 for row in rows)
+
+
+def test_programs_are_in_basrl():
+    perms = random_permutations(3, 4, seed=0)
+    assert BASRL.is_member(ip_program(), database_types(im_database(perms, 0)))
+
+
+@pytest.mark.parametrize("size", (16, 32))
+def test_benchmark_basrl_add(benchmark, size):
+    database = arithmetic_database(size)
+    program = arithmetic_program()
+
+    def run():
+        return Evaluator(program).call("add", Atom(size // 2), Atom(size // 3),
+                                       database=database)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rank_of(result) == size // 2 + size // 3
+
+
+def test_benchmark_im_product(benchmark):
+    perms = random_permutations(5, 6, seed=1)
+    database = im_database(perms, 0)
+    program = ip_program()
+    product = compose_permutations_baseline(perms)
+
+    def run():
+        return Evaluator(program).call("ip", Atom(0), database=database)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rank_of(result[1]) == product[0]

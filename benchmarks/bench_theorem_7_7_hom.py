@@ -1,0 +1,133 @@
+"""Experiment E10 — Section 7: the hom operator, proper hom, and ordering.
+
+Reproduces the Section 7 discussion around Machiavelli's ``hom``:
+
+* ``hom`` and ``set-reduce`` are interchangeable at set-height <= 1 (the
+  translation agrees with the reference implementation);
+* *proper* hom instances (commutative + associative op) are order
+  independent; improper ones need not be — checked empirically;
+* proper hom over a number domain counts (Proposition 7.6), giving EVEN;
+* the genuine Cai-Fürer-Immerman companions (over K4 and over a cycle) are
+  1-WL-indistinguishable yet non-isomorphic — the raw material of
+  Theorem 7.7 — and the cheap cycle-pair stand-in is separated by an
+  order-independent SRL query.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.core import Atom, make_set, run_expression, standard_library
+from repro.core import builders as b
+from repro.core.hom import check_proper, count_hom, hom, hom_expr
+from repro.core.values import value_to_python
+from repro.queries.transitive_closure import graph_database, reachability_program
+from repro.structures import (
+    are_isomorphic,
+    cfi_pair,
+    cycle_base,
+    cycle_pair,
+    colored_graph_to_structure,
+    k4_base,
+    wl1_indistinguishable,
+)
+from repro.core import run_program
+
+
+def test_hom_and_set_reduce_agree(table):
+    rows = []
+    for ranks in ({1, 2, 3}, {0, 5, 9, 2}, set()):
+        expr = hom_expr(
+            b.var("S"),
+            f_body=lambda x, e: b.insert(x, b.emptyset()),
+            op_name="union",
+            z=b.emptyset(),
+        )
+        srl = run_expression(expr, {"S": make_set(*(Atom(r) for r in ranks))},
+                             program=standard_library())
+        python = hom(lambda x: frozenset({x}), operator.or_, frozenset(), ranks)
+        assert value_to_python(srl) == frozenset(python)
+        rows.append([sorted(ranks), "agree"])
+    table("E10: hom translated to set-reduce vs reference hom", ["input", "verdict"], rows)
+
+
+def test_proper_vs_improper_hom(table):
+    rows = []
+    samples = [0, 1, 2, 5, 7]
+    cases = [
+        ("+", operator.add, True),
+        ("max", max, True),
+        ("-", operator.sub, False),
+        ("concat-ish (2x+y)", lambda x, y: 2 * x + y, False),
+    ]
+    for name, op, expected_proper in cases:
+        proper = check_proper(op, samples)
+        assert proper == expected_proper
+        forward = hom(lambda x: x, op, 0, [1, 2, 5])
+        backward = hom(lambda x: x, op, 0, [5, 2, 1])
+        order_free = forward == backward
+        if proper:
+            assert order_free
+        rows.append([name, "proper" if proper else "improper",
+                     "order-independent" if order_free else "order-dependent"])
+    table("E10: proper hom instances are order-independent",
+          ["operator", "proper?", "empirical order behaviour"], rows)
+
+
+def test_proposition_7_6_counting_with_proper_hom(table):
+    rows = []
+    for size in range(3, 9):
+        counted = count_hom(range(size))
+        assert counted == size
+        rows.append([size, counted, counted % 2 == 0])
+    table("E10: Proposition 7.6 — count(S) = hom(λx.1, +, 0, S)",
+          ["|S|", "hom count", "EVEN"], rows)
+
+
+def test_cfi_pairs_fool_wl_but_are_not_isomorphic(table):
+    rows = []
+    for name, base in (("cycle C5", cycle_base(5)), ("K4", k4_base())):
+        pair = cfi_pair(base)
+        fooled = wl1_indistinguishable(pair.untwisted, pair.twisted)
+        isomorphic = are_isomorphic(pair.untwisted, pair.twisted)
+        assert fooled and not isomorphic
+        rows.append([name, pair.untwisted.size, "1-WL indistinguishable", "non-isomorphic"])
+    table("E10: Cai-Fürer-Immerman companions (Theorem 7.7 raw material)",
+          ["base graph", "|V|", "counting logic", "isomorphism"], rows)
+
+
+def test_order_independent_srl_query_separates_the_cheap_pair():
+    pair = cycle_pair(5)
+    single = colored_graph_to_structure(pair.untwisted)
+    double = colored_graph_to_structure(pair.twisted)
+    assert run_program(reachability_program(), graph_database(single)) != \
+        run_program(reachability_program(), graph_database(double))
+
+
+def test_benchmark_python_hom(benchmark):
+    values = list(range(200))
+    result = benchmark(hom, lambda x: x, operator.add, 0, values)
+    assert result == sum(values)
+
+
+def test_benchmark_hom_as_set_reduce(benchmark):
+    expr = hom_expr(
+        b.var("S"),
+        f_body=lambda x, e: b.insert(x, b.emptyset()),
+        op_name="union",
+        z=b.emptyset(),
+    )
+    database = {"S": make_set(*(Atom(i) for i in range(20)))}
+    library = standard_library()
+    result = benchmark.pedantic(
+        lambda: run_expression(expr, database, program=library), rounds=1, iterations=1
+    )
+    assert len(result) == 20
+
+
+def test_benchmark_cfi_wl(benchmark):
+    pair = cfi_pair(k4_base())
+    result = benchmark(wl1_indistinguishable, pair.untwisted, pair.twisted)
+    assert result is True

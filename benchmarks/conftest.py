@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one experiment of DESIGN.md's
+per-experiment index (one per theorem / figure of the paper).  Besides the
+pytest-benchmark timings, every experiment prints a small table of the
+rows/series whose *shape* reproduces the paper's claim; the same rows are
+attached to ``benchmark.extra_info`` so they survive in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit_table(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Print a results table (visible with ``pytest -s`` and in captured
+    output on failure)."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+              for i, h in enumerate(header)]
+    print("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture
+def table():
+    """A fixture handing benchmarks the table emitter."""
+    return emit_table

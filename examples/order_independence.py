@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The role of ordering (Section 7), end to end.
+
+* EVEN is computed three ways: the ordered BASRL toggle, the proper-hom
+  count of Proposition 7.6, and the Python baseline — all agree, and the
+  SRL program is provably independent of the order it secretly uses.
+* The paper's Purple(First(S)) pattern is shown to be order-dependent, with
+  the witnessing permutation printed.
+* A 1-WL-indistinguishable pair of graphs (the cheap stand-in for the
+  Cai-Fürer-Immerman structures of Theorem 7.7) is separated by an
+  order-independent polynomial-time SRL query (connectivity).
+
+Run with:  python examples/order_independence.py
+"""
+
+from repro.core import Atom, make_set, run_program
+from repro.core.order import certify_order_independence, probe_order_independence
+from repro.queries import even_database, even_program, even_via_counting
+from repro.queries.relational import build_company_data, company_database, first_employee_is_senior_program
+from repro.queries.transitive_closure import graph_database, reachability_program
+from repro.structures import colored_graph_to_structure, cycle_pair, wl1_indistinguishable
+
+
+def even_three_ways() -> None:
+    print("=== EVEN three ways (Fact 7.5 / Proposition 7.6) ===")
+    print(f"{'n':>3} {'BASRL toggle':>13} {'proper hom count':>17} {'baseline':>9}")
+    for size in range(3, 9):
+        srl = run_program(even_program(), even_database(size))
+        hom = even_via_counting(range(size))
+        base = size % 2 == 0
+        print(f"{size:>3} {str(srl):>13} {str(hom):>17} {str(base):>9}")
+    report = probe_order_independence(even_program(), even_database(7), trials=20)
+    print("EVEN is empirically order-independent over 20 random orders:",
+          report.independent)
+
+
+def purple_first() -> None:
+    print("\n=== the order-dependent query Purple(First(S)) ===")
+    data = build_company_data(num_employees=10, seed=3)
+    database = company_database(data)
+    program = first_employee_is_senior_program()
+    certificate = certify_order_independence(program)
+    report = probe_order_independence(program, database, trials=40)
+    print("structural certificate:", certificate.status)
+    print("reasons:", "; ".join(certificate.reasons))
+    print("empirical verdict: independent =", report.independent)
+    if not report.independent:
+        print("witnessing permutation of the domain order:",
+              report.witness_permutation[:10], "...")
+        print("answer under the natural order:", report.baseline,
+              "| answer under the witness order:", report.witness_value)
+
+
+def theorem_7_7_shape() -> None:
+    print("\n=== Theorem 7.7's shape: counting logic vs ordered SRL ===")
+    pair = cycle_pair(5)
+    print(pair.description)
+    print("1-WL (2-variable counting logic) distinguishes them:",
+          not wl1_indistinguishable(pair.untwisted, pair.twisted))
+    single = colored_graph_to_structure(pair.untwisted)
+    double = colored_graph_to_structure(pair.twisted)
+    one = run_program(reachability_program(), graph_database(single))
+    two = run_program(reachability_program(), graph_database(double))
+    print("SRL reachability 0 ->", single.size - 1, "on the single cycle:", one)
+    print("SRL reachability 0 ->", double.size - 1, "on the two cycles:  ", two)
+    print("An order-independent polynomial-time SRL query separates what the")
+    print("bounded-variable counting logic cannot.")
+
+
+if __name__ == "__main__":
+    even_three_ways()
+    purple_first()
+    theorem_7_7_shape()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of *The Expressiveness of a Family of Finite Set
+Languages* (Immerman, Patnaik, Stemple; PODS 1991 / TCS 155, 1996).
+
+The package implements the paper's set-reduce language (SRL) family and the
+substrates its expressiveness results rest on:
+
+``repro.core``
+    The SRL language: AST, parser, type checker, instrumented evaluator,
+    the Fact 2.4 standard library, the syntactic restrictions (SRL, BASRL,
+    SRFO+TC, SRFO+DTC, SRL+new, LRL), Section 6 complexity-from-syntax
+    analysis, Section 7 order-independence tools and the Machiavelli ``hom``
+    operator.
+
+``repro.structures``
+    Finite logical structures / relational databases, graph generators,
+    Cai-Fürer-Immerman pairs and Weisfeiler-Leman colour refinement.
+
+``repro.logic``
+    First-order logic over finite structures with LFP, TC, DTC and counting
+    quantifiers, plus first-order interpretations (reductions).
+
+``repro.machines``
+    Deterministic Turing machines and the Proposition 6.2 compiler from
+    linear-time machines into SRL expressions.
+
+``repro.primrec``
+    Primitive recursive functions and the Theorem 5.2 translations between
+    PrimRec and SRL + new.
+
+``repro.queries``
+    The concrete programs of the paper (AGAP, transitive closure, BASRL
+    arithmetic, iterated permutation multiplication, powerset, EVEN, ...)
+    together with direct Python baselines.
+
+``repro.complexity``
+    The complexity-class landscape: the Figure 1 containment lattice and the
+    SRL_h / DTIME(2_h#n) hierarchy.
+
+Quick start
+-----------
+>>> from repro.core import parse_program, run_program
+>>> program = parse_program('''
+... (define (flip x) (if x false true))
+... (flip true)
+... ''')
+>>> run_program(program)
+False
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

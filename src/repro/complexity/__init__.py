@@ -1,0 +1,20 @@
+"""The complexity-class landscape: Figure 1, the SRL_h hierarchy, and the
+program classifier."""
+
+from .classes import (
+    Containment,
+    ComplexityClass,
+    Figure1Lattice,
+    LOGSPACE,
+    MACHINE_CLASSES,
+    NLOGSPACE,
+    PRIMREC,
+    PSPACE,
+    PTIME,
+    QueryClass,
+    figure1_lattice,
+)
+from .classify import Classification, classify_program
+from .hierarchy import HierarchyLevel, hierarchy_level, iterated_powerset_size, tower
+
+__all__ = [name for name in dir() if not name.startswith("_")]

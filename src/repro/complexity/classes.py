@@ -1,0 +1,191 @@
+"""The complexity-class landscape of the paper.
+
+Two structures are provided:
+
+* the *machine* classes the SRL family is measured against (L, NL, P,
+  PSPACE, PrimRec, ...), each knowing which language restriction captures it
+  (Theorem 3.10, Theorem 4.13, Corollaries 4.2/4.4, Theorem 5.2);
+* the *query* classes of Figure 1 — the polynomial-time query classes whose
+  proper containments Section 7 discusses — as a small containment lattice
+  with a witness attached to every edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "ComplexityClass",
+    "LOGSPACE",
+    "NLOGSPACE",
+    "PTIME",
+    "PSPACE",
+    "PRIMREC",
+    "MACHINE_CLASSES",
+    "QueryClass",
+    "Containment",
+    "Figure1Lattice",
+    "figure1_lattice",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityClass:
+    """A machine-based complexity class and the SRL restriction capturing it."""
+
+    name: str
+    description: str
+    captured_by: str
+    paper_reference: str
+
+
+LOGSPACE = ComplexityClass(
+    name="L",
+    description="deterministic logarithmic space",
+    captured_by="BASRL (flat bounded-width accumulators); also SRFO+DTC",
+    paper_reference="Theorem 4.13, Corollary 4.4",
+)
+
+NLOGSPACE = ComplexityClass(
+    name="NL",
+    description="nondeterministic logarithmic space",
+    captured_by="SRFO+TC",
+    paper_reference="Corollary 4.2",
+)
+
+PTIME = ComplexityClass(
+    name="P",
+    description="deterministic polynomial time",
+    captured_by="SRL (set-height <= 1, bounded tuple width)",
+    paper_reference="Theorem 3.10",
+)
+
+PSPACE = ComplexityClass(
+    name="PSPACE",
+    description="polynomial space",
+    captured_by="(FO + while), not an SRL restriction studied here",
+    paper_reference="Section 7, footnote 4",
+)
+
+PRIMREC = ComplexityClass(
+    name="PrimRec",
+    description="the primitive recursive functions",
+    captured_by="unrestricted SRL + new (equivalently LRL, or SRL + cons)",
+    paper_reference="Theorem 5.2, Corollary 5.5",
+)
+
+MACHINE_CLASSES: tuple[ComplexityClass, ...] = (
+    LOGSPACE, NLOGSPACE, PTIME, PSPACE, PRIMREC,
+)
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """A node of Figure 1."""
+
+    key: str
+    name: str
+    description: str
+
+
+@dataclass(frozen=True)
+class Containment:
+    """An edge of Figure 1: ``lower`` is properly contained in ``upper``."""
+
+    lower: str
+    upper: str
+    proper: bool
+    witness: str
+    evidence: str
+
+
+@dataclass
+class Figure1Lattice:
+    """Figure 1: the polynomial-time query classes and their containments."""
+
+    classes: dict[str, QueryClass] = field(default_factory=dict)
+    containments: list[Containment] = field(default_factory=list)
+
+    def add_class(self, query_class: QueryClass) -> None:
+        self.classes[query_class.key] = query_class
+
+    def add_containment(self, containment: Containment) -> None:
+        if containment.lower not in self.classes or containment.upper not in self.classes:
+            raise KeyError("both endpoints of a containment must be registered classes")
+        self.containments.append(containment)
+
+    def chain(self) -> list[QueryClass]:
+        """The classes ordered from smallest to largest along the chain."""
+        order = ["fo_lfp_unordered", "fo_lfp_count_unordered", "order_independent_p", "p"]
+        return [self.classes[key] for key in order if key in self.classes]
+
+    def is_contained(self, lower: str, upper: str) -> bool:
+        """Reflexive-transitive containment along the recorded edges."""
+        if lower == upper:
+            return True
+        frontier = [lower]
+        seen = {lower}
+        while frontier:
+            current = frontier.pop()
+            for containment in self.containments:
+                if containment.lower == current and containment.upper not in seen:
+                    if containment.upper == upper:
+                        return True
+                    seen.add(containment.upper)
+                    frontier.append(containment.upper)
+        return False
+
+    def edges(self) -> Iterator[Containment]:
+        return iter(self.containments)
+
+
+def figure1_lattice() -> Figure1Lattice:
+    """The lattice of Figure 1 with the paper's witnesses attached."""
+    lattice = Figure1Lattice()
+    lattice.add_class(QueryClass(
+        key="fo_lfp_unordered",
+        name="(FO(wo<=) + LFP)",
+        description="fixed-point logic without an order on the universe",
+    ))
+    lattice.add_class(QueryClass(
+        key="fo_lfp_count_unordered",
+        name="(FO(wo<=) + LFP + count)",
+        description="fixed-point logic with counting quantifiers, no order",
+    ))
+    lattice.add_class(QueryClass(
+        key="order_independent_p",
+        name="order-independent P",
+        description="polynomial-time queries whose answer never depends on the order",
+    ))
+    lattice.add_class(QueryClass(
+        key="p",
+        name="(FO + LFP) = P",
+        description="fixed-point logic with an order — all polynomial-time queries",
+    ))
+    lattice.add_containment(Containment(
+        lower="fo_lfp_unordered",
+        upper="fo_lfp_count_unordered",
+        proper=True,
+        witness="EVEN",
+        evidence="EVEN (parity of |universe|) needs counting: Fact 7.5; it is "
+                 "expressible with a counting quantifier / proper hom (Prop. 7.6).",
+    ))
+    lattice.add_containment(Containment(
+        lower="fo_lfp_count_unordered",
+        upper="order_independent_p",
+        proper=True,
+        witness="CFI-style pairs",
+        evidence="Cai-Furer-Immerman structures agree on bounded-variable counting "
+                 "logic yet are separated by an order-independent P property "
+                 "(Theorem 7.7).",
+    ))
+    lattice.add_containment(Containment(
+        lower="order_independent_p",
+        upper="p",
+        proper=True,
+        witness="Purple(First(S))",
+        evidence="Any order-dependent query (the first element satisfies a "
+                 "predicate) is in P with an order but is not order-independent.",
+    ))
+    return lattice

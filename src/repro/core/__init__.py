@@ -1,0 +1,129 @@
+"""The set-reduce language (SRL) family — the paper's core contribution.
+
+This subpackage contains everything needed to write, type-check, restrict,
+analyse and run programs in the family of finite set languages studied by
+Immerman, Patnaik and Stemple:
+
+* :mod:`repro.core.ast`, :mod:`repro.core.parser`, :mod:`repro.core.builders`
+  — three ways to construct programs (raw AST, s-expression text, Python DSL);
+* :mod:`repro.core.evaluator` — the instrumented operational semantics;
+* :mod:`repro.core.typecheck` — type inference / checking;
+* :mod:`repro.core.stdlib` — the Fact 2.4 derived operations, written in SRL;
+* :mod:`repro.core.restrictions` — SRL, BASRL, SRFO+TC, SRFO+DTC, SRL+new, LRL;
+* :mod:`repro.core.analysis` — Section 6 "complexity from syntax";
+* :mod:`repro.core.order` — Section 7 order-(in)dependence testing;
+* :mod:`repro.core.hom` — the Machiavelli ``hom`` operator.
+"""
+
+from .analysis import ProgramAnalysis, analyze, expression_depth, expression_width
+from .ast import (
+    AtomConst,
+    BoolConst,
+    Call,
+    Choose,
+    ConsList,
+    EmptyList,
+    EmptySet,
+    Equal,
+    Expr,
+    FunctionDef,
+    If,
+    Insert,
+    Lambda,
+    LessEq,
+    ListReduce,
+    NatConst,
+    New,
+    Program,
+    Rest,
+    Select,
+    SetReduce,
+    TupleExpr,
+    Var,
+    count_nodes,
+    free_variables,
+    walk,
+)
+from .environment import Database, Environment
+from .errors import (
+    ResourceLimitExceeded,
+    RestrictionViolation,
+    SRLError,
+    SRLNameError,
+    SRLRuntimeError,
+    SRLSyntaxError,
+    SRLTypeError,
+)
+from .evaluator import (
+    EvaluationLimits,
+    EvaluationStats,
+    Evaluator,
+    run_expression,
+    run_program,
+)
+from .hom import check_proper, count_hom, hom, hom_expr
+from .order import (
+    Certificate,
+    OrderReport,
+    certify_order_independence,
+    probe_order_independence,
+)
+from .parser import parse_expression, parse_program
+from .pretty import pretty, pretty_program
+from .restrictions import (
+    ALL_RESTRICTIONS,
+    BASRL,
+    LRL,
+    SRFO_DTC,
+    SRFO_TC,
+    SRL,
+    SRL_NEW,
+    UNRESTRICTED_SRL,
+    Restriction,
+    strictest_restriction,
+)
+from .stdlib import (
+    forall_expr,
+    forsome_expr,
+    join_expr,
+    product_expr,
+    project_expr,
+    select_expr,
+    singleton_expr,
+    standard_library,
+    with_standard_library,
+)
+from .typecheck import TypeChecker, TypeReport, check_program, database_types, type_of_value
+from .types import (
+    ATOM,
+    BOOL,
+    NAT,
+    AtomType,
+    BoolType,
+    ListType,
+    NatType,
+    SetType,
+    TupleType,
+    Type,
+    TypeVar,
+    list_of,
+    set_height,
+    set_of,
+    tuple_of,
+    tuple_width,
+)
+from .values import (
+    Atom,
+    SRLList,
+    SRLSet,
+    SRLTuple,
+    Value,
+    make_list,
+    make_set,
+    make_tuple,
+    python_to_value,
+    value_size,
+    value_to_python,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,232 @@
+"""Section 6: reading a program's complexity off its syntax.
+
+The paper shows that a scan of an SRL program's syntax bounds its
+complexity:
+
+* **depth** ``d`` (Lemma 3.9): base functions have depth 0; a set-reduce has
+  depth ``1 + max(depth of source, app, acc, base, extra)``;
+* **width** ``a``: the maximum arity of tuples used in a non-input set;
+* Proposition 6.1: an SRL expression of width ``a`` and depth ``d`` runs in
+  ``DTIME(n^{ad} * T_ins)``;
+* set-height > 1 (or lists, or invented values) escapes P entirely —
+  set-height ``h`` corresponds to ``DTIME(2_h # n)`` (Corollary 6.4) and
+  ``new`` / lists give all of PrimRec (Theorem 5.2);
+* if every accumulator returns a flat bounded-width tuple the program is in
+  **L** (Theorem 4.13, BASRL).
+
+:func:`analyze` packages all of that into a :class:`ProgramAnalysis` report,
+which is what the Section 6 benchmark prints and what the examples use to
+audit query complexity before running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .ast import (
+    Call,
+    Choose,
+    ConsList,
+    EmptyList,
+    Expr,
+    ListReduce,
+    NatConst,
+    New,
+    Program,
+    Rest,
+    SetReduce,
+    TupleExpr,
+    walk,
+)
+from .errors import SRLError
+from .typecheck import TypeChecker, TypeReport
+from .types import NatType, SetType, Type, set_height, max_tuple_width
+
+__all__ = ["ProgramAnalysis", "expression_depth", "expression_width", "analyze"]
+
+
+def expression_depth(expr: Expr, program: Program | None = None,
+                     _stack: frozenset[str] = frozenset()) -> int:
+    """The Lemma 3.9 depth of ``expr``.
+
+    Calls of named definitions contribute the depth of the definition body
+    (definitions are abbreviations, so inlining them is the faithful
+    reading).
+    """
+    if isinstance(expr, (SetReduce, ListReduce)):
+        parts = (expr.source, expr.app.body, expr.acc.body, expr.base, expr.extra)
+        return 1 + max(expression_depth(part, program, _stack) for part in parts)
+    if isinstance(expr, Call) and program is not None and expr.name in program.definitions:
+        if expr.name in _stack:
+            return 0
+        body_depth = expression_depth(
+            program.definitions[expr.name].body, program, _stack | {expr.name}
+        )
+        args_depth = max(
+            (expression_depth(arg, program, _stack) for arg in expr.args), default=0
+        )
+        return max(body_depth, args_depth)
+    from .ast import children
+
+    return max((expression_depth(child, program, _stack) for child in children(expr)),
+               default=0)
+
+
+def expression_width(expr: Expr, program: Program | None = None) -> int:
+    """The syntactic width ``a``: the maximum arity of any tuple constructed
+    by the expression (or by a definition it calls).  Defaults to 1 when the
+    program builds no tuples."""
+    widths = [1]
+    seen: set[str] = set()
+
+    def visit(e: Expr) -> None:
+        for node in walk(e):
+            if isinstance(node, TupleExpr):
+                widths.append(len(node.items))
+            if isinstance(node, Call) and program is not None:
+                definition = program.definitions.get(node.name)
+                if definition is not None and node.name not in seen:
+                    seen.add(node.name)
+                    visit(definition.body)
+
+    visit(expr)
+    return max(widths)
+
+
+@dataclass
+class ProgramAnalysis:
+    """Everything Section 6 lets us read off a program's face."""
+
+    depth: int
+    width: int
+    set_height: int
+    uses_new: bool
+    uses_lists: bool
+    uses_naturals: bool
+    has_set_of_naturals: bool
+    accumulators_flat: bool
+    time_exponent: int
+    classification: str
+    type_report: Optional[TypeReport] = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def time_bound(self) -> str:
+        """The Proposition 6.1 bound as a human-readable string."""
+        return f"DTIME(n^{self.time_exponent} * T_ins)"
+
+    def summary(self) -> str:
+        lines = [
+            f"depth d            = {self.depth}",
+            f"width a            = {self.width}",
+            f"set-height         = {self.set_height}",
+            f"accumulators flat  = {self.accumulators_flat}",
+            f"uses new / lists   = {self.uses_new} / {self.uses_lists}",
+            f"Prop 6.1 bound     = {self.time_bound}",
+            f"classification     = {self.classification}",
+        ]
+        if self.notes:
+            lines.append("notes: " + "; ".join(self.notes))
+        return "\n".join(lines)
+
+
+def _classify(set_height_value: int, uses_new: bool, uses_lists: bool,
+              has_set_of_naturals: bool, accumulators_flat: bool,
+              uses_set_reduce: bool) -> tuple[str, list[str]]:
+    notes: list[str] = []
+    if uses_new or uses_lists or has_set_of_naturals:
+        reasons = []
+        if uses_new:
+            reasons.append("invented values (new)")
+        if uses_lists:
+            reasons.append("lists (list-reduce / cons)")
+        if has_set_of_naturals:
+            reasons.append("sets of naturals")
+        notes.append("escapes P because of: " + ", ".join(reasons))
+        return "PrimRec (Theorem 5.2)", notes
+    if set_height_value >= 2:
+        notes.append(
+            f"set-height {set_height_value} admits {set_height_value - 1}-fold "
+            "exponential blow-up (Example 3.12 / Corollary 6.4)"
+        )
+        return f"DTIME(2_{set_height_value}#n) (Corollary 6.4)", notes
+    if not uses_set_reduce:
+        notes.append("no set-reduce: a quantifier-free / first-order combination")
+        return "FO (no iteration)", notes
+    if accumulators_flat:
+        notes.append("every accumulator returns a flat bounded-width tuple")
+        return "L = BASRL (Theorem 4.13)", notes
+    return "P = SRL (Theorem 3.10)", notes
+
+
+def analyze(program: Program,
+            input_types: Mapping[str, Type] | None = None,
+            main: Expr | None = None) -> ProgramAnalysis:
+    """Analyse a program's syntax (and, when input types are available, its
+    inferred types) and classify its complexity.
+
+    ``input_types`` maps database names to their SRL types; without it the
+    analysis is purely syntactic (type-derived measures fall back to
+    syntactic estimates).
+    """
+    expr = main if main is not None else program.main
+    if expr is None:
+        raise SRLError("analyze: program has no main expression")
+
+    depth = expression_depth(expr, program)
+    width = expression_width(expr, program)
+
+    nodes = list(walk(expr))
+    for definition in program.definitions.values():
+        nodes.extend(walk(definition.body))
+
+    uses_new = any(isinstance(node, New) for node in nodes)
+    uses_lists = any(isinstance(node, (ListReduce, ConsList, EmptyList)) for node in nodes)
+    uses_naturals = any(isinstance(node, NatConst) for node in nodes)
+    uses_set_reduce = any(isinstance(node, (SetReduce, ListReduce)) for node in nodes)
+
+    type_report: Optional[TypeReport] = None
+    set_height_value = 1 if uses_set_reduce else 0
+    has_set_of_naturals = False
+    accumulators_flat = uses_set_reduce
+    if input_types is not None:
+        try:
+            type_report = TypeChecker(program).check_expression(expr, input_types)
+        except SRLError:
+            type_report = None
+        if type_report is not None:
+            set_height_value = max(
+                type_report.max_set_height(),
+                max((set_height(t) for t in input_types.values()), default=0),
+            )
+            # The paper's width counts tuples in *non-input* sets, so the
+            # syntactic width (tuples the program constructs) is the right
+            # measure; input relation arities do not enter the bound.
+            has_set_of_naturals = any(
+                isinstance(t, SetType) and isinstance(t.element, NatType)
+                for t in type_report.observed_types
+            )
+            accumulators_flat = all(
+                set_height(t) == 0 for t in type_report.accumulator_types
+            ) and bool(type_report.accumulator_types)
+
+    classification, notes = _classify(
+        set_height_value, uses_new, uses_lists, has_set_of_naturals,
+        accumulators_flat, uses_set_reduce,
+    )
+
+    return ProgramAnalysis(
+        depth=depth,
+        width=width,
+        set_height=set_height_value,
+        uses_new=uses_new,
+        uses_lists=uses_lists,
+        uses_naturals=uses_naturals,
+        has_set_of_naturals=has_set_of_naturals,
+        accumulators_flat=accumulators_flat and uses_set_reduce,
+        time_exponent=width * depth,
+        classification=classification,
+        type_report=type_report,
+        notes=notes,
+    )

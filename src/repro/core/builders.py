@@ -1,0 +1,206 @@
+"""A small Python DSL for constructing SRL abstract syntax.
+
+Writing raw AST constructors is verbose; the helpers below keep the example
+programs and tests close to the paper's notation.  Boolean connectives are
+provided as macros over ``if-then-else`` (the paper: "boolean and, or, and
+not can easily be defined with the if-then-else function").
+
+Example
+-------
+>>> from repro.core import builders as b
+>>> member_like = b.set_reduce(
+...     b.var("S"),
+...     b.lam("e", "x", b.eq(b.var("e"), b.var("x"))),
+...     b.lam("a", "r", b.or_(b.var("a"), b.var("r"))),
+...     b.false(),
+...     b.var("x"),
+... )
+"""
+
+from __future__ import annotations
+
+from itertools import count as _count
+from typing import Iterable, Sequence
+
+from .ast import (
+    AtomConst,
+    BoolConst,
+    Call,
+    Choose,
+    ConsList,
+    EmptyList,
+    EmptySet,
+    Equal,
+    Expr,
+    FunctionDef,
+    If,
+    Insert,
+    Lambda,
+    LessEq,
+    ListReduce,
+    NatConst,
+    New,
+    Program,
+    Rest,
+    Select,
+    SetReduce,
+    TupleExpr,
+    Var,
+)
+from .values import Atom
+
+__all__ = [
+    "var", "atom", "nat", "true", "false", "if_", "tup", "sel", "eq", "leq",
+    "emptyset", "insert", "set_of_exprs", "lam", "set_reduce", "list_reduce",
+    "call", "new", "choose", "rest", "emptylist", "cons",
+    "and_", "or_", "not_", "neq", "define", "program", "fresh_name",
+]
+
+_GENSYM = _count(1)
+
+
+def fresh_name(hint: str = "v") -> str:
+    """A variable name unlikely to collide with user code."""
+    return f"_{hint}{next(_GENSYM)}"
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def atom(rank: int, name: str = "") -> AtomConst:
+    return AtomConst(Atom(rank, name))
+
+
+def nat(value: int) -> NatConst:
+    return NatConst(value)
+
+
+def true() -> BoolConst:
+    return BoolConst(True)
+
+
+def false() -> BoolConst:
+    return BoolConst(False)
+
+
+def if_(cond: Expr, then_branch: Expr, else_branch: Expr) -> If:
+    return If(cond, then_branch, else_branch)
+
+
+def tup(*items: Expr) -> TupleExpr:
+    return TupleExpr(tuple(items))
+
+
+def sel(index: int, target: Expr) -> Select:
+    return Select(index, target)
+
+
+def eq(left: Expr, right: Expr) -> Equal:
+    return Equal(left, right)
+
+
+def leq(left: Expr, right: Expr) -> LessEq:
+    return LessEq(left, right)
+
+
+def emptyset() -> EmptySet:
+    return EmptySet()
+
+
+def insert(element: Expr, target: Expr) -> Insert:
+    return Insert(element, target)
+
+
+def set_of_exprs(elements: Iterable[Expr]) -> Expr:
+    """``{e1, ..., ek}`` as nested inserts into emptyset."""
+    result: Expr = EmptySet()
+    for element in elements:
+        result = Insert(element, result)
+    return result
+
+
+def lam(param1: str, param2: str, body: Expr) -> Lambda:
+    return Lambda((param1, param2), body)
+
+
+def set_reduce(source: Expr, app: Lambda, acc: Lambda, base: Expr,
+               extra: Expr | None = None) -> SetReduce:
+    return SetReduce(source, app, acc, base, extra if extra is not None else EmptySet())
+
+
+def list_reduce(source: Expr, app: Lambda, acc: Lambda, base: Expr,
+                extra: Expr | None = None) -> ListReduce:
+    return ListReduce(source, app, acc, base, extra if extra is not None else EmptyList())
+
+
+def call(name: str, *args: Expr) -> Call:
+    return Call(name, tuple(args))
+
+
+def new(source: Expr) -> New:
+    return New(source)
+
+
+def choose(source: Expr) -> Choose:
+    return Choose(source)
+
+
+def rest(source: Expr) -> Rest:
+    return Rest(source)
+
+
+def emptylist() -> EmptyList:
+    return EmptyList()
+
+
+def cons(item: Expr, target: Expr) -> ConsList:
+    return ConsList(item, target)
+
+
+# ----------------------------------------------------------- boolean macros
+
+
+def not_(expr: Expr) -> Expr:
+    """``not e`` as ``if e then false else true``."""
+    return If(expr, BoolConst(False), BoolConst(True))
+
+
+def and_(*operands: Expr) -> Expr:
+    """``e1 and e2 and ...`` as nested if-then-else (true when empty)."""
+    if not operands:
+        return BoolConst(True)
+    result = operands[-1]
+    for operand in reversed(operands[:-1]):
+        result = If(operand, result, BoolConst(False))
+    return result
+
+
+def or_(*operands: Expr) -> Expr:
+    """``e1 or e2 or ...`` as nested if-then-else (false when empty)."""
+    if not operands:
+        return BoolConst(False)
+    result = operands[-1]
+    for operand in reversed(operands[:-1]):
+        result = If(operand, BoolConst(True), result)
+    return result
+
+
+def neq(left: Expr, right: Expr) -> Expr:
+    """``e1 /= e2``."""
+    return not_(Equal(left, right))
+
+
+# --------------------------------------------------------------- definitions
+
+
+def define(name: str, params: Sequence[str], body: Expr) -> FunctionDef:
+    return FunctionDef(name=name, params=tuple(params), body=body)
+
+
+def program(*definitions: FunctionDef, main: Expr | None = None) -> Program:
+    result = Program()
+    for definition in definitions:
+        result.define(definition)
+    result.main = main
+    return result

@@ -1,0 +1,99 @@
+"""Lexical environments and input databases for the SRL evaluator.
+
+A :class:`Database` is the program's input: a mapping from names to SRL
+values (typically sets of atoms or sets of tuples).  The paper phrases this
+as "the input to any set-reduce expression is a structure or database
+specified by the name(s) of set(s) or relation(s)".
+
+An :class:`Environment` is a small chained scope used for lambda parameters
+and function-call parameters; lookups fall back to the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from .errors import SRLNameError
+from .values import Value, is_value, python_to_value
+
+__all__ = ["Database", "Environment"]
+
+
+class Database:
+    """The input structure of an SRL program.
+
+    Values may be given either as SRL values or as plain Python data (which
+    is converted via :func:`repro.core.values.python_to_value`).
+    """
+
+    def __init__(self, bindings: Mapping[str, object] | None = None):
+        self._bindings: dict[str, Value] = {}
+        if bindings:
+            for name, value in bindings.items():
+                self.bind(name, value)
+
+    def bind(self, name: str, value: object) -> "Database":
+        """Bind ``name`` to ``value`` (converted to an SRL value if needed)."""
+        if not is_value(value):
+            value = python_to_value(value)
+        self._bindings[name] = value  # type: ignore[assignment]
+        return self
+
+    def lookup(self, name: str) -> Value:
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise SRLNameError(f"unbound database name: {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._bindings)
+
+    def items(self):
+        return self._bindings.items()
+
+    def copy(self) -> "Database":
+        clone = Database()
+        clone._bindings = dict(self._bindings)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(self._bindings)
+        return f"Database({names})"
+
+
+@dataclass
+class Environment:
+    """A chained lexical scope on top of a :class:`Database`."""
+
+    database: Database
+    bindings: dict[str, Value] = field(default_factory=dict)
+    parent: "Environment | None" = None
+
+    def child(self, bindings: Mapping[str, Value]) -> "Environment":
+        """A new scope whose lookups fall back to this one."""
+        return Environment(self.database, dict(bindings), self)
+
+    def lookup(self, name: str) -> Value:
+        scope: Environment | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        if name in self.database:
+            return self.database.lookup(name)
+        raise SRLNameError(f"unbound variable: {name}")
+
+    def __contains__(self, name: str) -> bool:
+        scope: Environment | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return True
+            scope = scope.parent
+        return name in self.database

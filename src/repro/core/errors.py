@@ -1,0 +1,69 @@
+"""Exception hierarchy for the SRL reproduction.
+
+Every error raised by the library derives from :class:`SRLError`, so callers
+can catch a single base class.  The split mirrors the phases of working with
+an SRL program: parsing the surface syntax, type checking, checking a
+syntactic restriction (SRL / BASRL / SRFO+TC / ...), and finally evaluation.
+"""
+
+from __future__ import annotations
+
+
+class SRLError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SRLSyntaxError(SRLError):
+    """Raised by the surface-syntax parser on malformed input.
+
+    Carries the (1-based) line and column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SRLTypeError(SRLError):
+    """Raised by the type checker when an expression is ill typed."""
+
+
+class SRLNameError(SRLError):
+    """Raised when an unbound variable or unknown definition is referenced."""
+
+
+class SRLRuntimeError(SRLError):
+    """Raised by the evaluator on a dynamic error (e.g. ``choose`` on the
+    empty set, selecting a component that does not exist, applying ``new``
+    when invented values are not enabled)."""
+
+
+class RestrictionViolation(SRLError):
+    """Raised (or collected) when a program falls outside a language
+    restriction such as SRL's set-height <= 1 or BASRL's flat accumulator.
+
+    ``violations`` is a list of human-readable reasons; a checker may either
+    raise this exception or return the list, depending on the API used.
+    """
+
+    def __init__(self, restriction: str, violations: list[str]):
+        self.restriction = restriction
+        self.violations = list(violations)
+        summary = "; ".join(self.violations) if self.violations else "unspecified violation"
+        super().__init__(f"program is not in {restriction}: {summary}")
+
+
+class ResourceLimitExceeded(SRLRuntimeError):
+    """Raised when evaluation exceeds a configured step / insert / set-size
+    budget.  Benchmarks use generous limits; tests use tight ones to assert
+    that restricted programs stay cheap."""
+
+    def __init__(self, resource: str, limit: int, used: int):
+        super().__init__(f"{resource} limit exceeded: used {used}, limit {limit}")
+        self.resource = resource
+        self.limit = limit
+        self.used = used

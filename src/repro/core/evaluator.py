@@ -1,0 +1,442 @@
+"""The operational semantics of the set-reduce language family.
+
+The evaluator implements the reduction rules of Section 2 of the paper.
+The only interesting rule is the one for ``set-reduce``::
+
+    set-reduce(s, app, acc, base, extra) =
+        if s = emptyset then base
+        else acc(app(choose(s), extra),
+                 set-reduce(rest(s), app, acc, base, extra))
+
+Operationally we implement it as an *iterative fold that threads the
+accumulator through the elements in ascending implementation order*
+(smallest element first): ``result = base; for e in ascending(s): result =
+acc(app(e, extra), result)``.  Read literally, the paper's recursive
+equation threads the accumulator in the mirrored (descending) direction,
+but every example program in the paper — ``increment`` (Prop. 4.5), the
+iterated permutation product (Lemma 4.10), the Turing-machine simulation
+(Prop. 6.2) — assumes the accumulator reaches the smallest element first,
+so we follow the examples; the choice is immaterial to the theorems (an
+implementation order is arbitrary anyway) and is recorded in DESIGN.md.
+The fold is iterative to avoid Python's recursion limit on large inputs.
+
+The evaluator is instrumented: it counts elementary steps, ``insert``
+applications, ``set-reduce`` iterations, invented values, and the peak
+sizes of sets and accumulators it builds.  These counters are exactly the
+quantities Sections 4 and 6 of the paper reason about (T_ins, the n^{ad}
+step bound of Proposition 6.1, the O(log n)-bit accumulators of BASRL),
+and they are what the benchmark harness reports.
+
+Resource limits (steps / inserts / set sizes) can be configured through
+:class:`EvaluationLimits`; exceeding one raises
+:class:`~repro.core.errors.ResourceLimitExceeded`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from .ast import (
+    AtomConst,
+    BoolConst,
+    Call,
+    Choose,
+    ConsList,
+    EmptyList,
+    EmptySet,
+    Equal,
+    Expr,
+    FunctionDef,
+    If,
+    Insert,
+    Lambda,
+    LessEq,
+    ListReduce,
+    NatConst,
+    New,
+    Program,
+    Rest,
+    Select,
+    SetReduce,
+    TupleExpr,
+    Var,
+)
+from .environment import Database, Environment
+from .errors import ResourceLimitExceeded, SRLNameError, SRLRuntimeError
+from .values import (
+    EMPTY_SET,
+    Atom,
+    SRLList,
+    SRLSet,
+    SRLTuple,
+    Value,
+    value_key,
+    value_size,
+)
+
+__all__ = ["EvaluationLimits", "EvaluationStats", "Evaluator", "run_program", "run_expression"]
+
+
+@dataclass
+class EvaluationLimits:
+    """Budgets for a single evaluation.
+
+    ``None`` means unlimited.  Tests use tight limits to assert that
+    restricted programs stay cheap; benchmarks use generous ones.
+    """
+
+    max_steps: Optional[int] = 50_000_000
+    max_inserts: Optional[int] = None
+    max_set_size: Optional[int] = None
+    allow_new: bool = True
+    allow_lists: bool = True
+
+
+@dataclass
+class EvaluationStats:
+    """Counters collected during one evaluation."""
+
+    steps: int = 0
+    inserts: int = 0
+    set_reduce_iterations: int = 0
+    list_reduce_iterations: int = 0
+    function_calls: int = 0
+    new_values: int = 0
+    max_set_size: int = 0
+    max_accumulator_size: int = 0
+    max_list_length: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "steps": self.steps,
+            "inserts": self.inserts,
+            "set_reduce_iterations": self.set_reduce_iterations,
+            "list_reduce_iterations": self.list_reduce_iterations,
+            "function_calls": self.function_calls,
+            "new_values": self.new_values,
+            "max_set_size": self.max_set_size,
+            "max_accumulator_size": self.max_accumulator_size,
+            "max_list_length": self.max_list_length,
+        }
+
+
+class Evaluator:
+    """Evaluates SRL expressions and programs.
+
+    Parameters
+    ----------
+    program:
+        The program whose definitions ``Call`` nodes refer to.  May be
+        ``None`` for standalone expressions.
+    limits:
+        Resource budgets; defaults to :class:`EvaluationLimits`.
+    atom_order:
+        An optional permutation of atom ranks.  When given, ``choose``
+        scans sets in the permuted order instead of the natural one — this
+        is how the Section 7 order-independence tester varies the
+        implementation order without touching the program or the data.
+        ``atom_order[rank]`` is the position of the atom with that rank.
+    """
+
+    def __init__(
+        self,
+        program: Program | None = None,
+        limits: EvaluationLimits | None = None,
+        atom_order: Sequence[int] | None = None,
+    ):
+        self.program = program if program is not None else Program()
+        self.limits = limits if limits is not None else EvaluationLimits()
+        self.atom_order = tuple(atom_order) if atom_order is not None else None
+        self.stats = EvaluationStats()
+        self._call_stack: list[str] = []
+        self._new_counter = 0
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, database: Database | Mapping[str, object] | None = None,
+            main: Expr | None = None) -> Value:
+        """Evaluate ``main`` (or the program's main expression) against the
+        database and return the resulting value."""
+        if not isinstance(database, Database):
+            database = Database(database or {})
+        expr = main if main is not None else self.program.main
+        if expr is None:
+            raise SRLRuntimeError("program has no main expression to evaluate")
+        env = Environment(database)
+        return self.evaluate(expr, env)
+
+    def call(self, name: str, *args: Value,
+             database: Database | Mapping[str, object] | None = None) -> Value:
+        """Invoke a named definition directly with already-evaluated values."""
+        if not isinstance(database, Database):
+            database = Database(database or {})
+        definition = self.program.get(name)
+        env = Environment(database)
+        return self._apply_definition(definition, list(args), env)
+
+    # ------------------------------------------------------------ internals
+
+    def _tick(self) -> None:
+        self.stats.steps += 1
+        limit = self.limits.max_steps
+        if limit is not None and self.stats.steps > limit:
+            raise ResourceLimitExceeded("steps", limit, self.stats.steps)
+
+    def _note_set(self, value: Value) -> None:
+        if isinstance(value, SRLSet):
+            size = len(value)
+            if size > self.stats.max_set_size:
+                self.stats.max_set_size = size
+            limit = self.limits.max_set_size
+            if limit is not None and size > limit:
+                raise ResourceLimitExceeded("set size", limit, size)
+        elif isinstance(value, SRLList):
+            if len(value) > self.stats.max_list_length:
+                self.stats.max_list_length = len(value)
+
+    def _ordered_elements(self, value: SRLSet) -> list[Value]:
+        """The elements of ``value`` in the (possibly permuted) scan order."""
+        if self.atom_order is None:
+            return list(value.elements)
+        return value.ordered_under(self.atom_order)
+
+    def evaluate(self, expr: Expr, env: Environment) -> Value:
+        """Evaluate ``expr`` in ``env``."""
+        self._tick()
+
+        if isinstance(expr, BoolConst):
+            return expr.value
+        if isinstance(expr, AtomConst):
+            return expr.value
+        if isinstance(expr, NatConst):
+            return expr.value
+        if isinstance(expr, Var):
+            return env.lookup(expr.name)
+        if isinstance(expr, If):
+            condition = self.evaluate(expr.cond, env)
+            if not isinstance(condition, bool):
+                raise SRLRuntimeError(
+                    f"if condition evaluated to a non-boolean: {condition!r}"
+                )
+            branch = expr.then_branch if condition else expr.else_branch
+            return self.evaluate(branch, env)
+        if isinstance(expr, TupleExpr):
+            return SRLTuple(self.evaluate(item, env) for item in expr.items)
+        if isinstance(expr, Select):
+            target = self.evaluate(expr.target, env)
+            if not isinstance(target, SRLTuple):
+                raise SRLRuntimeError(
+                    f"sel_{expr.index} applied to a non-tuple: {target!r}"
+                )
+            return target.select(expr.index)
+        if isinstance(expr, Equal):
+            left = self.evaluate(expr.left, env)
+            right = self.evaluate(expr.right, env)
+            return left == right
+        if isinstance(expr, LessEq):
+            left = self.evaluate(expr.left, env)
+            right = self.evaluate(expr.right, env)
+            return value_key(left, self.atom_order) <= value_key(right, self.atom_order)
+        if isinstance(expr, EmptySet):
+            return EMPTY_SET
+        if isinstance(expr, Insert):
+            element = self.evaluate(expr.element, env)
+            target = self.evaluate(expr.target, env)
+            if not isinstance(target, SRLSet):
+                raise SRLRuntimeError(f"insert into a non-set: {target!r}")
+            self.stats.inserts += 1
+            limit = self.limits.max_inserts
+            if limit is not None and self.stats.inserts > limit:
+                raise ResourceLimitExceeded("inserts", limit, self.stats.inserts)
+            result = target.insert(element)
+            self._note_set(result)
+            return result
+        if isinstance(expr, SetReduce):
+            return self._evaluate_set_reduce(expr, env)
+        if isinstance(expr, Call):
+            return self._evaluate_call(expr, env)
+        if isinstance(expr, New):
+            return self._evaluate_new(expr, env)
+        if isinstance(expr, Choose):
+            source = self.evaluate(expr.source, env)
+            if not isinstance(source, SRLSet):
+                raise SRLRuntimeError(f"choose applied to a non-set: {source!r}")
+            elements = self._ordered_elements(source)
+            if not elements:
+                raise SRLRuntimeError("choose applied to the empty set")
+            return elements[0]
+        if isinstance(expr, Rest):
+            source = self.evaluate(expr.source, env)
+            if not isinstance(source, SRLSet):
+                raise SRLRuntimeError(f"rest applied to a non-set: {source!r}")
+            elements = self._ordered_elements(source)
+            if not elements:
+                raise SRLRuntimeError("rest applied to the empty set")
+            return SRLSet(elements[1:])
+        if isinstance(expr, EmptyList):
+            if not self.limits.allow_lists:
+                raise SRLRuntimeError("list values are disabled by the evaluation limits")
+            return SRLList()
+        if isinstance(expr, ConsList):
+            if not self.limits.allow_lists:
+                raise SRLRuntimeError("list values are disabled by the evaluation limits")
+            item = self.evaluate(expr.item, env)
+            target = self.evaluate(expr.target, env)
+            if not isinstance(target, SRLList):
+                raise SRLRuntimeError(f"cons onto a non-list: {target!r}")
+            result = target.cons(item)
+            self._note_set(result)
+            return result
+        if isinstance(expr, ListReduce):
+            return self._evaluate_list_reduce(expr, env)
+        if isinstance(expr, Lambda):
+            raise SRLRuntimeError(
+                "a lambda can only appear as the app/acc argument of a reduce"
+            )
+        raise SRLRuntimeError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+    # ------------------------------------------------------------- reducers
+
+    def _apply_lambda(self, fn: Lambda, first: Value, second: Value,
+                      env: Environment) -> Value:
+        """Apply a two-parameter lambda.
+
+        Per rule 9, only the lambda's own parameters may occur free in its
+        body (everything else must be threaded through ``extra``), but the
+        paper's own example programs freely reference the input relations
+        (e.g. ``EDGES`` in Lemma 3.6), so database names and function
+        definitions remain visible.  Enclosing lambda parameters do *not*.
+        """
+        scope = Environment(env.database, {fn.params[0]: first, fn.params[1]: second})
+        return self.evaluate(fn.body, scope)
+
+    def _evaluate_set_reduce(self, expr: SetReduce, env: Environment) -> Value:
+        source = self.evaluate(expr.source, env)
+        if not isinstance(source, SRLSet):
+            raise SRLRuntimeError(f"set-reduce over a non-set: {source!r}")
+        base = self.evaluate(expr.base, env)
+        extra = self.evaluate(expr.extra, env)
+
+        elements = self._ordered_elements(source)
+        accumulator = base
+        # Thread the accumulator through the elements smallest-first (see the
+        # module docstring for why this is the ascending direction).
+        for element in elements:
+            self.stats.set_reduce_iterations += 1
+            self._tick()
+            applied = self._apply_lambda(expr.app, element, extra, env)
+            accumulator = self._apply_lambda(expr.acc, applied, accumulator, env)
+            acc_size = value_size(accumulator)
+            if acc_size > self.stats.max_accumulator_size:
+                self.stats.max_accumulator_size = acc_size
+            self._note_set(accumulator)
+        return accumulator
+
+    def _evaluate_list_reduce(self, expr: ListReduce, env: Environment) -> Value:
+        if not self.limits.allow_lists:
+            raise SRLRuntimeError("list values are disabled by the evaluation limits")
+        source = self.evaluate(expr.source, env)
+        if not isinstance(source, SRLList):
+            raise SRLRuntimeError(f"list-reduce over a non-list: {source!r}")
+        base = self.evaluate(expr.base, env)
+        extra = self.evaluate(expr.extra, env)
+
+        accumulator = base
+        # Lists thread head-first, mirroring the set case.
+        for item in source.items:
+            self.stats.list_reduce_iterations += 1
+            self._tick()
+            applied = self._apply_lambda(expr.app, item, extra, env)
+            accumulator = self._apply_lambda(expr.acc, applied, accumulator, env)
+            acc_size = value_size(accumulator)
+            if acc_size > self.stats.max_accumulator_size:
+                self.stats.max_accumulator_size = acc_size
+            self._note_set(accumulator)
+        return accumulator
+
+    # ----------------------------------------------------------- calls, new
+
+    def _apply_definition(self, definition: FunctionDef, args: list[Value],
+                          env: Environment) -> Value:
+        if len(args) != len(definition.params):
+            raise SRLRuntimeError(
+                f"{definition.name} expects {len(definition.params)} arguments, "
+                f"got {len(args)}"
+            )
+        if definition.name in self._call_stack:
+            raise SRLRuntimeError(
+                f"recursive call of {definition.name}: SRL functions are closed "
+                "under composition only, recursion is not part of the language"
+            )
+        self.stats.function_calls += 1
+        self._call_stack.append(definition.name)
+        try:
+            scope = Environment(env.database, dict(zip(definition.params, args)))
+            return self.evaluate(definition.body, scope)
+        finally:
+            self._call_stack.pop()
+
+    def _evaluate_call(self, expr: Call, env: Environment) -> Value:
+        definition = self.program.definitions.get(expr.name)
+        if definition is None:
+            raise SRLNameError(f"call of unknown function: {expr.name}")
+        args = [self.evaluate(arg, env) for arg in expr.args]
+        return self._apply_definition(definition, args, env)
+
+    def _evaluate_new(self, expr: New, env: Environment) -> Value:
+        if not self.limits.allow_new:
+            raise SRLRuntimeError(
+                "new (invented values) is disabled: the program is being run "
+                "under plain-SRL semantics"
+            )
+        source = self.evaluate(expr.source, env)
+        if not isinstance(source, SRLSet):
+            raise SRLRuntimeError(f"new applied to a non-set: {source!r}")
+        self.stats.new_values += 1
+        return self._fresh_atom(source)
+
+    def _fresh_atom(self, source: SRLSet) -> Value:
+        """An element guaranteed not to be in ``source``.
+
+        Equivalent to the unbounded successor of Section 5: the fresh atom's
+        rank is one more than the largest rank occurring anywhere in the set.
+        """
+        max_rank = -1
+        stack: list[Value] = list(source.elements)
+        while stack:
+            value = stack.pop()
+            if isinstance(value, Atom):
+                max_rank = max(max_rank, value.rank)
+            elif isinstance(value, SRLTuple):
+                stack.extend(value)
+            elif isinstance(value, SRLSet):
+                stack.extend(value.elements)
+            elif isinstance(value, SRLList):
+                stack.extend(value.items)
+            elif isinstance(value, bool):
+                continue
+            elif isinstance(value, int):
+                max_rank = max(max_rank, value)
+        self._new_counter = max(self._new_counter, max_rank + 1)
+        fresh = Atom(self._new_counter)
+        self._new_counter += 1
+        return fresh
+
+
+def run_program(program: Program,
+                database: Database | Mapping[str, object] | None = None,
+                limits: EvaluationLimits | None = None,
+                atom_order: Sequence[int] | None = None) -> Value:
+    """Evaluate a program's main expression and return the value."""
+    return Evaluator(program, limits, atom_order).run(database)
+
+
+def run_expression(expr: Expr,
+                   database: Database | Mapping[str, object] | None = None,
+                   program: Program | None = None,
+                   limits: EvaluationLimits | None = None,
+                   atom_order: Sequence[int] | None = None) -> Value:
+    """Evaluate a standalone expression (optionally with auxiliary
+    definitions available through ``program``)."""
+    return Evaluator(program, limits, atom_order).run(database, main=expr)

@@ -1,0 +1,119 @@
+"""The Machiavelli ``hom`` operator (Section 7).
+
+Ohori, Buneman and Breazu-Tannen's Machiavelli language contains an operator
+``hom`` similar to ``set-reduce``::
+
+    hom(f, op, z, {})              = z
+    hom(f, op, z, {x1, ..., xn})   = op(f(x1), ..., op(f(xn), z) ...)
+
+An instance of ``hom`` is *proper* when ``op`` is commutative and
+associative, in which case the result cannot depend on the order in which
+the set is presented.  The paper uses ``hom`` to discuss order-independent
+query languages: proper hom alone only reaches NC-style parallel classes,
+proper hom with a separate number domain can count (Proposition 7.6), and
+even then it misses some order-independent polynomial-time properties
+(Theorem 7.7).
+
+This module provides:
+
+* :func:`hom` — a direct reference implementation over Python callables
+  (the "Machiavelli side" used by the Section 7 benchmarks);
+* :func:`check_proper` — an empirical commutativity/associativity check of
+  a candidate ``op`` over sample values;
+* :func:`hom_expr` — the translation of ``hom(f, op, z, S)`` into an SRL
+  ``set-reduce`` (showing HL ⊆ SRL when set-height is at most 1);
+* :func:`count_hom` — Proposition 7.6's counting example
+  ``count(S) = hom(λx.1, +, 0, S)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from . import builders as b
+from .ast import Expr, Lambda
+
+__all__ = ["hom", "check_proper", "hom_expr", "count_hom", "ProperHomViolation"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ProperHomViolation(ValueError):
+    """Raised by :func:`check_proper` (strict mode) when the operator fails
+    commutativity or associativity on the supplied samples."""
+
+
+def hom(f: Callable[[T], R], op: Callable[[R, R], R], z: R,
+        values: Iterable[T]) -> R:
+    """The Machiavelli ``hom`` operator over Python data.
+
+    The traversal order is the iteration order of ``values``; for a proper
+    (commutative, associative) ``op`` the answer does not depend on it.
+    """
+    items = list(values)
+    result = z
+    for item in reversed(items):
+        result = op(f(item), result)
+    return result
+
+
+def check_proper(op: Callable[[R, R], R], samples: Sequence[R],
+                 strict: bool = False) -> bool:
+    """Empirically check that ``op`` is commutative and associative on the
+    given samples (all ordered pairs / triples are tried).
+
+    This mirrors the paper's definition of a *proper* hom instance.  With
+    ``strict=True`` a violation raises :class:`ProperHomViolation` naming
+    the witnesses.
+    """
+    for x in samples:
+        for y in samples:
+            if op(x, y) != op(y, x):
+                if strict:
+                    raise ProperHomViolation(f"not commutative on ({x!r}, {y!r})")
+                return False
+    for x in samples:
+        for y in samples:
+            for z in samples:
+                if op(op(x, y), z) != op(x, op(y, z)):
+                    if strict:
+                        raise ProperHomViolation(
+                            f"not associative on ({x!r}, {y!r}, {z!r})"
+                        )
+                    return False
+    return True
+
+
+def hom_expr(source: Expr, f_body: Callable[[Expr, Expr], Expr], op_name: str,
+             z: Expr, extra: Expr | None = None) -> Expr:
+    """Translate ``hom(f, op, z, source)`` into an SRL ``set-reduce``.
+
+    ``f_body(x, extra)`` must return the expression for ``f(x)``; ``op_name``
+    names a binary definition in the enclosing program (e.g. the standard
+    library's ``union``/``and``/``or``, or a user-supplied operator).  With
+    an ordering present and set-height at most one, SRL and the hom-based
+    language HL have the same expressive power (Section 7), and this
+    translation is the easy half of that equivalence.
+    """
+    x, e = b.fresh_name("x"), b.fresh_name("e")
+    a, r = b.fresh_name("a"), b.fresh_name("r")
+    return b.set_reduce(
+        source,
+        b.lam(x, e, f_body(b.var(x), b.var(e))),
+        b.lam(a, r, b.call(op_name, b.var(a), b.var(r))),
+        z,
+        extra if extra is not None else b.emptyset(),
+    )
+
+
+def count_hom(values: Iterable[T]) -> int:
+    """Proposition 7.6: counting via a proper hom —
+    ``count(S) = hom(λx. 1, +, 0, S)``.
+
+    The map ``f`` sends every database element to the number 1 in the
+    separate number domain, and the proper operator ``+`` adds them up, so
+    proper hom over a two-sorted structure can count even though
+    (FO(wo<=) + LFP) cannot (Fact 7.5).
+    """
+    return hom(lambda _value: 1, lambda x, y: x + y, 0, values)

@@ -1,0 +1,260 @@
+"""Section 7: the role of ordering.
+
+Every set stored by a computer has its members in *some* order, and
+``set-reduce`` scans sets in that order, so SRL programs can compute
+order-dependent answers (the paper's example: ``Purple(First(S))``).  The
+paper's position is to keep the full (order-capable) language and *prove*
+order-independence of particular programs, rather than to impoverish the
+language.
+
+The authors used Sheard's extended Boyer-Moore prover for those proofs; that
+system is not available, so this module provides the two practical
+substitutes documented in DESIGN.md:
+
+* :func:`probe_order_independence` — an **empirical** tester: re-evaluate the
+  program under many sampled permutations of the implementation order and
+  report the first disagreement (a witness of order dependence).  Agreement
+  on all samples is evidence, not proof.
+
+* :func:`certify_order_independence` — a **conservative structural prover**:
+  it certifies a program as order-independent when every ``set-reduce`` in
+  it is a *proper hom* in the Machiavelli sense (the accumulator is a
+  recognised commutative-and-associative combination that ignores the
+  traversal position) and the program never touches the order directly
+  (no ``choose`` / ``rest`` / ``<=``).  It answers ``certified`` or
+  ``unknown`` — never a false positive, exactly like the incomplete prover
+  the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from .ast import (
+    Call,
+    Choose,
+    Expr,
+    If,
+    Insert,
+    Lambda,
+    LessEq,
+    ListReduce,
+    Program,
+    Rest,
+    SetReduce,
+    Select,
+    TupleExpr,
+    Var,
+    walk,
+)
+from .environment import Database
+from .errors import SRLError
+from .evaluator import EvaluationLimits, Evaluator
+from .values import Atom, SRLList, SRLSet, SRLTuple, Value
+
+__all__ = [
+    "OrderReport",
+    "Certificate",
+    "domain_size_of_database",
+    "probe_order_independence",
+    "certify_order_independence",
+    "PROPER_ACCUMULATOR_CALLS",
+]
+
+
+# ------------------------------------------------------------ empirical test
+
+
+def domain_size_of_database(database: Database | Mapping[str, object]) -> int:
+    """The number of atom ranks the database mentions (max rank + 1)."""
+    if not isinstance(database, Database):
+        database = Database(database)
+    max_rank = -1
+    stack: list[Value] = [value for _, value in database.items()]
+    while stack:
+        value = stack.pop()
+        if isinstance(value, Atom):
+            max_rank = max(max_rank, value.rank)
+        elif isinstance(value, SRLTuple):
+            stack.extend(value)
+        elif isinstance(value, SRLSet):
+            stack.extend(value.elements)
+        elif isinstance(value, SRLList):
+            stack.extend(value.items)
+    return max_rank + 1
+
+
+@dataclass
+class OrderReport:
+    """The outcome of the empirical order-independence test."""
+
+    independent: bool
+    trials: int
+    baseline: Value
+    witness_permutation: Optional[tuple[int, ...]] = None
+    witness_value: Optional[Value] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.independent
+
+
+def probe_order_independence(program: Program,
+                            database: Database | Mapping[str, object],
+                            trials: int = 20,
+                            seed: int = 0,
+                            main: Expr | None = None,
+                            limits: EvaluationLimits | None = None) -> OrderReport:
+    """Evaluate the program under ``trials`` random permutations of the
+    implementation order and compare against the natural order.
+
+    Returns an :class:`OrderReport`; when a disagreement is found the report
+    carries the witnessing permutation and the value it produced.
+    """
+    if not isinstance(database, Database):
+        database = Database(database)
+    domain_size = max(domain_size_of_database(database), 1)
+
+    baseline = Evaluator(program, limits).run(database, main=main)
+    rng = random.Random(seed)
+    for _ in range(trials):
+        permutation = list(range(domain_size))
+        rng.shuffle(permutation)
+        value = Evaluator(program, limits, atom_order=permutation).run(database, main=main)
+        if value != baseline:
+            return OrderReport(
+                independent=False,
+                trials=trials,
+                baseline=baseline,
+                witness_permutation=tuple(permutation),
+                witness_value=value,
+            )
+    return OrderReport(independent=True, trials=trials, baseline=baseline)
+
+
+# --------------------------------------------------------- structural prover
+
+#: Calls recognised as commutative-and-associative accumulators when used in
+#: the shape ``lambda (a, r) (op a r)``.
+PROPER_ACCUMULATOR_CALLS = frozenset({"union", "and", "or", "max", "min", "add"})
+
+
+@dataclass
+class Certificate:
+    """The outcome of the conservative structural check."""
+
+    status: str  # "certified" or "unknown"
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def certified(self) -> bool:
+        return self.status == "certified"
+
+
+def _is_insert_accumulator(acc: Lambda) -> bool:
+    """``lambda (a, r) (insert a r)`` — set union of singletons, proper."""
+    body = acc.body
+    return (
+        isinstance(body, Insert)
+        and isinstance(body.element, Var) and body.element.name == acc.params[0]
+        and isinstance(body.target, Var) and body.target.name == acc.params[1]
+    )
+
+
+def _is_proper_call_accumulator(acc: Lambda) -> bool:
+    """``lambda (a, r) (op a r)`` for a recognised commutative/associative op."""
+    body = acc.body
+    return (
+        isinstance(body, Call)
+        and body.name in PROPER_ACCUMULATOR_CALLS
+        and len(body.args) == 2
+        and isinstance(body.args[0], Var) and body.args[0].name == acc.params[0]
+        and isinstance(body.args[1], Var) and body.args[1].name == acc.params[1]
+    )
+
+
+def _is_guarded_insert_accumulator(acc: Lambda) -> bool:
+    """``lambda (a, r) (if <test on a only> (insert <part of a> r) r)`` (or
+    the branches swapped) — selection-style accumulators: which elements get
+    inserted depends only on the element itself, not on the traversal
+    position, so the result is order-independent (it is a union of
+    per-element contributions)."""
+    body = acc.body
+    if not isinstance(body, If):
+        return False
+    accumulated = acc.params[1]
+    branches = (body.then_branch, body.else_branch)
+    passthrough = [br for br in branches
+                   if isinstance(br, Var) and br.name == accumulated]
+    inserting = [br for br in branches
+                 if isinstance(br, Insert)
+                 and isinstance(br.target, Var) and br.target.name == accumulated]
+    if len(passthrough) != 1 or len(inserting) != 1:
+        return False
+    # Neither the condition nor the inserted element may mention the
+    # accumulator (that would make the contribution depend on what has been
+    # seen so far, i.e. on the order).
+    mentions_accumulator = any(
+        isinstance(node, Var) and node.name == accumulated
+        for part in (body.cond, inserting[0].element)
+        for node in walk(part)
+    )
+    return not mentions_accumulator
+
+
+def certify_order_independence(program: Program,
+                               main: Expr | None = None) -> Certificate:
+    """Conservatively certify that the program's answer cannot depend on the
+    implementation order.
+
+    The check succeeds when (a) the program never mentions ``choose``,
+    ``rest`` or ``<=`` (the only direct handles on the order) and (b) every
+    ``set-reduce`` accumulator has one of the recognised proper shapes.
+    Anything else yields ``unknown`` — which is the honest answer, since
+    order-independence of arbitrary SRL programs is undecidable (Section 8).
+    """
+    reasons: list[str] = []
+    expressions: list[Expr] = []
+    expr = main if main is not None else program.main
+    if expr is not None:
+        expressions.append(expr)
+    # Only definitions reachable from the main expression matter; an unused
+    # library helper with an order-sensitive body should not block the
+    # certificate.
+    reachable: set[str] = set()
+    frontier: list[Expr] = list(expressions)
+    while frontier:
+        root = frontier.pop()
+        for node in walk(root):
+            if isinstance(node, Call) and node.name not in reachable:
+                definition = program.definitions.get(node.name)
+                if definition is not None:
+                    reachable.add(node.name)
+                    frontier.append(definition.body)
+    if expr is None:
+        reachable = set(program.definitions)
+    expressions.extend(
+        d.body for name, d in program.definitions.items() if name in reachable
+    )
+
+    for root in expressions:
+        for node in walk(root):
+            if isinstance(node, (Choose, Rest)):
+                reasons.append(f"{type(node).__name__.lower()} observes the order directly")
+            if isinstance(node, LessEq):
+                reasons.append("<= compares positions in the implementation order")
+            if isinstance(node, ListReduce):
+                reasons.append("list-reduce traverses an ordered list")
+            if isinstance(node, SetReduce):
+                acc = node.acc
+                if not (_is_insert_accumulator(acc)
+                        or _is_proper_call_accumulator(acc)
+                        or _is_guarded_insert_accumulator(acc)):
+                    reasons.append(
+                        "an accumulator is not a recognised commutative/associative "
+                        "(proper hom) shape"
+                    )
+    if reasons:
+        return Certificate(status="unknown", reasons=sorted(set(reasons)))
+    return Certificate(status="certified")

@@ -1,0 +1,322 @@
+"""The s-expression surface syntax for SRL programs.
+
+Grammar (informal)::
+
+    program    ::= form*
+    form       ::= definition | expression
+    definition ::= (define (NAME param*) expression)
+    expression ::= true | false | emptyset | emptylist | NAME
+                 | (atom INT) | (nat INT)
+                 | (if expr expr expr)
+                 | (tuple expr*)
+                 | (sel INT expr)
+                 | (= expr expr) | (<= expr expr)
+                 | (insert expr expr)
+                 | (lambda (NAME NAME) expr)
+                 | (set-reduce expr lambda lambda expr expr)
+                 | (list-reduce expr lambda lambda expr expr)
+                 | (cons expr expr)
+                 | (new expr) | (choose expr) | (rest expr)
+                 | (NAME expr*)                 ; call of a definition
+
+Comments start with ``;`` and run to the end of the line.  The last
+non-definition form of a program becomes its main expression.
+
+The pretty printer (:mod:`repro.core.pretty`) emits exactly this syntax, so
+``parse_expression(pretty(e)) == e`` for every expression ``e``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .ast import (
+    AtomConst,
+    BoolConst,
+    Call,
+    Choose,
+    ConsList,
+    EmptyList,
+    EmptySet,
+    Equal,
+    Expr,
+    FunctionDef,
+    If,
+    Insert,
+    Lambda,
+    LessEq,
+    ListReduce,
+    NatConst,
+    New,
+    Program,
+    Rest,
+    Select,
+    SetReduce,
+    TupleExpr,
+    Var,
+)
+from .errors import SRLSyntaxError
+from .values import Atom
+
+__all__ = ["parse_program", "parse_expression", "tokenize"]
+
+
+@dataclass(frozen=True)
+class _Token:
+    text: str
+    line: int
+    column: int
+
+
+_RESERVED = {
+    "define", "if", "tuple", "sel", "=", "<=", "insert", "lambda",
+    "set-reduce", "list-reduce", "cons", "new", "choose", "rest",
+    "atom", "nat", "true", "false", "emptyset", "emptylist",
+}
+
+
+def tokenize(text: str) -> list[_Token]:
+    """Split ``text`` into parenthesis and symbol tokens, tracking position."""
+    tokens: list[_Token] = []
+    line, column = 1, 1
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            column += 1
+            i += 1
+            continue
+        if ch == ";":
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        if ch in "()":
+            tokens.append(_Token(ch, line, column))
+            column += 1
+            i += 1
+            continue
+        start = i
+        start_column = column
+        while i < length and text[i] not in " \t\r\n();":
+            i += 1
+            column += 1
+        tokens.append(_Token(text[start:i], line, start_column))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    def at_end(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    def peek(self) -> _Token:
+        if self.at_end():
+            raise SRLSyntaxError("unexpected end of input")
+        return self._tokens[self._position]
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        self._position += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.advance()
+        if token.text != text:
+            raise SRLSyntaxError(
+                f"expected '{text}' but found '{token.text}'", token.line, token.column
+            )
+        return token
+
+    # ---------------------------------------------------------------- sexpr
+
+    def parse_sexpr(self):
+        """Parse one s-expression into nested Python lists of tokens."""
+        token = self.advance()
+        if token.text == "(":
+            items = []
+            while self.peek().text != ")":
+                items.append(self.parse_sexpr())
+            self.expect(")")
+            return items
+        if token.text == ")":
+            raise SRLSyntaxError("unexpected ')'", token.line, token.column)
+        return token
+
+
+def _as_int(token: _Token, context: str) -> int:
+    try:
+        return int(token.text)
+    except ValueError:
+        raise SRLSyntaxError(
+            f"expected an integer in {context}, found '{token.text}'",
+            token.line, token.column,
+        ) from None
+
+
+def _symbol(sexpr, context: str) -> _Token:
+    if isinstance(sexpr, _Token):
+        return sexpr
+    raise SRLSyntaxError(f"expected a symbol in {context}, found a list")
+
+
+def _build_lambda(sexpr) -> Lambda:
+    expr = _build_expression(sexpr)
+    if not isinstance(expr, Lambda):
+        raise SRLSyntaxError("expected a (lambda (x y) ...) form")
+    return expr
+
+
+def _build_expression(sexpr) -> Expr:
+    if isinstance(sexpr, _Token):
+        text = sexpr.text
+        if text == "true":
+            return BoolConst(True)
+        if text == "false":
+            return BoolConst(False)
+        if text == "emptyset":
+            return EmptySet()
+        if text == "emptylist":
+            return EmptyList()
+        if text.lstrip("-").isdigit():
+            raise SRLSyntaxError(
+                f"bare integer '{text}': write (atom {text}) or (nat {text})",
+                sexpr.line, sexpr.column,
+            )
+        return Var(text)
+
+    if not sexpr:
+        raise SRLSyntaxError("empty form '()'")
+
+    head = sexpr[0]
+    if isinstance(head, _Token):
+        keyword = head.text
+        rest = sexpr[1:]
+        if keyword == "atom":
+            _require_arity(rest, 1, keyword, head)
+            return AtomConst(Atom(_as_int(_symbol(rest[0], "atom"), "atom")))
+        if keyword == "nat":
+            _require_arity(rest, 1, keyword, head)
+            return NatConst(_as_int(_symbol(rest[0], "nat"), "nat"))
+        if keyword == "if":
+            _require_arity(rest, 3, keyword, head)
+            return If(*(_build_expression(arg) for arg in rest))
+        if keyword == "tuple":
+            return TupleExpr(tuple(_build_expression(arg) for arg in rest))
+        if keyword == "sel":
+            _require_arity(rest, 2, keyword, head)
+            index = _as_int(_symbol(rest[0], "sel"), "sel")
+            return Select(index, _build_expression(rest[1]))
+        if keyword == "=":
+            _require_arity(rest, 2, keyword, head)
+            return Equal(_build_expression(rest[0]), _build_expression(rest[1]))
+        if keyword == "<=":
+            _require_arity(rest, 2, keyword, head)
+            return LessEq(_build_expression(rest[0]), _build_expression(rest[1]))
+        if keyword == "insert":
+            _require_arity(rest, 2, keyword, head)
+            return Insert(_build_expression(rest[0]), _build_expression(rest[1]))
+        if keyword == "cons":
+            _require_arity(rest, 2, keyword, head)
+            return ConsList(_build_expression(rest[0]), _build_expression(rest[1]))
+        if keyword == "lambda":
+            _require_arity(rest, 2, keyword, head)
+            params_sexpr = rest[0]
+            if not isinstance(params_sexpr, list) or len(params_sexpr) != 2:
+                raise SRLSyntaxError(
+                    "lambda takes exactly two parameters: (lambda (x y) body)",
+                    head.line, head.column,
+                )
+            params = tuple(_symbol(p, "lambda parameters").text for p in params_sexpr)
+            return Lambda(params, _build_expression(rest[1]))  # type: ignore[arg-type]
+        if keyword in ("set-reduce", "list-reduce"):
+            _require_arity(rest, 5, keyword, head)
+            source = _build_expression(rest[0])
+            app = _build_lambda(rest[1])
+            acc = _build_lambda(rest[2])
+            base = _build_expression(rest[3])
+            extra = _build_expression(rest[4])
+            node = SetReduce if keyword == "set-reduce" else ListReduce
+            return node(source, app, acc, base, extra)
+        if keyword == "new":
+            _require_arity(rest, 1, keyword, head)
+            return New(_build_expression(rest[0]))
+        if keyword == "choose":
+            _require_arity(rest, 1, keyword, head)
+            return Choose(_build_expression(rest[0]))
+        if keyword == "rest":
+            _require_arity(rest, 1, keyword, head)
+            return Rest(_build_expression(rest[0]))
+        if keyword == "define":
+            raise SRLSyntaxError(
+                "define is only allowed at the top level of a program",
+                head.line, head.column,
+            )
+        # Anything else is a call of a named definition.
+        return Call(keyword, tuple(_build_expression(arg) for arg in rest))
+
+    raise SRLSyntaxError("a form must start with a symbol")
+
+
+def _require_arity(args, arity: int, keyword: str, head: _Token) -> None:
+    if len(args) != arity:
+        raise SRLSyntaxError(
+            f"{keyword} takes {arity} argument(s), got {len(args)}",
+            head.line, head.column,
+        )
+
+
+def _build_definition(sexpr) -> FunctionDef:
+    head = sexpr[0]
+    rest = sexpr[1:]
+    if len(rest) != 2:
+        raise SRLSyntaxError("define takes a signature and a body", head.line, head.column)
+    signature = rest[0]
+    if not isinstance(signature, list) or not signature:
+        raise SRLSyntaxError(
+            "define signature must be (name param*)", head.line, head.column
+        )
+    name = _symbol(signature[0], "define").text
+    params = tuple(_symbol(p, "define parameters").text for p in signature[1:])
+    body = _build_expression(rest[1])
+    return FunctionDef(name=name, params=params, body=body)
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a single expression."""
+    parser = _Parser(tokenize(text))
+    sexpr = parser.parse_sexpr()
+    if not parser.at_end():
+        extra = parser.peek()
+        raise SRLSyntaxError("trailing input after expression", extra.line, extra.column)
+    return _build_expression(sexpr)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program: a sequence of ``define`` forms and
+    expressions.  The last non-definition form becomes the main
+    expression."""
+    parser = _Parser(tokenize(text))
+    program = Program()
+    while not parser.at_end():
+        sexpr = parser.parse_sexpr()
+        is_definition = (
+            isinstance(sexpr, list)
+            and sexpr
+            and isinstance(sexpr[0], _Token)
+            and sexpr[0].text == "define"
+        )
+        if is_definition:
+            program.define(_build_definition(sexpr))
+        else:
+            program.main = _build_expression(sexpr)
+    return program

@@ -1,0 +1,106 @@
+"""Pretty-printer for SRL expressions and programs.
+
+The output is the same s-expression surface syntax the parser accepts, so
+``parse_expression(pretty(e))`` round-trips (tested property-based in
+``tests/core/test_parser.py``).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AtomConst,
+    BoolConst,
+    Call,
+    Choose,
+    ConsList,
+    EmptyList,
+    EmptySet,
+    Equal,
+    Expr,
+    FunctionDef,
+    If,
+    Insert,
+    Lambda,
+    LessEq,
+    ListReduce,
+    NatConst,
+    New,
+    Program,
+    Rest,
+    Select,
+    SetReduce,
+    TupleExpr,
+    Var,
+)
+
+__all__ = ["pretty", "pretty_program"]
+
+
+def pretty(expr: Expr) -> str:
+    """Render ``expr`` in the surface syntax."""
+    if isinstance(expr, BoolConst):
+        return "true" if expr.value else "false"
+    if isinstance(expr, AtomConst):
+        return f"(atom {expr.value.rank})"
+    if isinstance(expr, NatConst):
+        return f"(nat {expr.value})"
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, If):
+        return (
+            f"(if {pretty(expr.cond)} {pretty(expr.then_branch)} "
+            f"{pretty(expr.else_branch)})"
+        )
+    if isinstance(expr, TupleExpr):
+        inner = " ".join(pretty(item) for item in expr.items)
+        return f"(tuple {inner})" if inner else "(tuple)"
+    if isinstance(expr, Select):
+        return f"(sel {expr.index} {pretty(expr.target)})"
+    if isinstance(expr, Equal):
+        return f"(= {pretty(expr.left)} {pretty(expr.right)})"
+    if isinstance(expr, LessEq):
+        return f"(<= {pretty(expr.left)} {pretty(expr.right)})"
+    if isinstance(expr, EmptySet):
+        return "emptyset"
+    if isinstance(expr, Insert):
+        return f"(insert {pretty(expr.element)} {pretty(expr.target)})"
+    if isinstance(expr, Lambda):
+        return f"(lambda ({expr.params[0]} {expr.params[1]}) {pretty(expr.body)})"
+    if isinstance(expr, SetReduce):
+        return (
+            f"(set-reduce {pretty(expr.source)} {pretty(expr.app)} "
+            f"{pretty(expr.acc)} {pretty(expr.base)} {pretty(expr.extra)})"
+        )
+    if isinstance(expr, ListReduce):
+        return (
+            f"(list-reduce {pretty(expr.source)} {pretty(expr.app)} "
+            f"{pretty(expr.acc)} {pretty(expr.base)} {pretty(expr.extra)})"
+        )
+    if isinstance(expr, Call):
+        inner = " ".join(pretty(arg) for arg in expr.args)
+        return f"({expr.name} {inner})" if inner else f"({expr.name})"
+    if isinstance(expr, New):
+        return f"(new {pretty(expr.source)})"
+    if isinstance(expr, Choose):
+        return f"(choose {pretty(expr.source)})"
+    if isinstance(expr, Rest):
+        return f"(rest {pretty(expr.source)})"
+    if isinstance(expr, EmptyList):
+        return "emptylist"
+    if isinstance(expr, ConsList):
+        return f"(cons {pretty(expr.item)} {pretty(expr.target)})"
+    raise TypeError(f"cannot pretty-print {expr!r:.40}")
+
+
+def _pretty_definition(definition: FunctionDef) -> str:
+    params = " ".join(definition.params)
+    return f"(define ({definition.name} {params})\n  {pretty(definition.body)})"
+
+
+def pretty_program(program: Program) -> str:
+    """Render a whole program: its definitions followed by the main
+    expression (if any)."""
+    parts = [_pretty_definition(d) for d in program.definitions.values()]
+    if program.main is not None:
+        parts.append(pretty(program.main))
+    return "\n\n".join(parts) + ("\n" if parts else "")

@@ -1,0 +1,307 @@
+"""The family of syntactic restrictions studied by the paper.
+
+Each restriction is a static checker over the (typed) AST:
+
+========================  ====================================================
+Restriction                Paper characterisation
+========================  ====================================================
+``UNRESTRICTED_SRL``       SRL + new / unbounded sets — PrimRec (Theorem 5.2)
+``SRL``                    set-height <= 1, fixed tuple width — **P**
+                           (Theorem 3.10)
+``BASRL``                  SRL where every set-reduce accumulator returns a
+                           flat bounded-width tuple — **L** (Theorem 4.13)
+``SRFO_TC``                forsome, forall, not, or, and, <=, TC — **NL**
+                           (Corollary 4.2)
+``SRFO_DTC``               forsome, forall, not, or, and, <=, DTC — **L**
+                           (Corollary 4.4)
+``SRL_NEW``                SRL plus the ``new`` operator — PrimRec
+``LRL``                    list-reduce instead of set-reduce, list-height <= 1
+                           — PrimRec (Corollary 5.5)
+========================  ====================================================
+
+A checker reports a list of human-readable violations (empty = the program
+is in the restriction); ``assert_member`` raises
+:class:`~repro.core.errors.RestrictionViolation` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from .ast import (
+    Call,
+    Choose,
+    ConsList,
+    EmptyList,
+    Expr,
+    Insert,
+    ListReduce,
+    New,
+    Program,
+    Rest,
+    SetReduce,
+    TupleExpr,
+    walk,
+)
+from .errors import RestrictionViolation, SRLError
+from .typecheck import TypeChecker
+from .types import NatType, SetType, Type, list_height, set_height
+
+__all__ = [
+    "Restriction",
+    "UNRESTRICTED_SRL",
+    "SRL",
+    "BASRL",
+    "SRFO_TC",
+    "SRFO_DTC",
+    "SRL_NEW",
+    "LRL",
+    "ALL_RESTRICTIONS",
+    "check",
+    "assert_member",
+    "strictest_restriction",
+]
+
+
+@dataclass(frozen=True)
+class Restriction:
+    """A named syntactic restriction with its complexity characterisation."""
+
+    name: str
+    complexity_class: str
+    paper_reference: str
+    checker: Callable[[Program, Optional[Mapping[str, Type]], Optional[Expr]], list[str]]
+
+    def check(self, program: Program,
+              input_types: Mapping[str, Type] | None = None,
+              main: Expr | None = None) -> list[str]:
+        """Return the list of violations (empty when the program belongs)."""
+        return self.checker(program, input_types, main)
+
+    def is_member(self, program: Program,
+                  input_types: Mapping[str, Type] | None = None,
+                  main: Expr | None = None) -> bool:
+        return not self.check(program, input_types, main)
+
+    def assert_member(self, program: Program,
+                      input_types: Mapping[str, Type] | None = None,
+                      main: Expr | None = None) -> None:
+        violations = self.check(program, input_types, main)
+        if violations:
+            raise RestrictionViolation(self.name, violations)
+
+
+def _all_nodes(program: Program, main: Expr | None):
+    expr = main if main is not None else program.main
+    if expr is not None:
+        yield from walk(expr)
+    for definition in program.definitions.values():
+        yield from walk(definition.body)
+
+
+def _observed_types(program: Program, input_types: Mapping[str, Type] | None,
+                    main: Expr | None):
+    """Type-check and return (observed types, accumulator types), or
+    (None, None) when no input types were supplied or checking failed."""
+    expr = main if main is not None else program.main
+    if input_types is None or expr is None:
+        return None, None
+    checker = TypeChecker(program)
+    try:
+        report = checker.check_expression(expr, input_types)
+    except SRLError:
+        return None, None
+    return report.observed_types, report.accumulator_types
+
+
+# --------------------------------------------------------------- checkers
+
+
+def _check_unrestricted(program: Program, input_types, main) -> list[str]:
+    return []
+
+
+def _check_srl(program: Program, input_types, main) -> list[str]:
+    violations: list[str] = []
+    for node in _all_nodes(program, main):
+        if isinstance(node, New):
+            violations.append("uses new (invented values), which is outside SRL")
+        if isinstance(node, (ListReduce, ConsList, EmptyList)):
+            violations.append("uses lists, which are outside SRL (that is LRL)")
+
+    observed, _ = _observed_types(program, input_types, main)
+    if observed is not None:
+        for t in observed:
+            if set_height(t) > 1:
+                violations.append(
+                    f"type {t} has set-height {set_height(t)} > 1 (Definition 2.2)"
+                )
+            if isinstance(t, SetType) and isinstance(t.element, NatType):
+                violations.append(
+                    f"type {t} is a set of naturals, which lets SRL escape P (Section 5)"
+                )
+    if input_types is not None:
+        for name, t in input_types.items():
+            if set_height(t) > 1:
+                violations.append(
+                    f"input {name} has type {t} of set-height {set_height(t)} > 1"
+                )
+    return sorted(set(violations))
+
+
+def _check_basrl(program: Program, input_types, main) -> list[str]:
+    violations = _check_srl(program, input_types, main)
+    _, accumulators = _observed_types(program, input_types, main)
+    if accumulators is None:
+        if input_types is not None:
+            violations.append("could not type-check the program to inspect accumulators")
+        else:
+            # Purely syntactic fallback: any insert inside an acc lambda means
+            # the accumulator builds a set.
+            for node in _all_nodes(program, main):
+                if isinstance(node, SetReduce):
+                    if any(isinstance(sub, Insert) for sub in walk(node.acc.body)):
+                        violations.append(
+                            "an accumulator function inserts into a set; BASRL "
+                            "accumulators must return flat bounded-width tuples"
+                        )
+    else:
+        for t in accumulators:
+            if set_height(t) != 0:
+                violations.append(
+                    f"an accumulator returns {t} (set-height {set_height(t)}); "
+                    "BASRL accumulators must return flat bounded-width tuples"
+                )
+    return sorted(set(violations))
+
+
+_SRFO_ALLOWED_CALLS_TC = {"forall", "forsome", "not", "and", "or", "tc", "member",
+                          "union", "is-empty", "singleton"}
+_SRFO_ALLOWED_CALLS_DTC = {"forall", "forsome", "not", "and", "or", "dtc", "member",
+                           "union", "is-empty", "singleton"}
+
+
+def _check_srfo(allowed_calls: set[str], operator_name: str):
+    def checker(program: Program, input_types, main) -> list[str]:
+        violations = _check_srl(program, input_types, main)
+        expr = main if main is not None else program.main
+        if expr is None:
+            return violations
+        for node in walk(expr):
+            if isinstance(node, Call) and node.name not in allowed_calls:
+                if node.name in program.definitions:
+                    continue  # user-defined abbreviations are inlined conceptually
+                violations.append(
+                    f"call of '{node.name}' is outside the SRFO+{operator_name} fragment"
+                )
+            if isinstance(node, (New, ListReduce, ConsList, EmptyList)):
+                violations.append(
+                    f"node {type(node).__name__} is outside the SRFO+{operator_name} fragment"
+                )
+        return sorted(set(violations))
+
+    return checker
+
+
+def _check_srl_new(program: Program, input_types, main) -> list[str]:
+    violations: list[str] = []
+    for node in _all_nodes(program, main):
+        if isinstance(node, (ListReduce, ConsList, EmptyList)):
+            violations.append("uses lists; SRL+new is the set-based extension (use LRL)")
+    return sorted(set(violations))
+
+
+def _check_lrl(program: Program, input_types, main) -> list[str]:
+    violations: list[str] = []
+    for node in _all_nodes(program, main):
+        if isinstance(node, New):
+            violations.append("uses new; LRL is the list-based extension without invention")
+    observed, _ = _observed_types(program, input_types, main)
+    if observed is not None:
+        for t in observed:
+            if list_height(t) > 1:
+                violations.append(f"type {t} has list-height {list_height(t)} > 1")
+    return sorted(set(violations))
+
+
+UNRESTRICTED_SRL = Restriction(
+    name="unrestricted SRL",
+    complexity_class="PrimRec",
+    paper_reference="Theorem 5.2",
+    checker=_check_unrestricted,
+)
+
+SRL = Restriction(
+    name="SRL",
+    complexity_class="P",
+    paper_reference="Theorem 3.10",
+    checker=_check_srl,
+)
+
+BASRL = Restriction(
+    name="BASRL",
+    complexity_class="L",
+    paper_reference="Theorem 4.13",
+    checker=_check_basrl,
+)
+
+SRFO_TC = Restriction(
+    name="SRFO+TC",
+    complexity_class="NL",
+    paper_reference="Corollary 4.2",
+    checker=_check_srfo(_SRFO_ALLOWED_CALLS_TC, "TC"),
+)
+
+SRFO_DTC = Restriction(
+    name="SRFO+DTC",
+    complexity_class="L",
+    paper_reference="Corollary 4.4",
+    checker=_check_srfo(_SRFO_ALLOWED_CALLS_DTC, "DTC"),
+)
+
+SRL_NEW = Restriction(
+    name="SRL+new",
+    complexity_class="PrimRec",
+    paper_reference="Theorem 5.2",
+    checker=_check_srl_new,
+)
+
+LRL = Restriction(
+    name="LRL",
+    complexity_class="PrimRec",
+    paper_reference="Corollary 5.5",
+    checker=_check_lrl,
+)
+
+ALL_RESTRICTIONS = (SRFO_DTC, SRFO_TC, BASRL, SRL, SRL_NEW, LRL, UNRESTRICTED_SRL)
+
+
+def check(restriction: Restriction, program: Program,
+          input_types: Mapping[str, Type] | None = None,
+          main: Expr | None = None) -> list[str]:
+    """Functional form of :meth:`Restriction.check`."""
+    return restriction.check(program, input_types, main)
+
+
+def assert_member(restriction: Restriction, program: Program,
+                  input_types: Mapping[str, Type] | None = None,
+                  main: Expr | None = None) -> None:
+    """Functional form of :meth:`Restriction.assert_member`."""
+    restriction.assert_member(program, input_types, main)
+
+
+def strictest_restriction(program: Program,
+                          input_types: Mapping[str, Type] | None = None,
+                          main: Expr | None = None) -> Restriction:
+    """The lowest-complexity restriction the program satisfies.
+
+    Checked from the most restrictive class upwards: BASRL (L), SRL (P),
+    SRL+new / LRL (PrimRec), unrestricted.  The SRFO fragments are skipped
+    here because membership depends on which abbreviations the caller deems
+    primitive; check them explicitly when needed.
+    """
+    for restriction in (BASRL, SRL, SRL_NEW, LRL, UNRESTRICTED_SRL):
+        if restriction.is_member(program, input_types, main):
+            return restriction
+    return UNRESTRICTED_SRL

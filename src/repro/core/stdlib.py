@@ -1,0 +1,282 @@
+"""The derived finite-set operations of Fact 2.4, expressed in SRL itself.
+
+The paper (citing Sheard and Stemple) notes that "finite set functions such
+as union, intersection, difference, membership; predicates for universal and
+existential quantification such as forall, forsome; and relational operators
+such as join, project and select can be expressed in SRL".  This module
+constructs exactly those operations:
+
+* the *first-order* ones (``union``, ``intersection``, ``difference``,
+  ``member``, ``subset``, ``not``, ``and``, ``or``) become named
+  :class:`~repro.core.ast.FunctionDef` entries of
+  :func:`standard_library`, so programs can simply ``(union S T)``;
+
+* the *higher-order* ones (``forall``, ``forsome``, ``select``, ``project``,
+  ``join``, ``product``) are macro constructors that splice a caller-supplied
+  predicate / output expression into a ``set-reduce`` template, because SRL
+  functions are first order — a lambda can only appear inside a reduce.
+
+Every definition here is a genuine SRL program (no Python-level cheating),
+so they also serve as a conformance suite for the evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from . import builders as b
+from .ast import Expr, FunctionDef, Lambda, Program
+
+__all__ = [
+    "standard_library",
+    "with_standard_library",
+    "forall_expr",
+    "forsome_expr",
+    "select_expr",
+    "project_expr",
+    "product_expr",
+    "join_expr",
+    "singleton_expr",
+]
+
+
+def _def_not() -> FunctionDef:
+    return b.define("not", ["a"], b.if_(b.var("a"), b.false(), b.true()))
+
+
+def _def_and() -> FunctionDef:
+    return b.define("and", ["a", "b"], b.if_(b.var("a"), b.var("b"), b.false()))
+
+
+def _def_or() -> FunctionDef:
+    return b.define("or", ["a", "b"], b.if_(b.var("a"), b.true(), b.var("b")))
+
+
+def _def_member() -> FunctionDef:
+    # member(x, S) = exists e in S with e = x
+    body = b.set_reduce(
+        b.var("S"),
+        b.lam("e", "x", b.eq(b.var("e"), b.var("x"))),
+        b.lam("a", "r", b.call("or", b.var("a"), b.var("r"))),
+        b.false(),
+        b.var("x"),
+    )
+    return b.define("member", ["x", "S"], body)
+
+
+def _def_union() -> FunctionDef:
+    # union(S, T): fold insert over S starting from T.
+    body = b.set_reduce(
+        b.var("S"),
+        b.lam("x", "e", b.var("x")),
+        b.lam("a", "r", b.insert(b.var("a"), b.var("r"))),
+        b.var("T"),
+        b.emptyset(),
+    )
+    return b.define("union", ["S", "T"], body)
+
+
+def _def_intersection() -> FunctionDef:
+    # intersection(S, T): keep the x in S that are members of T.
+    body = b.set_reduce(
+        b.var("S"),
+        b.lam("x", "t", b.tup(b.var("x"), b.call("member", b.var("x"), b.var("t")))),
+        b.lam(
+            "a", "r",
+            b.if_(b.sel(2, b.var("a")), b.insert(b.sel(1, b.var("a")), b.var("r")), b.var("r")),
+        ),
+        b.emptyset(),
+        b.var("T"),
+    )
+    return b.define("intersection", ["S", "T"], body)
+
+
+def _def_difference() -> FunctionDef:
+    # difference(S, T): keep the x in S that are NOT members of T.
+    body = b.set_reduce(
+        b.var("S"),
+        b.lam("x", "t", b.tup(b.var("x"), b.call("member", b.var("x"), b.var("t")))),
+        b.lam(
+            "a", "r",
+            b.if_(b.sel(2, b.var("a")), b.var("r"), b.insert(b.sel(1, b.var("a")), b.var("r"))),
+        ),
+        b.emptyset(),
+        b.var("T"),
+    )
+    return b.define("difference", ["S", "T"], body)
+
+
+def _def_subset() -> FunctionDef:
+    # subset(S, T): every x in S is a member of T.
+    body = b.set_reduce(
+        b.var("S"),
+        b.lam("x", "t", b.call("member", b.var("x"), b.var("t"))),
+        b.lam("a", "r", b.call("and", b.var("a"), b.var("r"))),
+        b.true(),
+        b.var("T"),
+    )
+    return b.define("subset", ["S", "T"], body)
+
+
+def _def_is_empty() -> FunctionDef:
+    return b.define("is-empty", ["S"], b.eq(b.var("S"), b.emptyset()))
+
+
+def _def_singleton() -> FunctionDef:
+    return b.define("singleton", ["x"], b.insert(b.var("x"), b.emptyset()))
+
+
+def standard_library() -> Program:
+    """A fresh :class:`Program` containing the Fact 2.4 first-order
+    definitions (``not``, ``and``, ``or``, ``member``, ``union``,
+    ``intersection``, ``difference``, ``subset``, ``is-empty``,
+    ``singleton``)."""
+    program = Program()
+    for definition in (
+        _def_not(), _def_and(), _def_or(), _def_member(), _def_union(),
+        _def_intersection(), _def_difference(), _def_subset(),
+        _def_is_empty(), _def_singleton(),
+    ):
+        program.define(definition)
+    return program
+
+
+def with_standard_library(program: Program) -> Program:
+    """Add the standard library definitions to ``program`` (without
+    overwriting same-named definitions already present) and return it."""
+    for name, definition in standard_library().definitions.items():
+        if name not in program.definitions:
+            program.define(definition)
+    return program
+
+
+# ------------------------------------------------------------------- macros
+#
+# The higher-order operators take a Python callable that, given expression(s)
+# naming the bound element(s), returns the predicate / output expression to
+# splice into the set-reduce template.  Fresh parameter names are used so the
+# generated code never captures the caller's variables.
+
+
+Predicate1 = Callable[[Expr, Expr], Expr]
+Predicate2 = Callable[[Expr, Expr], Expr]
+
+
+def forall_expr(source: Expr, predicate: Predicate1, extra: Expr | None = None) -> Expr:
+    """``forall(source, lambda(x, extra) predicate)`` — true when the
+    predicate holds of every element (vacuously true for the empty set)."""
+    x, e = b.fresh_name("x"), b.fresh_name("e")
+    a, r = b.fresh_name("a"), b.fresh_name("r")
+    return b.set_reduce(
+        source,
+        b.lam(x, e, predicate(b.var(x), b.var(e))),
+        b.lam(a, r, b.call("and", b.var(a), b.var(r))),
+        b.true(),
+        extra if extra is not None else b.emptyset(),
+    )
+
+
+def forsome_expr(source: Expr, predicate: Predicate1, extra: Expr | None = None) -> Expr:
+    """``forsome(source, lambda(x, extra) predicate)`` — true when the
+    predicate holds of at least one element."""
+    x, e = b.fresh_name("x"), b.fresh_name("e")
+    a, r = b.fresh_name("a"), b.fresh_name("r")
+    return b.set_reduce(
+        source,
+        b.lam(x, e, predicate(b.var(x), b.var(e))),
+        b.lam(a, r, b.call("or", b.var(a), b.var(r))),
+        b.false(),
+        extra if extra is not None else b.emptyset(),
+    )
+
+
+def select_expr(source: Expr, predicate: Predicate1, extra: Expr | None = None) -> Expr:
+    """Relational selection: the subset of ``source`` whose elements satisfy
+    the predicate."""
+    x, e = b.fresh_name("x"), b.fresh_name("e")
+    a, r = b.fresh_name("a"), b.fresh_name("r")
+    return b.set_reduce(
+        source,
+        b.lam(x, e, b.tup(b.var(x), predicate(b.var(x), b.var(e)))),
+        b.lam(
+            a, r,
+            b.if_(b.sel(2, b.var(a)), b.insert(b.sel(1, b.var(a)), b.var(r)), b.var(r)),
+        ),
+        b.emptyset(),
+        extra if extra is not None else b.emptyset(),
+    )
+
+
+def project_expr(source: Expr, indices: Sequence[int]) -> Expr:
+    """Relational projection onto the given (1-based) component indices.
+
+    A single index projects to the bare component (a set of atoms), matching
+    the paper's ``project(select(EDGES, ...), from)``; several indices
+    project to tuples of that width.
+    """
+    if not indices:
+        raise ValueError("project_expr needs at least one index")
+    x, e = b.fresh_name("x"), b.fresh_name("e")
+    a, r = b.fresh_name("a"), b.fresh_name("r")
+    if len(indices) == 1:
+        output: Expr = b.sel(indices[0], b.var(x))
+    else:
+        output = b.tup(*(b.sel(i, b.var(x)) for i in indices))
+    return b.set_reduce(
+        source,
+        b.lam(x, e, output),
+        b.lam(a, r, b.insert(b.var(a), b.var(r))),
+        b.emptyset(),
+        b.emptyset(),
+    )
+
+
+def product_expr(left: Expr, right: Expr) -> Expr:
+    """The cartesian product ``{[x, y] | x in left, y in right}``."""
+    return join_expr(left, right,
+                     condition=lambda t1, t2: b.true(),
+                     output=lambda t1, t2: b.tup(t1, t2))
+
+
+def join_expr(left: Expr, right: Expr,
+              condition: Callable[[Expr, Expr], Expr],
+              output: Callable[[Expr, Expr], Expr]) -> Expr:
+    """The paper's ``join(S, T, lambda(t1,t2) cond, lambda(t1,t2) out)``.
+
+    Expansion: an outer set-reduce over ``left`` whose *app* computes, via an
+    inner set-reduce over ``right`` (passed through ``extra``), the set of
+    outputs for that element; the *acc* unions the per-element answer sets.
+    This is the standard way to thread context through ``extra`` so that all
+    variable reference stays local to a single lambda.
+    """
+    x, t = b.fresh_name("x"), b.fresh_name("t")
+    y, x2 = b.fresh_name("y"), b.fresh_name("x")
+    a, r = b.fresh_name("a"), b.fresh_name("r")
+    a2, r2 = b.fresh_name("a"), b.fresh_name("r")
+
+    inner = b.set_reduce(
+        b.var(t),
+        b.lam(y, x2, b.tup(b.var(x2), b.var(y))),
+        b.lam(
+            a2, r2,
+            b.if_(
+                condition(b.sel(1, b.var(a2)), b.sel(2, b.var(a2))),
+                b.insert(output(b.sel(1, b.var(a2)), b.sel(2, b.var(a2))), b.var(r2)),
+                b.var(r2),
+            ),
+        ),
+        b.emptyset(),
+        b.var(x),
+    )
+    return b.set_reduce(
+        left,
+        b.lam(x, t, inner),
+        b.lam(a, r, b.call("union", b.var(a), b.var(r))),
+        b.emptyset(),
+        right,
+    )
+
+
+def singleton_expr(element: Expr) -> Expr:
+    """``{element}``."""
+    return b.insert(element, b.emptyset())

@@ -1,0 +1,395 @@
+"""Runtime values for the SRL interpreter.
+
+The paper's semantics rely on every type carrying a total order: ``choose``
+returns the *minimal* element of a non-empty set and ``rest`` removes it,
+so a set-reduce traversal always scans a set in ascending order of that
+implementation order.  We therefore give every value a canonical *sort key*
+(:func:`value_key`) and keep sets in a canonical sorted, duplicate-free
+representation (:class:`SRLSet`).
+
+Value kinds
+-----------
+
+================  =========================================================
+Python value       SRL value
+================  =========================================================
+``bool``           boolean
+:class:`Atom`      base-domain element (ordered by rank, then by name)
+``int``            natural number (Section 5 extensions)
+:class:`SRLTuple`  fixed-arity tuple
+:class:`SRLSet`    finite set (canonically ordered, immutable)
+:class:`SRLList`   finite list (LRL only; order is significant)
+================  =========================================================
+
+All values are immutable and hashable, so sets of sets, sets of tuples of
+sets, and so on, work uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterable, Iterator, Sequence, Union
+
+from .errors import SRLRuntimeError
+
+__all__ = [
+    "Value",
+    "Atom",
+    "SRLTuple",
+    "SRLSet",
+    "SRLList",
+    "value_key",
+    "value_sort",
+    "make_set",
+    "make_tuple",
+    "make_list",
+    "EMPTY_SET",
+    "is_value",
+    "value_size",
+    "value_to_python",
+    "python_to_value",
+]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Atom:
+    """An element of the finite base domain.
+
+    ``rank`` is the element's position in the implementation order (the
+    order ``choose`` scans); ``name`` is an optional human-readable label.
+    Two atoms are equal iff their ranks are equal.
+    """
+
+    rank: int
+    name: str = ""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and self.rank == other.rank
+
+    def __lt__(self, other: "Atom") -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __hash__(self) -> int:
+        return hash(("atom", self.rank))
+
+    def __str__(self) -> str:
+        return self.name if self.name else f"d{self.rank}"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        suffix = f", {self.name!r}" if self.name else ""
+        return f"Atom({self.rank}{suffix})"
+
+
+class SRLTuple(tuple):
+    """A fixed-arity SRL tuple.  Components are accessed 1-based via
+    :meth:`select`, matching the paper's ``sel_i`` / ``.i`` notation."""
+
+    def select(self, index: int) -> "Value":
+        """Return component ``index`` (1-based), as in the paper's ``t.i``."""
+        if not 1 <= index <= len(self):
+            raise SRLRuntimeError(
+                f"tuple selector .{index} out of range for width-{len(self)} tuple"
+            )
+        return self[index - 1]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(format_value(v) for v in self) + "]"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SRLTuple({tuple(self)!r})"
+
+
+class SRLSet:
+    """A finite set in canonical order.
+
+    The elements are stored as a sorted, duplicate-free tuple according to
+    :func:`value_key`.  ``choose`` returns the first element and ``rest``
+    the set of the remaining ones — the operational semantics of
+    ``set-reduce`` in the paper.
+    """
+
+    __slots__ = ("_elements",)
+
+    def __init__(self, elements: Iterable["Value"] = ()):
+        canonical: list[Value] = []
+        seen: set[Value] = set()
+        for element in elements:
+            if element not in seen:
+                seen.add(element)
+                canonical.append(element)
+        canonical.sort(key=value_key)
+        self._elements = tuple(canonical)
+
+    @property
+    def elements(self) -> tuple["Value", ...]:
+        """The elements in ascending implementation order."""
+        return self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator["Value"]:
+        return iter(self._elements)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._elements
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SRLSet) and self._elements == other._elements
+
+    def __hash__(self) -> int:
+        return hash(("set", self._elements))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(format_value(v) for v in self._elements) + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SRLSet({list(self._elements)!r})"
+
+    def is_empty(self) -> bool:
+        return not self._elements
+
+    def choose(self) -> "Value":
+        """The minimal element in the implementation order."""
+        if not self._elements:
+            raise SRLRuntimeError("choose applied to the empty set")
+        return self._elements[0]
+
+    def rest(self) -> "SRLSet":
+        """The set without its minimal element."""
+        if not self._elements:
+            raise SRLRuntimeError("rest applied to the empty set")
+        result = SRLSet.__new__(SRLSet)
+        result._elements = self._elements[1:]
+        return result
+
+    def insert(self, element: "Value") -> "SRLSet":
+        """Return ``self`` with ``element`` added (no-op if already present)."""
+        if element in self._elements:
+            return self
+        result = SRLSet.__new__(SRLSet)
+        key = value_key(element)
+        elements = self._elements
+        lo, hi = 0, len(elements)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value_key(elements[mid]) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        result._elements = elements[:lo] + (element,) + elements[lo:]
+        return result
+
+    def union(self, other: "SRLSet") -> "SRLSet":
+        return SRLSet(self._elements + other._elements)
+
+    def ordered_under(self, permutation: Sequence[int]) -> list["Value"]:
+        """The elements sorted under an alternative implementation order.
+
+        ``permutation[rank]`` gives the new rank of the atom with that base
+        rank; used by the order-independence tester (Section 7).
+        """
+        return sorted(self._elements, key=lambda v: value_key(v, tuple(permutation)))
+
+
+class SRLList:
+    """A finite list (LRL).  Unlike :class:`SRLSet`, order and multiplicity
+    are significant, which is exactly why LRL escapes polynomial time."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable["Value"] = ()):
+        self._items = tuple(items)
+
+    @property
+    def items(self) -> tuple["Value", ...]:
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator["Value"]:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SRLList) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(("list", self._items))
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(format_value(v) for v in self._items) + ">"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SRLList({list(self._items)!r})"
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def head(self) -> "Value":
+        if not self._items:
+            raise SRLRuntimeError("head applied to the empty list")
+        return self._items[0]
+
+    def tail(self) -> "SRLList":
+        if not self._items:
+            raise SRLRuntimeError("tail applied to the empty list")
+        return SRLList(self._items[1:])
+
+    def cons(self, item: "Value") -> "SRLList":
+        return SRLList((item,) + self._items)
+
+
+Value = Union[bool, int, Atom, SRLTuple, SRLSet, SRLList]
+
+# Tags give a total order *across* kinds so heterogeneous comparisons are
+# stable (bool < nat < atom < tuple < set < list).
+_KIND_TAGS = {
+    bool: 0,
+    int: 1,
+    Atom: 2,
+    SRLTuple: 3,
+    SRLSet: 4,
+    SRLList: 5,
+}
+
+
+def value_key(value: "Value", atom_order: tuple[int, ...] | None = None):
+    """A sort key implementing the global implementation order on values.
+
+    ``atom_order`` optionally remaps atom ranks (``atom_order[rank]`` is the
+    atom's position in the alternative order); this is how the Section 7
+    order-independence tester varies the order ``choose`` uses without
+    changing the values themselves.
+    """
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, int):
+        return (1, value)
+    if isinstance(value, Atom):
+        rank = value.rank if atom_order is None else atom_order[value.rank]
+        return (2, rank)
+    if isinstance(value, SRLTuple):
+        return (3, len(value), tuple(value_key(v, atom_order) for v in value))
+    if isinstance(value, SRLSet):
+        ordered = (
+            value.elements
+            if atom_order is None
+            else tuple(sorted(value.elements, key=lambda v: value_key(v, atom_order)))
+        )
+        return (4, len(ordered), tuple(value_key(v, atom_order) for v in ordered))
+    if isinstance(value, SRLList):
+        return (5, len(value.items), tuple(value_key(v, atom_order) for v in value.items))
+    raise SRLRuntimeError(f"not an SRL value: {value!r}")
+
+
+def value_sort(values: Iterable["Value"]) -> list["Value"]:
+    """Sort values by the global implementation order."""
+    return sorted(values, key=value_key)
+
+
+#: The canonical empty set (rule 7's ``emptyset``).
+EMPTY_SET = SRLSet()
+
+
+def is_value(obj: object) -> bool:
+    """True when ``obj`` is a well-formed SRL runtime value."""
+    if isinstance(obj, (bool, int, Atom)):
+        return True
+    if isinstance(obj, SRLTuple):
+        return all(is_value(v) for v in obj)
+    if isinstance(obj, SRLSet):
+        return all(is_value(v) for v in obj.elements)
+    if isinstance(obj, SRLList):
+        return all(is_value(v) for v in obj.items)
+    return False
+
+
+def value_size(value: "Value") -> int:
+    """The number of atomic constituents of a value.
+
+    This is the measure the Section 4 / Section 6 benchmarks use for "how
+    big did the accumulator get": a bounded-width tuple of atoms has O(1)
+    size whereas a set of k-tuples over an n-element domain can reach n^k.
+    """
+    if isinstance(value, (bool, Atom)):
+        return 1
+    if isinstance(value, int):
+        return max(1, value.bit_length())
+    if isinstance(value, SRLTuple):
+        return sum(value_size(v) for v in value)
+    if isinstance(value, SRLSet):
+        return 1 + sum(value_size(v) for v in value.elements)
+    if isinstance(value, SRLList):
+        return 1 + sum(value_size(v) for v in value.items)
+    raise SRLRuntimeError(f"not an SRL value: {value!r}")
+
+
+def make_set(*elements: "Value") -> SRLSet:
+    """Build an :class:`SRLSet` from the given elements."""
+    return SRLSet(elements)
+
+
+def make_tuple(*components: "Value") -> SRLTuple:
+    """Build an :class:`SRLTuple` from the given components."""
+    return SRLTuple(components)
+
+
+def make_list(*items: "Value") -> SRLList:
+    """Build an :class:`SRLList` from the given items."""
+    return SRLList(items)
+
+
+def format_value(value: "Value") -> str:
+    """Human-readable rendering of a value (used by ``__str__`` methods)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    return str(value)
+
+
+def value_to_python(value: "Value"):
+    """Convert an SRL value into plain Python data (frozensets, tuples, ...).
+
+    Useful for asserting against baseline algorithms in tests and benches.
+    """
+    if isinstance(value, (bool, int)):
+        return value
+    if isinstance(value, Atom):
+        return value.rank
+    if isinstance(value, SRLTuple):
+        return tuple(value_to_python(v) for v in value)
+    if isinstance(value, SRLSet):
+        return frozenset(value_to_python(v) for v in value.elements)
+    if isinstance(value, SRLList):
+        return [value_to_python(v) for v in value.items]
+    raise SRLRuntimeError(f"not an SRL value: {value!r}")
+
+
+def python_to_value(obj) -> "Value":
+    """Convert plain Python data into an SRL value.
+
+    Integers become atoms (ranks) — *not* naturals — because inputs in the
+    paper are database elements; use Python ``bool`` for booleans, tuples
+    for SRL tuples, and (frozen)sets / lists for SRL sets / lists.
+    """
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, int):
+        return Atom(obj)
+    if isinstance(obj, Atom):
+        return obj
+    if isinstance(obj, (SRLTuple, SRLSet, SRLList)):
+        return obj
+    if isinstance(obj, tuple):
+        return SRLTuple(python_to_value(v) for v in obj)
+    if isinstance(obj, (set, frozenset)):
+        return SRLSet(python_to_value(v) for v in obj)
+    if isinstance(obj, list):
+        return SRLList(python_to_value(v) for v in obj)
+    raise SRLRuntimeError(f"cannot convert {obj!r} to an SRL value")

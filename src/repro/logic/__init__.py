@@ -1,0 +1,58 @@
+"""First-order logic over finite structures, with the paper's extensions.
+
+* :mod:`repro.logic.formula` — terms and formulas (FO, LFP, TC, DTC,
+  counting quantifiers);
+* :mod:`repro.logic.eval` — model checking by enumeration;
+* :mod:`repro.logic.queries` — the canonical formulas of the paper (APATH's
+  monotone operator, AGAP, TC/DTC reachability);
+* :mod:`repro.logic.interpretation` — first-order interpretations
+  (Definition 3.1), the paper's reduction notion;
+* :mod:`repro.logic.games` — Ehrenfeucht–Fraïssé games (plain and counting)
+  for the Section 7 inexpressibility demonstrations.
+"""
+
+from .eval import ModelChecker, define_relation, evaluate
+from .formula import (
+    And,
+    AuxAtom,
+    ConstTerm,
+    CountAtLeast,
+    DTCAtom,
+    EqAtom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    LeqAtom,
+    LFPAtom,
+    MAX,
+    Not,
+    Or,
+    RelAtom,
+    TCAtom,
+    Term,
+    TrueFormula,
+    VarTerm,
+    ZERO,
+    and_,
+    aux,
+    const,
+    count_at_least,
+    eq,
+    exists,
+    forall,
+    free_variables_of,
+    implies,
+    leq,
+    neg,
+    or_,
+    rel,
+    var,
+    walk_formula,
+)
+from .games import counting_ef_equivalent, ef_equivalent, is_partial_isomorphism
+from .interpretation import Interpretation, identity_interpretation
+from .queries import agap_formula, apath_lfp, gap_formula, reachability_dtc, reachability_tc
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,214 @@
+"""Model checking for FO and its extensions over finite structures.
+
+Evaluation is by brute-force enumeration of the (ordered) universe, which
+is exactly the data-complexity reading of the logics: FO sentences are
+checked in polynomial time for a fixed formula, LFP by fixed-point
+iteration, TC/DTC by closure computation over k-tuples, and the counting
+quantifier by counting witnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Mapping
+
+from repro.structures.structure import Structure
+
+from .formula import (
+    And,
+    AuxAtom,
+    ConstTerm,
+    CountAtLeast,
+    DTCAtom,
+    EqAtom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    LeqAtom,
+    LFPAtom,
+    Not,
+    Or,
+    RelAtom,
+    TCAtom,
+    Term,
+    TrueFormula,
+    VarTerm,
+)
+
+__all__ = ["ModelChecker", "evaluate", "define_relation"]
+
+
+class ModelChecker:
+    """Evaluates formulas over a fixed structure.
+
+    ``auxiliary`` optionally supplies interpretations for :class:`AuxAtom`
+    relation variables (used internally by LFP iteration, and available to
+    callers who want to model-check a formula with a given stage relation).
+    """
+
+    def __init__(self, structure: Structure,
+                 auxiliary: Mapping[str, frozenset[tuple[int, ...]]] | None = None):
+        self.structure = structure
+        self.auxiliary = dict(auxiliary or {})
+
+    # -------------------------------------------------------------- terms
+
+    def _term_value(self, term: Term, assignment: Mapping[str, int]) -> int:
+        if isinstance(term, VarTerm):
+            try:
+                return assignment[term.name]
+            except KeyError:
+                raise KeyError(f"unassigned first-order variable: {term.name}") from None
+        if isinstance(term, ConstTerm):
+            if term.which == "zero":
+                return 0
+            return self.structure.size - 1
+        raise TypeError(f"not a term: {term!r}")
+
+    # ----------------------------------------------------------- formulas
+
+    def evaluate(self, formula: Formula, assignment: Mapping[str, int] | None = None) -> bool:
+        """Evaluate ``formula`` under the given variable assignment."""
+        assignment = dict(assignment or {})
+        return self._eval(formula, assignment)
+
+    def _eval(self, formula: Formula, assignment: dict[str, int]) -> bool:
+        if isinstance(formula, TrueFormula):
+            return True
+        if isinstance(formula, FalseFormula):
+            return False
+        if isinstance(formula, RelAtom):
+            values = tuple(self._term_value(t, assignment) for t in formula.terms)
+            return values in self.structure.relation(formula.name)
+        if isinstance(formula, AuxAtom):
+            values = tuple(self._term_value(t, assignment) for t in formula.terms)
+            return values in self.auxiliary.get(formula.name, frozenset())
+        if isinstance(formula, EqAtom):
+            return self._term_value(formula.left, assignment) == \
+                self._term_value(formula.right, assignment)
+        if isinstance(formula, LeqAtom):
+            return self._term_value(formula.left, assignment) <= \
+                self._term_value(formula.right, assignment)
+        if isinstance(formula, Not):
+            return not self._eval(formula.body, assignment)
+        if isinstance(formula, And):
+            return all(self._eval(part, assignment) for part in formula.conjuncts)
+        if isinstance(formula, Or):
+            return any(self._eval(part, assignment) for part in formula.disjuncts)
+        if isinstance(formula, Implies):
+            return (not self._eval(formula.antecedent, assignment)) or \
+                self._eval(formula.consequent, assignment)
+        if isinstance(formula, Exists):
+            return any(
+                self._eval(formula.body, {**assignment, formula.variable: value})
+                for value in self.structure.universe
+            )
+        if isinstance(formula, Forall):
+            return all(
+                self._eval(formula.body, {**assignment, formula.variable: value})
+                for value in self.structure.universe
+            )
+        if isinstance(formula, CountAtLeast):
+            threshold = formula.threshold
+            if threshold == "half":
+                threshold = (self.structure.size + 1) // 2
+            witnesses = sum(
+                1
+                for value in self.structure.universe
+                if self._eval(formula.body, {**assignment, formula.variable: value})
+            )
+            return witnesses >= int(threshold)
+        if isinstance(formula, LFPAtom):
+            fixed_point = self._lfp(formula)
+            values = tuple(self._term_value(t, assignment) for t in formula.terms)
+            return values in fixed_point
+        if isinstance(formula, TCAtom):
+            closure = self._tc(formula, deterministic=False)
+            return self._closure_membership(formula, closure, assignment)
+        if isinstance(formula, DTCAtom):
+            closure = self._tc(formula, deterministic=True)
+            return self._closure_membership(formula, closure, assignment)
+        raise TypeError(f"cannot evaluate formula node {type(formula).__name__}")
+
+    # ------------------------------------------------------------- fixed points
+
+    def _lfp(self, formula: LFPAtom) -> frozenset[tuple[int, ...]]:
+        """Iterate the (assumed monotone) operator to its least fixed point."""
+        arity = len(formula.variables)
+        current: frozenset[tuple[int, ...]] = frozenset()
+        while True:
+            checker = ModelChecker(self.structure, {**self.auxiliary, formula.relation: current})
+            stage = set(current)
+            for row in product(self.structure.universe, repeat=arity):
+                if row in stage:
+                    continue
+                assignment = dict(zip(formula.variables, row))
+                if checker._eval(formula.body, assignment):
+                    stage.add(row)
+            new = frozenset(stage)
+            if new == current:
+                return current
+            current = new
+
+    def _edge_relation(self, formula: TCAtom | DTCAtom) -> dict[tuple[int, ...], set[tuple[int, ...]]]:
+        arity = len(formula.source_variables)
+        successors: dict[tuple[int, ...], set[tuple[int, ...]]] = {}
+        for source in product(self.structure.universe, repeat=arity):
+            successors[source] = set()
+            for target in product(self.structure.universe, repeat=arity):
+                assignment = dict(zip(formula.source_variables, source))
+                assignment.update(zip(formula.target_variables, target))
+                if self._eval(formula.body, assignment):
+                    successors[source].add(target)
+        return successors
+
+    def _tc(self, formula: TCAtom | DTCAtom, deterministic: bool) -> set[tuple[tuple[int, ...], tuple[int, ...]]]:
+        successors = self._edge_relation(formula)
+        if deterministic:
+            # phi_d(x, x') = phi(x, x') and x' is the unique successor of x.
+            successors = {
+                source: (targets if len(targets) == 1 else set())
+                for source, targets in successors.items()
+            }
+        # Reflexive transitive closure via a breadth-first search from every
+        # k-tuple (fine at experiment sizes).
+        closure: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
+        for start in successors:
+            reachable = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for successor in successors[node]:
+                    if successor not in reachable:
+                        reachable.add(successor)
+                        frontier.append(successor)
+            closure.update((start, target) for target in reachable)
+        return closure
+
+    def _closure_membership(self, formula: TCAtom | DTCAtom,
+                            closure: set[tuple[tuple[int, ...], tuple[int, ...]]],
+                            assignment: dict[str, int]) -> bool:
+        source = tuple(self._term_value(t, assignment) for t in formula.source_terms)
+        target = tuple(self._term_value(t, assignment) for t in formula.target_terms)
+        return (source, target) in closure
+
+
+def evaluate(formula: Formula, structure: Structure,
+             assignment: Mapping[str, int] | None = None) -> bool:
+    """Convenience wrapper around :class:`ModelChecker`."""
+    return ModelChecker(structure).evaluate(formula, assignment)
+
+
+def define_relation(formula: Formula, structure: Structure,
+                    variables: tuple[str, ...]) -> frozenset[tuple[int, ...]]:
+    """The relation ``{(v1..vk) | structure |= formula[v̄]}`` defined by a
+    formula with the given free variables."""
+    checker = ModelChecker(structure)
+    rows = set()
+    for row in product(structure.universe, repeat=len(variables)):
+        if checker.evaluate(formula, dict(zip(variables, row))):
+            rows.add(row)
+    return frozenset(rows)

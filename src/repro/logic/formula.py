@@ -1,0 +1,367 @@
+"""First-order formulas over finite structures (Section 3).
+
+For any vocabulary ``tau`` there is a first-order language ``L(tau)`` built
+from the relation symbols of ``tau`` and the logical symbols ``=``, ``<=``,
+``0``, ``n-1``; the paper extends it with the operators the different
+results need: the least fixed point ``LFP`` (Fact 7.4), transitive closure
+``TC`` (Fact 4.1), deterministic transitive closure ``DTC`` (Fact 4.3) and
+counting quantifiers (Section 7).
+
+Terms are variables or the two constant symbols ``0`` and ``max`` (the
+paper's ``n-1``).  Formula constructors are small frozen dataclasses; the
+helpers at the bottom (``exists``, ``forall``, ``and_`` ...) keep formulas
+readable in queries, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Term", "VarTerm", "ConstTerm", "ZERO", "MAX",
+    "Formula", "RelAtom", "AuxAtom", "EqAtom", "LeqAtom", "TrueFormula", "FalseFormula",
+    "Not", "And", "Or", "Implies", "Exists", "Forall", "CountAtLeast",
+    "LFPAtom", "TCAtom", "DTCAtom",
+    "var", "const", "rel", "aux", "eq", "leq", "neg", "and_", "or_", "implies",
+    "exists", "forall", "count_at_least", "free_variables_of", "walk_formula",
+]
+
+
+# ----------------------------------------------------------------- terms
+
+
+class Term:
+    """Base class of first-order terms."""
+
+
+@dataclass(frozen=True)
+class VarTerm(Term):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstTerm(Term):
+    """``0`` or ``max`` (the paper's constant symbols 0 and n-1)."""
+
+    which: str  # "zero" or "max"
+
+    def __str__(self) -> str:
+        return "0" if self.which == "zero" else "max"
+
+
+ZERO = ConstTerm("zero")
+MAX = ConstTerm("max")
+
+
+# -------------------------------------------------------------- formulas
+
+
+class Formula:
+    """Base class of first-order formulas (with the paper's extensions)."""
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class RelAtom(Formula):
+    """``R(t1, ..., tk)`` for an input relation symbol ``R``."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.terms))})"
+
+
+@dataclass(frozen=True)
+class AuxAtom(Formula):
+    """An occurrence of the auxiliary (fixed-point) relation variable inside
+    an LFP body, e.g. the ``R`` of the paper's monotone operator ``F(R)``."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.terms))})"
+
+
+@dataclass(frozen=True)
+class EqAtom(Formula):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class LeqAtom(Formula):
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} <= {self.right}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"~({self.body})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    conjuncts: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(map(str, self.conjuncts)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    disjuncts: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(map(str, self.disjuncts)) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} -> {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    variable: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"exists {self.variable}. {self.body}"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    variable: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"forall {self.variable}. {self.body}"
+
+
+@dataclass(frozen=True)
+class CountAtLeast(Formula):
+    """The counting quantifier ``(exists >= threshold x) body`` (Section 7).
+
+    ``threshold`` is either an integer or the string ``"half"`` meaning
+    ``ceil(n / 2)`` — enough to express the EVEN-style cardinality queries
+    used in the Figure 1 experiments without a full two-sorted number
+    domain.
+    """
+
+    threshold: int | str
+    variable: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"exists>={self.threshold} {self.variable}. {self.body}"
+
+
+@dataclass(frozen=True)
+class LFPAtom(Formula):
+    """``LFP[R(x1..xk) := body](t1, ..., tk)`` — the least fixed point of the
+    monotone operator defined by ``body`` (which may use ``AuxAtom(R, ...)``),
+    applied to the argument terms."""
+
+    relation: str
+    variables: tuple[str, ...]
+    body: Formula
+    terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        head = f"LFP[{self.relation}({', '.join(self.variables)}) := {self.body}]"
+        return f"{head}({', '.join(map(str, self.terms))})"
+
+
+@dataclass(frozen=True)
+class TCAtom(Formula):
+    """``TC[(x̄, x̄') := body](s̄, t̄)`` — the reflexive transitive closure of
+    the binary relation on k-tuples defined by ``body`` (Fact 4.1)."""
+
+    source_variables: tuple[str, ...]
+    target_variables: tuple[str, ...]
+    body: Formula
+    source_terms: tuple[Term, ...]
+    target_terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"TC[({', '.join(self.source_variables)}) -> "
+            f"({', '.join(self.target_variables)}) := {self.body}]"
+            f"({', '.join(map(str, self.source_terms))}; "
+            f"{', '.join(map(str, self.target_terms))})"
+        )
+
+
+@dataclass(frozen=True)
+class DTCAtom(Formula):
+    """``DTC[...]`` — like :class:`TCAtom` but an edge only counts when its
+    source has a *unique* successor (Fact 4.3)."""
+
+    source_variables: tuple[str, ...]
+    target_variables: tuple[str, ...]
+    body: Formula
+    source_terms: tuple[Term, ...]
+    target_terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return "D" + TCAtom.__str__(self)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def var(name: str) -> VarTerm:
+    return VarTerm(name)
+
+
+def const(which: str) -> ConstTerm:
+    if which not in ("zero", "max"):
+        raise ValueError("const expects 'zero' or 'max'")
+    return ConstTerm(which)
+
+
+def _as_term(t: Term | str) -> Term:
+    return VarTerm(t) if isinstance(t, str) else t
+
+
+def rel(name: str, *terms: Term | str) -> RelAtom:
+    return RelAtom(name, tuple(_as_term(t) for t in terms))
+
+
+def aux(name: str, *terms: Term | str) -> AuxAtom:
+    return AuxAtom(name, tuple(_as_term(t) for t in terms))
+
+
+def eq(left: Term | str, right: Term | str) -> EqAtom:
+    return EqAtom(_as_term(left), _as_term(right))
+
+
+def leq(left: Term | str, right: Term | str) -> LeqAtom:
+    return LeqAtom(_as_term(left), _as_term(right))
+
+
+def neg(body: Formula) -> Not:
+    return Not(body)
+
+
+def and_(*conjuncts: Formula) -> Formula:
+    if not conjuncts:
+        return TrueFormula()
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(tuple(conjuncts))
+
+
+def or_(*disjuncts: Formula) -> Formula:
+    if not disjuncts:
+        return FalseFormula()
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return Or(tuple(disjuncts))
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Implies:
+    return Implies(antecedent, consequent)
+
+
+def exists(variables: str | Sequence[str], body: Formula) -> Formula:
+    names = [variables] if isinstance(variables, str) else list(variables)
+    for name in reversed(names):
+        body = Exists(name, body)
+    return body
+
+
+def forall(variables: str | Sequence[str], body: Formula) -> Formula:
+    names = [variables] if isinstance(variables, str) else list(variables)
+    for name in reversed(names):
+        body = Forall(name, body)
+    return body
+
+
+def count_at_least(threshold: int | str, variable: str, body: Formula) -> CountAtLeast:
+    return CountAtLeast(threshold, variable, body)
+
+
+def walk_formula(formula: Formula) -> Iterator[Formula]:
+    """Yield ``formula`` and every sub-formula, pre-order."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from walk_formula(formula.body)
+    elif isinstance(formula, And):
+        for part in formula.conjuncts:
+            yield from walk_formula(part)
+    elif isinstance(formula, Or):
+        for part in formula.disjuncts:
+            yield from walk_formula(part)
+    elif isinstance(formula, Implies):
+        yield from walk_formula(formula.antecedent)
+        yield from walk_formula(formula.consequent)
+    elif isinstance(formula, (Exists, Forall, CountAtLeast)):
+        yield from walk_formula(formula.body)
+    elif isinstance(formula, (LFPAtom, TCAtom, DTCAtom)):
+        yield from walk_formula(formula.body)
+
+
+def free_variables_of(formula: Formula) -> set[str]:
+    """The free first-order variables of a formula."""
+
+    def go(f: Formula, bound: frozenset[str]) -> set[str]:
+        if isinstance(f, (RelAtom, AuxAtom)):
+            return {t.name for t in f.terms if isinstance(t, VarTerm)} - bound
+        if isinstance(f, (EqAtom, LeqAtom)):
+            return {t.name for t in (f.left, f.right) if isinstance(t, VarTerm)} - bound
+        if isinstance(f, Not):
+            return go(f.body, bound)
+        if isinstance(f, And):
+            return set().union(*(go(p, bound) for p in f.conjuncts)) if f.conjuncts else set()
+        if isinstance(f, Or):
+            return set().union(*(go(p, bound) for p in f.disjuncts)) if f.disjuncts else set()
+        if isinstance(f, Implies):
+            return go(f.antecedent, bound) | go(f.consequent, bound)
+        if isinstance(f, (Exists, Forall, CountAtLeast)):
+            return go(f.body, bound | {f.variable})
+        if isinstance(f, LFPAtom):
+            inner = go(f.body, bound | set(f.variables))
+            terms = {t.name for t in f.terms if isinstance(t, VarTerm)} - bound
+            return inner | terms
+        if isinstance(f, (TCAtom, DTCAtom)):
+            inner = go(f.body, bound | set(f.source_variables) | set(f.target_variables))
+            terms = {
+                t.name
+                for t in f.source_terms + f.target_terms
+                if isinstance(t, VarTerm)
+            } - bound
+            return inner | terms
+        return set()
+
+    return go(formula, frozenset())

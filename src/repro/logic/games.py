@@ -1,0 +1,134 @@
+"""Ehrenfeucht–Fraïssé games (plain and counting).
+
+Section 7 of the paper separates query classes via structures that agree on
+all sentences of a logic up to some resource bound.  The model-theoretic
+tool behind such statements is the Ehrenfeucht–Fraïssé game: two structures
+agree on all first-order sentences of quantifier rank ``r`` iff the
+Duplicator wins the ``r``-round EF game, and agree on all *counting*
+first-order sentences of rank ``r`` iff the Duplicator wins the bijective
+version.
+
+The implementations below decide the games exactly (by exhaustive search),
+so they are only meant for the small structures used in the Figure 1 /
+Fact 7.5 experiments — e.g. showing that pure sets of sizes 2k and 2k+1
+agree on all FO(without order) sentences of rank k, which is the classical
+reason EVEN is not first-order (and not (FO(wo<=)+LFP)) definable.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+from repro.structures.structure import Structure
+
+__all__ = ["is_partial_isomorphism", "ef_equivalent", "counting_ef_equivalent"]
+
+
+def is_partial_isomorphism(left: Structure, right: Structure,
+                           left_points: Sequence[int], right_points: Sequence[int],
+                           respect_order: bool = False) -> bool:
+    """Check that ``left_points -> right_points`` is a partial isomorphism.
+
+    With ``respect_order=True`` the mapping must also preserve ``<=`` (the
+    ordered-structure game); the default is the unordered game, which is the
+    one relevant to the (FO(wo<=)) separations.
+    """
+    if len(left_points) != len(right_points):
+        return False
+    pairs = list(zip(left_points, right_points))
+    # Well-definedness and injectivity.
+    mapping: dict[int, int] = {}
+    for a, b in pairs:
+        if a in mapping and mapping[a] != b:
+            return False
+        mapping[a] = b
+    if len(set(mapping.values())) != len(mapping):
+        return False
+    if respect_order:
+        for a1, b1 in pairs:
+            for a2, b2 in pairs:
+                if (a1 <= a2) != (b1 <= b2):
+                    return False
+    if set(left.vocabulary.names()) != set(right.vocabulary.names()):
+        return False
+    for name in left.vocabulary:
+        arity = left.vocabulary.arity(name)
+        indices = range(len(pairs))
+        # Check every tuple over the pebbled points.
+        def tuples(depth: int, current: tuple[int, ...]):
+            if depth == arity:
+                yield current
+                return
+            for i in indices:
+                yield from tuples(depth + 1, current + (i,))
+
+        for combo in tuples(0, ()):
+            left_row = tuple(left_points[i] for i in combo)
+            right_row = tuple(right_points[i] for i in combo)
+            if left.holds(name, *left_row) != right.holds(name, *right_row):
+                return False
+    return True
+
+
+def ef_equivalent(left: Structure, right: Structure, rounds: int,
+                  respect_order: bool = False) -> bool:
+    """True when the Duplicator wins the ``rounds``-round EF game, i.e. the
+    structures agree on every FO sentence of quantifier rank ``rounds``."""
+
+    def duplicator_wins(left_points: tuple[int, ...], right_points: tuple[int, ...],
+                        remaining: int) -> bool:
+        if not is_partial_isomorphism(left, right, left_points, right_points,
+                                      respect_order):
+            return False
+        if remaining == 0:
+            return True
+        # Spoiler plays in the left structure ...
+        for a in left.universe:
+            if not any(
+                duplicator_wins(left_points + (a,), right_points + (b,), remaining - 1)
+                for b in right.universe
+            ):
+                return False
+        # ... or in the right structure.
+        for b in right.universe:
+            if not any(
+                duplicator_wins(left_points + (a,), right_points + (b,), remaining - 1)
+                for a in left.universe
+            ):
+                return False
+        return True
+
+    return duplicator_wins((), (), rounds)
+
+
+def counting_ef_equivalent(left: Structure, right: Structure, rounds: int) -> bool:
+    """The bijective (counting) EF game: in each round the Duplicator must
+    provide a bijection between the universes and the Spoiler picks the
+    pebble pair from it.  Winning for ``rounds`` rounds means agreement on
+    all counting-FO sentences of quantifier rank ``rounds``.
+
+    Exhaustive over all bijections — only usable for very small structures,
+    which suffices for the Fact 7.5 demonstrations.
+    """
+    if left.size != right.size:
+        return False
+
+    universe = list(left.universe)
+
+    def duplicator_wins(left_points: tuple[int, ...], right_points: tuple[int, ...],
+                        remaining: int) -> bool:
+        if not is_partial_isomorphism(left, right, left_points, right_points):
+            return False
+        if remaining == 0:
+            return True
+        for bijection in permutations(universe):
+            if all(
+                duplicator_wins(left_points + (a,), right_points + (bijection[a],),
+                                remaining - 1)
+                for a in universe
+            ):
+                return True
+        return False
+
+    return duplicator_wins((), (), rounds)

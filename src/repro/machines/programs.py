@@ -1,0 +1,119 @@
+"""A small library of concrete machines used by the tests and benchmarks.
+
+All single-tape machines here run in time linear in the input length (one
+left-to-right pass), which is what the Proposition 6.2 compiler targets:
+DTIME(n) is expressible by an SRL expression of width 2 and depth 3.
+"""
+
+from __future__ import annotations
+
+from .tm import BLANK, LEFT, LogspaceMachine, RIGHT, STAY, TuringMachine
+
+__all__ = [
+    "parity_machine",
+    "contains_ab_machine",
+    "all_ones_machine",
+    "last_symbol_one_machine",
+    "parity_logspace_machine",
+]
+
+
+def parity_machine() -> TuringMachine:
+    """Accept binary strings with an even number of ``1`` symbols."""
+    transitions = {
+        ("even", "0"): ("even", "0", RIGHT),
+        ("even", "1"): ("odd", "1", RIGHT),
+        ("odd", "0"): ("odd", "0", RIGHT),
+        ("odd", "1"): ("even", "1", RIGHT),
+    }
+    return TuringMachine(
+        name="even-number-of-ones",
+        states=("even", "odd"),
+        input_alphabet=("0", "1"),
+        tape_alphabet=("0", "1", BLANK),
+        transitions=transitions,
+        start_state="even",
+        accept_states=frozenset({"even"}),
+    )
+
+
+def contains_ab_machine() -> TuringMachine:
+    """Accept strings over {a, b} containing the substring ``ab``."""
+    transitions = {
+        ("start", "a"): ("seen_a", "a", RIGHT),
+        ("start", "b"): ("start", "b", RIGHT),
+        ("seen_a", "a"): ("seen_a", "a", RIGHT),
+        ("seen_a", "b"): ("accept", "b", STAY),
+    }
+    return TuringMachine(
+        name="contains-ab",
+        states=("start", "seen_a", "accept"),
+        input_alphabet=("a", "b"),
+        tape_alphabet=("a", "b", BLANK),
+        transitions=transitions,
+        start_state="start",
+        accept_states=frozenset({"accept"}),
+    )
+
+
+def all_ones_machine() -> TuringMachine:
+    """Accept binary strings consisting entirely of ``1`` symbols (the empty
+    string included): scan right; any ``0`` rejects."""
+    transitions = {
+        ("scan", "1"): ("scan", "1", RIGHT),
+        ("scan", "0"): ("reject", "0", STAY),
+    }
+    return TuringMachine(
+        name="all-ones",
+        states=("scan", "reject"),
+        input_alphabet=("0", "1"),
+        tape_alphabet=("0", "1", BLANK),
+        transitions=transitions,
+        start_state="scan",
+        accept_states=frozenset({"scan"}),
+    )
+
+
+def last_symbol_one_machine() -> TuringMachine:
+    """Accept binary strings whose last symbol is ``1``: remember the most
+    recent symbol while scanning right."""
+    transitions = {
+        ("last0", "0"): ("last0", "0", RIGHT),
+        ("last0", "1"): ("last1", "1", RIGHT),
+        ("last1", "0"): ("last0", "0", RIGHT),
+        ("last1", "1"): ("last1", "1", RIGHT),
+    }
+    return TuringMachine(
+        name="last-symbol-is-one",
+        states=("last0", "last1"),
+        input_alphabet=("0", "1"),
+        tape_alphabet=("0", "1", BLANK),
+        transitions=transitions,
+        start_state="last0",
+        accept_states=frozenset({"last1"}),
+    )
+
+
+def parity_logspace_machine() -> LogspaceMachine:
+    """The parity language on the two-tape model: the work tape stores a
+    single bit, so the machine runs in constant (a fortiori logarithmic)
+    space — a tiny witness of the L-side machinery of Theorem 4.13."""
+    transitions = {}
+    for work in (BLANK, "0", "1"):
+        current = "1" if work == "1" else "0"
+        flipped = "0" if current == "1" else "1"
+        transitions[("scan", "<", work)] = ("scan", work, 1, 0)
+        transitions[("scan", "0", work)] = ("scan", work, 1, 0)
+        transitions[("scan", "1", work)] = ("scan", flipped, 1, 0)
+        transitions[("scan", ">", work)] = (
+            "accept" if current == "0" else "reject", work, 0, 0,
+        )
+    return LogspaceMachine(
+        name="parity-logspace",
+        states=("scan", "accept", "reject"),
+        input_alphabet=("0", "1"),
+        work_alphabet=("0", "1", BLANK),
+        transitions=transitions,
+        start_state="scan",
+        accept_states=frozenset({"accept"}),
+    )

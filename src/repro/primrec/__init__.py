@@ -1,0 +1,54 @@
+"""Primitive recursive functions and the Theorem 5.2 translations.
+
+* :mod:`repro.primrec.functions` — the combinator representation of PrimRec
+  (initial functions, composition, primitive recursion);
+* :mod:`repro.primrec.arithmetic` — the Fact 5.4 toolkit (Bit, Div, Mod,
+  Log, Rlog, Cond, ...) built as PrimRec terms;
+* :mod:`repro.primrec.godel` — the sets-as-numbers encoding and the SRL
+  primitives as primitive recursive functions (one half of Theorem 5.2);
+* :mod:`repro.primrec.translate` — PrimRec → SRL + new (the other half).
+"""
+
+from .arithmetic import (
+    ADD,
+    BIT,
+    COND,
+    DIV2,
+    DIV_POW2,
+    EQ,
+    EXP,
+    IS_ZERO,
+    LESS,
+    LOG,
+    MOD2,
+    MOD_POW2,
+    MONUS,
+    MULT,
+    PRED,
+    RLOG,
+    SIGN,
+)
+from .functions import Compose, Const, Identity, PRFunction, PrimRec, Proj, Succ, Zero
+from .godel import (
+    CHOOSE_PR,
+    INSERT_PR,
+    NEW_PR,
+    REST_PR,
+    choose_number,
+    decode_element,
+    decode_set,
+    encode_element,
+    encode_set,
+    insert_number,
+    new_number,
+    rest_number,
+)
+from .translate import (
+    TranslatedFunction,
+    nat_to_set,
+    primrec_to_srl,
+    run_translated,
+    set_to_nat,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,133 @@
+"""The arithmetic toolkit of Fact 5.4, built as primitive recursive terms.
+
+Everything here is a genuine :class:`~repro.primrec.functions.PRFunction`
+term (no Python arithmetic smuggled in), so the terms both *evaluate*
+correctly and *witness* primitive-recursiveness, which is what the
+Theorem 5.2 / Fact 5.4 argument needs: ``Bit``, ``Div``, ``Mod``, ``Log``,
+``Rlog`` and ``Cond`` are the helpers the paper uses to show that the SRL
+primitives (``insert``, ``choose``, ``rest``, ``new``) are primitive
+recursive under the sets-as-numbers encoding.
+
+The terms favour clarity over efficiency — evaluation cost grows quickly
+with the magnitude of the arguments, which is fine for the unit tests and
+the Theorem 5.2 benchmark sizes.
+"""
+
+from __future__ import annotations
+
+from .functions import Compose, Const, Identity, PRFunction, PrimRec, Proj, Succ, Zero
+
+__all__ = [
+    "ADD", "MULT", "PRED", "MONUS", "SIGN", "IS_ZERO", "COND", "EQ", "LESS",
+    "EXP", "MOD2", "DIV2", "DIV_POW2", "MOD_POW2", "BIT", "LOG", "RLOG",
+]
+
+
+def _swap2(f: PRFunction) -> PRFunction:
+    """``swap(f)(x, y) = f(y, x)``."""
+    return Compose(f, (Proj(2, 2), Proj(1, 2)))
+
+
+#: ``ADD(s, t) = s + t`` — recursion on the first argument.
+ADD: PRFunction = PrimRec(base=Proj(1, 1), step=Compose(Succ(), (Proj(3, 3),)))
+
+#: ``MULT(s, t) = s * t``.
+MULT: PRFunction = PrimRec(base=Zero(1), step=Compose(ADD, (Proj(3, 3), Proj(2, 3))))
+
+#: ``PRED(s) = max(s - 1, 0)``.
+PRED: PRFunction = PrimRec(base=Zero(0), step=Proj(1, 2))
+
+#: ``MONUS(x, y) = max(x - y, 0)`` (truncated subtraction).
+_MONUS_REV: PRFunction = PrimRec(base=Proj(1, 1), step=Compose(PRED, (Proj(3, 3),)))
+MONUS: PRFunction = _swap2(_MONUS_REV)
+
+#: ``SIGN(x) = 0`` if ``x = 0`` else ``1``.
+SIGN: PRFunction = PrimRec(base=Zero(0), step=Const(1, 2))
+
+#: ``IS_ZERO(x) = 1`` if ``x = 0`` else ``0``.
+IS_ZERO: PRFunction = Compose(MONUS, (Const(1, 1), SIGN))
+
+#: ``COND(b, i, j) = i`` if ``b >= 1`` else ``j`` (the paper's Cond, with a
+#: numeric guard rather than a boolean sort).
+COND: PRFunction = Compose(
+    ADD,
+    (
+        Compose(MULT, (Compose(SIGN, (Proj(1, 3),)), Proj(2, 3))),
+        Compose(MULT, (Compose(IS_ZERO, (Proj(1, 3),)), Proj(3, 3))),
+    ),
+)
+
+#: ``EQ(x, y) = 1`` if ``x = y`` else ``0``.
+EQ: PRFunction = Compose(
+    IS_ZERO,
+    (Compose(ADD, (MONUS, _swap2(MONUS))),),
+)
+
+#: ``LESS(x, y) = 1`` if ``x < y`` else ``0``.
+LESS: PRFunction = Compose(SIGN, (_swap2(MONUS),))
+
+#: ``EXP(n, i) = n ** i``.
+_EXP_REV: PRFunction = PrimRec(
+    base=Const(1, 1),
+    step=Compose(MULT, (Proj(3, 3), Proj(2, 3))),
+)
+EXP: PRFunction = _swap2(_EXP_REV)
+
+#: ``MOD2(x) = x mod 2``.
+MOD2: PRFunction = PrimRec(
+    base=Zero(0),
+    step=Compose(MONUS, (Const(1, 2), Proj(2, 2))),
+)
+
+#: ``DIV2(x) = floor(x / 2)``.
+DIV2: PRFunction = PrimRec(
+    base=Zero(0),
+    step=Compose(ADD, (Proj(2, 2), Compose(MOD2, (Proj(1, 2),)))),
+)
+
+#: ``DIV_POW2(n, j) = floor(n / 2**j)`` (the paper's ``Div(n, j)``).
+_DIV_REV: PRFunction = PrimRec(base=Proj(1, 1), step=Compose(DIV2, (Proj(3, 3),)))
+DIV_POW2: PRFunction = _swap2(_DIV_REV)
+
+#: ``MOD_POW2(n, j) = n mod 2**j`` (the paper's ``Mod(n, j)``).
+MOD_POW2: PRFunction = Compose(
+    MONUS,
+    (
+        Proj(1, 2),
+        Compose(MULT, (DIV_POW2, Compose(EXP, (Const(2, 2), Proj(2, 2))))),
+    ),
+)
+
+#: ``BIT(n, i)`` — the ``i``-th bit of ``n`` (the paper's ``Bit``).
+BIT: PRFunction = Compose(MOD2, (DIV_POW2,))
+
+#: ``LOG(n)`` — the index of the most significant 1 bit (0 for n <= 1):
+#: LOG(n) = sum over k = 1..n of SIGN(DIV_POW2(n, k)).
+_LOG_SUM: PRFunction = PrimRec(
+    base=Zero(1),
+    step=Compose(
+        ADD,
+        (
+            Proj(3, 3),
+            Compose(SIGN, (Compose(DIV_POW2, (Proj(2, 3), Compose(Succ(), (Proj(1, 3),)))),)),
+        ),
+    ),
+)
+LOG: PRFunction = Compose(_LOG_SUM, (Identity(), Identity()))
+
+#: ``RLOG(n)`` — the index of the least significant 1 bit (0 for n = 0):
+#: RLOG(n) = sum over k = 0..n-1 of IS_ZERO(MOD_POW2(n, k + 1)).
+_RLOG_SUM: PRFunction = PrimRec(
+    base=Zero(1),
+    step=Compose(
+        ADD,
+        (
+            Proj(3, 3),
+            Compose(
+                IS_ZERO,
+                (Compose(MOD_POW2, (Proj(2, 3), Compose(Succ(), (Proj(1, 3),)))),),
+            ),
+        ),
+    ),
+)
+RLOG: PRFunction = Compose(_RLOG_SUM, (Identity(), Identity()))

@@ -1,0 +1,168 @@
+"""Primitive recursive functions as combinator terms (Definition 5.1).
+
+The class PrimRec is built from the initial functions
+
+* ``succ(i) = i + 1``,
+* the constant zero function ``n(i) = 0``,
+* the projections ``p_k^n(i1, ..., in) = ik``,
+
+closed under composition and primitive recursion::
+
+    f(0, t)     = g(t)
+    f(s + 1, t) = h(s, t, f(s, t))
+
+Terms are plain data (so the Theorem 5.2 translation into SRL + new can walk
+them) and evaluate iteratively, so deep recursions do not hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["PRFunction", "Zero", "Succ", "Proj", "Const", "Compose", "PrimRec", "Identity"]
+
+
+class PRFunction:
+    """Base class of primitive recursive function terms."""
+
+    arity: int
+
+    def __call__(self, *args: int) -> int:
+        return self.apply(*args)
+
+    def apply(self, *args: int) -> int:
+        raise NotImplementedError
+
+    def _check_arity(self, args: Sequence[int]) -> None:
+        if len(args) != self.arity:
+            raise TypeError(
+                f"{type(self).__name__} expects {self.arity} argument(s), got {len(args)}"
+            )
+        for value in args:
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise TypeError(f"primitive recursive functions act on naturals, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Zero(PRFunction):
+    """The constant zero function of the given arity (``n(i) = 0``)."""
+
+    arity: int = 1
+
+    def apply(self, *args: int) -> int:
+        self._check_arity(args)
+        return 0
+
+
+@dataclass(frozen=True)
+class Succ(PRFunction):
+    """``succ(i) = i + 1``."""
+
+    arity: int = 1
+
+    def apply(self, *args: int) -> int:
+        self._check_arity(args)
+        return args[0] + 1
+
+
+@dataclass(frozen=True)
+class Proj(PRFunction):
+    """``p_k^n(i1, ..., in) = ik`` (1-based ``k``)."""
+
+    index: int
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.index <= self.arity:
+            raise ValueError(f"projection index {self.index} out of range for arity {self.arity}")
+
+    def apply(self, *args: int) -> int:
+        self._check_arity(args)
+        return args[self.index - 1]
+
+
+@dataclass(frozen=True)
+class Const(PRFunction):
+    """The constant function ``const_c`` — definable from Zero and Succ, kept
+    as a primitive for readability (it is obviously primitive recursive)."""
+
+    value: int
+    arity: int = 1
+
+    def apply(self, *args: int) -> int:
+        self._check_arity(args)
+        return self.value
+
+
+@dataclass(frozen=True)
+class Identity(PRFunction):
+    """``id(i) = i`` (= ``Proj(1, 1)``, named for readability)."""
+
+    arity: int = 1
+
+    def apply(self, *args: int) -> int:
+        self._check_arity(args)
+        return args[0]
+
+
+@dataclass(frozen=True)
+class Compose(PRFunction):
+    """``Compose(f, (g1, ..., gm))(x̄) = f(g1(x̄), ..., gm(x̄))``."""
+
+    outer: PRFunction
+    inner: tuple[PRFunction, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.inner) != self.outer.arity:
+            raise ValueError(
+                f"outer function expects {self.outer.arity} arguments but "
+                f"{len(self.inner)} inner functions were given"
+            )
+        arities = {g.arity for g in self.inner}
+        if len(arities) > 1:
+            raise ValueError(f"inner functions disagree on arity: {sorted(arities)}")
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.inner[0].arity if self.inner else 0
+
+    def apply(self, *args: int) -> int:
+        self._check_arity(args)
+        return self.outer.apply(*(g.apply(*args) for g in self.inner))
+
+
+@dataclass(frozen=True)
+class PrimRec(PRFunction):
+    """Primitive recursion on the *first* argument (Definition 5.1)::
+
+        f(0, t̄)     = g(t̄)
+        f(s + 1, t̄) = h(s, t̄, f(s, t̄))
+
+    ``g`` has arity ``k`` and ``h`` arity ``k + 2`` where ``k`` is the number
+    of parameters ``t̄``; the defined ``f`` has arity ``k + 1``.
+    Evaluation is an iterative loop from 0 up to ``s``.
+    """
+
+    base: PRFunction
+    step: PRFunction
+
+    def __post_init__(self) -> None:
+        if self.step.arity != self.base.arity + 2:
+            raise ValueError(
+                f"step function must have arity base+2 = {self.base.arity + 2}, "
+                f"got {self.step.arity}"
+            )
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.base.arity + 1
+
+    def apply(self, *args: int) -> int:
+        self._check_arity(args)
+        counter, parameters = args[0], args[1:]
+        value = self.base.apply(*parameters)
+        for stage in range(counter):
+            value = self.step.apply(stage, *parameters, value)
+        return value

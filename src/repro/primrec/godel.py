@@ -1,0 +1,132 @@
+"""The sets-as-numbers Gödel encoding of Section 5.
+
+Given the ordered domain ``D = {d0 <= d1 <= ...}``, a finite subset ``S`` is
+encoded as the number whose ``i``-th bit is 1 iff ``d_i`` is in ``S``; the
+singleton ``{d_i}`` is the number ``2**i``.  Under this encoding the SRL
+primitives become primitive recursive (the second half of Theorem 5.2):
+
+* ``choose(S) = Exp(2, Rlog(S))`` — the least set bit is the minimal element;
+* ``rest(S)``  — clear the least set bit (the paper phrases this as a right
+  shift, which conflates element identities; clearing the bit preserves them
+  and is the faithful reading — see DESIGN.md);
+* ``insert(x, S) = Cond(Bit(S, Log(x)), S, S + x)`` for a singleton code ``x``;
+* ``new(S) = Exp(2, Log(S) + 1)`` — an element beyond everything in ``S``.
+
+All four are provided both as plain Python helpers (for tests and the
+benchmark harness) and as genuine primitive recursive terms built from the
+Fact 5.4 toolkit, which is the actual content of the theorem.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .arithmetic import ADD, BIT, COND, EXP, LOG, MONUS, RLOG
+from .functions import Compose, Const, PRFunction, Proj, Succ
+
+__all__ = [
+    "encode_set",
+    "decode_set",
+    "encode_element",
+    "decode_element",
+    "CHOOSE_PR",
+    "REST_PR",
+    "INSERT_PR",
+    "NEW_PR",
+    "choose_number",
+    "rest_number",
+    "insert_number",
+    "new_number",
+]
+
+
+# ----------------------------------------------------------- plain encoding
+
+
+def encode_set(ranks: Iterable[int]) -> int:
+    """The number encoding the set of domain elements with the given ranks."""
+    code = 0
+    for rank in ranks:
+        if rank < 0:
+            raise ValueError("domain ranks are non-negative")
+        code |= 1 << rank
+    return code
+
+
+def decode_set(code: int) -> frozenset[int]:
+    """The set of ranks encoded by ``code``."""
+    if code < 0:
+        raise ValueError("set codes are non-negative")
+    ranks = set()
+    position = 0
+    while code:
+        if code & 1:
+            ranks.add(position)
+        code >>= 1
+        position += 1
+    return frozenset(ranks)
+
+
+def encode_element(rank: int) -> int:
+    """``d_rank`` as a singleton code (the number ``2**rank``)."""
+    return 1 << rank
+
+
+def decode_element(code: int) -> int:
+    """Inverse of :func:`encode_element` (requires a power of two)."""
+    if code <= 0 or code & (code - 1):
+        raise ValueError(f"{code} is not the code of a single domain element")
+    return code.bit_length() - 1
+
+
+# --------------------------------------------------- the primitives, in PR
+
+#: ``choose(S) = Exp(2, Rlog(S))``.
+CHOOSE_PR: PRFunction = Compose(EXP, (Const(2, 1), RLOG))
+
+#: ``rest(S) = S - choose(S)`` (clear the least significant set bit).
+REST_PR: PRFunction = Compose(MONUS, (Proj(1, 1), CHOOSE_PR))
+
+#: ``insert(x, S) = Cond(Bit(S, Log(x)), S, S + x)`` — ``x`` a singleton code.
+INSERT_PR: PRFunction = Compose(
+    COND,
+    (
+        Compose(BIT, (Proj(2, 2), Compose(LOG, (Proj(1, 2),)))),
+        Proj(2, 2),
+        Compose(ADD, (Proj(2, 2), Proj(1, 2))),
+    ),
+)
+
+#: ``new(S) = Exp(2, Log(S) + 1)``.
+NEW_PR: PRFunction = Compose(EXP, (Const(2, 1), Compose(Succ(), (LOG,))))
+
+
+# ------------------------------------------------------- python references
+
+
+def choose_number(code: int) -> int:
+    """Reference implementation of ``choose`` on set codes."""
+    if code <= 0:
+        raise ValueError("choose applied to the empty set")
+    return code & -code
+
+
+def rest_number(code: int) -> int:
+    """Reference implementation of ``rest`` on set codes."""
+    if code <= 0:
+        raise ValueError("rest applied to the empty set")
+    return code & (code - 1)
+
+
+def insert_number(element_code: int, set_code: int) -> int:
+    """Reference implementation of ``insert`` on codes."""
+    decode_element(element_code)  # validates that it is a singleton
+    return set_code | element_code
+
+
+def new_number(set_code: int) -> int:
+    """Reference implementation of ``new`` on codes: an element strictly
+    above everything in the set."""
+    if set_code == 0:
+        return 2  # matches NEW_PR's behaviour on the empty set (Log(0) = 0)
+    return 1 << set_code.bit_length()

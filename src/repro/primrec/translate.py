@@ -1,0 +1,189 @@
+"""Theorem 5.2: translating primitive recursion into SRL + new.
+
+Numbers are represented by finite sets: ``0`` is the empty set and ``n + 1``
+is ``n ∪ {new(n)}``, so the value of a set is simply its cardinality.  Under
+that representation:
+
+* ``succ(S) = insert(new(S), S)`` — the only use of ``new``;
+* the constant zero function returns ``emptyset``;
+* projections return the corresponding argument;
+* composition becomes composition of named definitions;
+* primitive recursion becomes a single ``set-reduce`` over the recursion
+  argument (Proposition 5.3): the accumulator carries the pair
+  ``[current value, elements seen so far]`` — the seen-set plays the role of
+  the stage number ``s`` in ``h(s, t, f(s, t))`` — and the parameters are
+  threaded through ``extra``.
+
+:func:`primrec_to_srl` performs this translation for any
+:class:`~repro.primrec.functions.PRFunction` term; :func:`run_translated`
+evaluates the generated program on natural-number arguments and decodes the
+answer, so tests can confirm ``f(x̄) == |translated(x̄)|`` for every term in
+the arithmetic toolkit.
+
+The converse direction of Theorem 5.2 (SRL + new functions are primitive
+recursive) is witnessed in :mod:`repro.primrec.godel`, which exhibits the
+SRL primitives as primitive recursive functions on the sets-as-numbers
+encoding; the paper composes those primitives by the same recursion scheme
+used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count as _count
+
+from repro.core import Atom, Database, EvaluationLimits, Evaluator, Program, make_set
+from repro.core import builders as b
+from repro.core.values import SRLSet, Value
+
+from .functions import Compose, Const, Identity, PRFunction, PrimRec, Proj, Succ, Zero
+
+__all__ = ["TranslatedFunction", "primrec_to_srl", "nat_to_set", "set_to_nat", "run_translated"]
+
+
+def nat_to_set(value: int) -> SRLSet:
+    """The canonical set representing ``value`` (atoms 0..value-1)."""
+    if value < 0:
+        raise ValueError("naturals only")
+    return make_set(*(Atom(i) for i in range(value)))
+
+
+def set_to_nat(value: Value) -> int:
+    """Decode a set back to the natural it represents (its cardinality)."""
+    if not isinstance(value, SRLSet):
+        raise TypeError(f"expected a set, got {value!r}")
+    return len(value)
+
+
+@dataclass
+class TranslatedFunction:
+    """The SRL + new program produced for one primitive recursive term."""
+
+    program: Program
+    entry_point: str
+    arity: int
+
+
+class _Translator:
+    def __init__(self) -> None:
+        self.program = Program()
+        self._names = _count(1)
+        self._cache: dict[int, str] = {}
+
+    def fresh(self, hint: str) -> str:
+        return f"{hint}-{next(self._names)}"
+
+    def translate(self, function: PRFunction) -> str:
+        """Return the name of a definition computing ``function``."""
+        key = id(function)
+        if key in self._cache:
+            return self._cache[key]
+        name = self._build(function)
+        self._cache[key] = name
+        return name
+
+    def _params(self, arity: int) -> list[str]:
+        return [f"x{i}" for i in range(1, arity + 1)]
+
+    def _build(self, function: PRFunction) -> str:
+        params = self._params(function.arity)
+        if isinstance(function, Zero):
+            name = self.fresh("zero")
+            self.program.define(b.define(name, params, b.emptyset()))
+            return name
+        if isinstance(function, Succ):
+            name = self.fresh("succ")
+            self.program.define(
+                b.define(name, params, b.insert(b.new(b.var("x1")), b.var("x1")))
+            )
+            return name
+        if isinstance(function, (Proj, Identity)):
+            index = function.index if isinstance(function, Proj) else 1
+            name = self.fresh("proj")
+            self.program.define(b.define(name, params, b.var(f"x{index}")))
+            return name
+        if isinstance(function, Const):
+            name = self.fresh("const")
+            body: object = b.emptyset()
+            for _ in range(function.value):
+                body = b.insert(b.new(body), body)  # type: ignore[arg-type]
+            self.program.define(b.define(name, params, body))  # type: ignore[arg-type]
+            return name
+        if isinstance(function, Compose):
+            outer_name = self.translate(function.outer)
+            inner_names = [self.translate(g) for g in function.inner]
+            name = self.fresh("compose")
+            arguments = [b.call(inner, *(b.var(p) for p in params)) for inner in inner_names]
+            self.program.define(b.define(name, params, b.call(outer_name, *arguments)))
+            return name
+        if isinstance(function, PrimRec):
+            return self._build_primrec(function)
+        raise TypeError(f"cannot translate {type(function).__name__}")
+
+    def _build_primrec(self, function: PrimRec) -> str:
+        base_name = self.translate(function.base)
+        step_name = self.translate(function.step)
+        parameter_count = function.base.arity
+        params = self._params(function.arity)       # x1 = recursion argument
+        parameter_vars = [b.var(p) for p in params[1:]]
+
+        # extra = the tuple of parameters (or emptyset when there are none).
+        extra = b.tup(*parameter_vars) if parameter_vars else b.emptyset()
+
+        # Unpack the parameters from the app result `a = [element, extra]`.
+        def step_parameter(index: int):
+            packed = b.sel(2, b.var("a"))
+            if parameter_count == 0:
+                raise IndexError
+            return b.sel(index, packed)
+
+        step_args = [b.sel(2, b.var("r"))]            # s  = elements seen so far
+        step_args += [step_parameter(i + 1) for i in range(parameter_count)]
+        step_args += [b.sel(1, b.var("r"))]           # f(s, t)
+        accumulator = b.lam(
+            "a", "r",
+            b.tup(
+                b.call(step_name, *step_args),
+                b.insert(b.sel(1, b.var("a")), b.sel(2, b.var("r"))),
+            ),
+        )
+        base_call = b.call(base_name, *parameter_vars)
+        body = b.sel(
+            1,
+            b.set_reduce(
+                b.var(params[0]),
+                b.lam("x", "e", b.tup(b.var("x"), b.var("e"))),
+                accumulator,
+                b.tup(base_call, b.emptyset()),
+                extra,
+            ),
+        )
+        name = self.fresh("primrec")
+        self.program.define(b.define(name, params, body))
+        return name
+
+
+def primrec_to_srl(function: PRFunction) -> TranslatedFunction:
+    """Translate a primitive recursive term into an SRL + new program."""
+    translator = _Translator()
+    entry = translator.translate(function)
+    return TranslatedFunction(
+        program=translator.program,
+        entry_point=entry,
+        arity=function.arity,
+    )
+
+
+def run_translated(translated: TranslatedFunction, *arguments: int,
+                   limits: EvaluationLimits | None = None) -> int:
+    """Evaluate the translated program on natural arguments and decode the
+    resulting set back to a natural number."""
+    if len(arguments) != translated.arity:
+        raise TypeError(
+            f"{translated.entry_point} expects {translated.arity} arguments, "
+            f"got {len(arguments)}"
+        )
+    evaluator = Evaluator(translated.program, limits)
+    values = [nat_to_set(argument) for argument in arguments]
+    result = evaluator.call(translated.entry_point, *values, database=Database())
+    return set_to_nat(result)

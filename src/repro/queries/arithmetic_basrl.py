@@ -1,0 +1,292 @@
+"""Proposition 4.5 and Lemma 4.6: arithmetic in BASRL.
+
+The paper treats the elements of the ordered domain ``D`` as numbers (an
+element's value is its rank in the implementation order) and shows that
+increment, decrement, addition, multiplication, exponentiation, halving
+(SHIFT), PARITY, REM and BIT are all expressible with *flat bounded-width
+tuple accumulators* — i.e. inside BASRL, hence in logspace.
+
+Every definition below is such a program: the only sets ever traversed are
+the input domain ``D``; the accumulators are tuples of booleans and atoms.
+Arithmetic saturates at the ends of the domain (``increment`` of the last
+element stays put, ``decrement`` of the first stays put), exactly as in the
+paper's treatment of the boundary cases.
+
+The programs expect two database bindings:
+
+* ``D``    — the domain, a set of atoms;
+* ``ZERO`` — the first element of the domain (the paper's ``0``; it is
+  first-order definable, but passing it as a constant keeps the programs
+  readable).
+
+Use :func:`arithmetic_database` to build them and :func:`arithmetic_program`
+to get a program containing all the definitions (plus the standard library).
+"""
+
+from __future__ import annotations
+
+from repro.core import Atom, Database, Evaluator, Program, make_set, with_standard_library
+from repro.core import builders as b
+from repro.core.values import SRLTuple, Value
+
+__all__ = [
+    "arithmetic_program",
+    "arithmetic_database",
+    "rank_of",
+    "evaluate_arithmetic",
+]
+
+
+def _increment_definition():
+    """``increment(a)``: the successor of ``a`` in ``D`` (clamped at the
+    maximum) — the Proposition 4.5 scan with a [found, captured, result]
+    accumulator."""
+    accumulator = b.lam(
+        "x", "r",
+        b.if_(
+            b.and_(b.sel(1, b.var("r")), b.not_(b.sel(2, b.var("r")))),
+            b.tup(b.true(), b.true(), b.sel(1, b.var("x"))),
+            b.if_(
+                b.eq(b.sel(1, b.var("x")), b.sel(2, b.var("x"))),
+                b.tup(b.true(), b.sel(2, b.var("r")), b.sel(3, b.var("r"))),
+                b.var("r"),
+            ),
+        ),
+    )
+    scan = b.set_reduce(
+        b.var("D"),
+        b.lam("d", "aa", b.tup(b.var("d"), b.var("aa"))),
+        accumulator,
+        b.tup(b.false(), b.false(), b.var("a")),
+        b.var("a"),
+    )
+    return b.define("increment", ["a"], b.sel(3, scan))
+
+
+def _decrement_definition():
+    """``decrement(a)``: the predecessor of ``a`` in ``D`` (clamped at the
+    minimum), tracking the previously scanned element."""
+    accumulator = b.lam(
+        "x", "r",
+        b.if_(
+            b.sel(1, b.var("r")),
+            b.var("r"),
+            b.if_(
+                b.eq(b.sel(1, b.var("x")), b.sel(2, b.var("x"))),
+                b.tup(
+                    b.true(),
+                    b.sel(2, b.var("r")),
+                    b.sel(3, b.var("r")),
+                    b.if_(b.sel(2, b.var("r")), b.sel(3, b.var("r")), b.sel(2, b.var("x"))),
+                ),
+                b.tup(b.false(), b.true(), b.sel(1, b.var("x")), b.sel(4, b.var("r"))),
+            ),
+        ),
+    )
+    scan = b.set_reduce(
+        b.var("D"),
+        b.lam("d", "aa", b.tup(b.var("d"), b.var("aa"))),
+        accumulator,
+        b.tup(b.false(), b.false(), b.var("a"), b.var("a")),
+        b.var("a"),
+    )
+    return b.define("decrement", ["a"], b.sel(4, scan))
+
+
+def _add_definition():
+    """``add(a, bb) = a + bb`` (saturating): repeatedly increment the first
+    component and decrement the second until the counter reaches ZERO —
+    the accumulator is the flat pair ``[partial sum, counter]``."""
+    accumulator = b.lam(
+        "p", "r",
+        b.if_(
+            b.eq(b.sel(2, b.var("r")), b.var("ZERO")),
+            b.var("r"),
+            b.tup(
+                b.call("increment", b.sel(1, b.var("r"))),
+                b.call("decrement", b.sel(2, b.var("r"))),
+            ),
+        ),
+    )
+    scan = b.set_reduce(
+        b.var("D"),
+        b.lam("d", "e", b.var("d")),
+        accumulator,
+        b.tup(b.var("a"), b.var("bb")),
+        b.emptyset(),
+    )
+    return b.define("add", ["a", "bb"], b.sel(1, scan))
+
+
+def _mult_definition():
+    """``mult(a, bb) = a * bb`` (saturating): ``bb`` repeated additions of
+    ``a``, with ``a`` threaded through ``extra`` as in the paper's MULT."""
+    accumulator = b.lam(
+        "p", "r",
+        b.if_(
+            b.eq(b.sel(2, b.var("r")), b.var("ZERO")),
+            b.var("r"),
+            b.tup(
+                b.call("add", b.sel(1, b.var("r")), b.var("p")),
+                b.call("decrement", b.sel(2, b.var("r"))),
+            ),
+        ),
+    )
+    scan = b.set_reduce(
+        b.var("D"),
+        b.lam("s", "aa", b.var("aa")),
+        accumulator,
+        b.tup(b.var("ZERO"), b.var("bb")),
+        b.var("a"),
+    )
+    return b.define("mult", ["a", "bb"], b.sel(1, scan))
+
+
+def _expn_definition():
+    """``expn(a, bb) = a ** bb`` (saturating): ``bb`` repeated
+    multiplications, as in the paper's EXP."""
+    accumulator = b.lam(
+        "p", "r",
+        b.if_(
+            b.eq(b.sel(2, b.var("r")), b.var("ZERO")),
+            b.var("r"),
+            b.tup(
+                b.call("mult", b.sel(1, b.var("r")), b.var("p")),
+                b.call("decrement", b.sel(2, b.var("r"))),
+            ),
+        ),
+    )
+    scan = b.set_reduce(
+        b.var("D"),
+        b.lam("s", "aa", b.var("aa")),
+        accumulator,
+        b.tup(b.call("increment", b.var("ZERO")), b.var("bb")),
+        b.var("a"),
+    )
+    return b.define("expn", ["a", "bb"], b.sel(1, scan))
+
+
+def _shift_scan_definition():
+    """``shift-scan(a)``: the Lemma 4.6 SHIFT scan, returning the triple
+    ``[found, a div 2, a mod 2 = 1]`` — the first ``d`` with ``d + d = a`` or
+    ``d + d + 1 = a`` wins (the ``found`` flag stops later, saturated matches
+    from overwriting it)."""
+    double = b.call("add", b.sel(1, b.var("p")), b.sel(1, b.var("p")))
+    accumulator = b.lam(
+        "p", "r",
+        b.if_(
+            b.and_(b.not_(b.sel(1, b.var("r"))), b.eq(double, b.sel(2, b.var("p")))),
+            b.tup(b.true(), b.sel(1, b.var("p")), b.false()),
+            b.if_(
+                b.and_(
+                    b.not_(b.sel(1, b.var("r"))),
+                    b.eq(b.call("increment", double), b.sel(2, b.var("p"))),
+                ),
+                b.tup(b.true(), b.sel(1, b.var("p")), b.true()),
+                b.var("r"),
+            ),
+        ),
+    )
+    scan = b.set_reduce(
+        b.var("D"),
+        b.lam("d", "aa", b.tup(b.var("d"), b.var("aa"))),
+        accumulator,
+        b.tup(b.false(), b.var("ZERO"), b.false()),
+        b.var("a"),
+    )
+    return b.define("shift-scan", ["a"], scan)
+
+
+def _shift_definition():
+    return b.define("shift", ["a"], b.sel(2, b.call("shift-scan", b.var("a"))))
+
+
+def _parity_definition():
+    """``parity(a)``: true iff ``a`` is odd (Lemma 4.6's PARITY)."""
+    return b.define("parity", ["a"], b.sel(3, b.call("shift-scan", b.var("a"))))
+
+
+def _rem_definition():
+    """``rem(i, a) = a div 2**i`` — ``i`` repeated halvings (the paper's
+    REM)."""
+    accumulator = b.lam(
+        "p", "r",
+        b.if_(
+            b.eq(b.sel(1, b.var("r")), b.var("ZERO")),
+            b.var("r"),
+            b.tup(
+                b.call("decrement", b.sel(1, b.var("r"))),
+                b.call("shift", b.sel(2, b.var("r"))),
+            ),
+        ),
+    )
+    scan = b.set_reduce(
+        b.var("D"),
+        b.lam("d", "e", b.var("d")),
+        accumulator,
+        b.tup(b.var("i"), b.var("a")),
+        b.emptyset(),
+    )
+    return b.define("rem", ["i", "a"], b.sel(2, scan))
+
+
+def _bit_definition():
+    """``bit(i, a)``: the ``i``-th bit of ``a`` (Lemma 4.6's BIT) — the
+    parity of ``a`` shifted right ``i`` times."""
+    return b.define("bit", ["i", "a"], b.call("parity", b.call("rem", b.var("i"), b.var("a"))))
+
+
+def arithmetic_program() -> Program:
+    """A program containing all the BASRL arithmetic definitions (plus the
+    Fact 2.4 standard library)."""
+    program = Program()
+    for definition in (
+        _increment_definition(),
+        _decrement_definition(),
+        _add_definition(),
+        _mult_definition(),
+        _expn_definition(),
+        _shift_scan_definition(),
+        _shift_definition(),
+        _parity_definition(),
+        _rem_definition(),
+        _bit_definition(),
+    ):
+        program.define(definition)
+    return with_standard_library(program)
+
+
+def arithmetic_database(size: int) -> Database:
+    """The domain ``D = {0, ..., size-1}`` plus the ``ZERO`` constant."""
+    if size < 1:
+        raise ValueError("the domain needs at least one element")
+    return Database({
+        "D": make_set(*(Atom(i) for i in range(size))),
+        "ZERO": Atom(0),
+    })
+
+
+def rank_of(value: Value) -> int:
+    """Decode a result back to a number (the rank of the atom)."""
+    if isinstance(value, Atom):
+        return value.rank
+    if isinstance(value, SRLTuple) and value and isinstance(value[0], Atom):
+        return value[0].rank
+    raise TypeError(f"cannot read a rank from {value!r}")
+
+
+def evaluate_arithmetic(operation: str, *arguments: int, size: int = 16,
+                        evaluator: Evaluator | None = None):
+    """Run one of the arithmetic definitions on numeric arguments.
+
+    Booleans come back as booleans; numbers as their rank.  ``size`` is the
+    domain size (results saturate at ``size - 1``).
+    """
+    if evaluator is None:
+        evaluator = Evaluator(arithmetic_program())
+    database = arithmetic_database(size)
+    result = evaluator.call(operation, *(Atom(value) for value in arguments),
+                            database=database)
+    if isinstance(result, bool):
+        return result
+    return rank_of(result)

@@ -1,0 +1,121 @@
+"""Definition 4.8 / Lemma 4.10: iterated permutation multiplication in BASRL.
+
+``IM_Sn``: given permutations ``pi_1, ..., pi_m`` of ``[degree]``, decide
+whether their composition maps ``i`` to ``j``.  The problem is complete for
+L under first-order reductions with BIT (Fact 4.9), and Lemma 4.10 expresses
+it in BASRL: scan the input tuples ``[perm-index, [from, to]]`` in ascending
+order, tracking only the flat pair ``[which permutation applies next,
+current value]`` — a bounded-width accumulator.
+
+The input encoding follows the paper: each permutation is a set of nested
+pairs ``[i, [j, k]]`` meaning "the i-th permutation maps j to k" (so the
+input has set-height 1 with width-2 tuples, nesting 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import Atom, Database, Evaluator, Program, make_set, make_tuple
+from repro.core import builders as b
+
+from .arithmetic_basrl import arithmetic_program, rank_of
+
+__all__ = [
+    "compose_permutations_baseline",
+    "im_baseline",
+    "im_database",
+    "ip_program",
+    "im_program",
+    "run_iterated_product",
+]
+
+
+def compose_permutations_baseline(perms: Sequence[Sequence[int]]) -> list[int]:
+    """The iterated product ``pi_1 * pi_2 * ... * pi_m`` where
+    ``(pi * sigma)(i) = sigma(pi(i))`` (Definition 4.8)."""
+    if not perms:
+        raise ValueError("need at least one permutation")
+    degree = len(perms[0])
+    result = list(range(degree))
+    for pi in perms:
+        result = [pi[value] for value in result]
+    return result
+
+
+def im_baseline(perms: Sequence[Sequence[int]], i: int, j: int) -> bool:
+    """Does the iterated product map ``i`` to ``j``?"""
+    return compose_permutations_baseline(perms)[i] == j
+
+
+def im_database(perms: Sequence[Sequence[int]], i: int | None = None) -> Database:
+    """The paper's encoding: ``PERMS`` is the set of ``[index, [from, to]]``
+    tuples; ``D`` is a domain large enough for both the permutation indices
+    (plus one, so the "next permutation" counter never saturates) and the
+    permuted elements; ``START`` is the element the product is applied to."""
+    count = len(perms)
+    degree = len(perms[0]) if perms else 0
+    domain_size = max(count + 1, degree, 1)
+    rows = []
+    for index, pi in enumerate(perms):
+        for source, target in enumerate(pi):
+            rows.append(make_tuple(Atom(index), make_tuple(Atom(source), Atom(target))))
+    database = Database({
+        "D": make_set(*(Atom(v) for v in range(domain_size))),
+        "ZERO": Atom(0),
+        "PERMS": make_set(*rows),
+        "START": Atom(i if i is not None else 0),
+    })
+    return database
+
+
+def _ip_definition():
+    """``ip(i)``: the Lemma 4.10 scan.  The accumulator is the flat pair
+    ``[next permutation index, current value]``; a tuple ``x = [index,
+    [from, to]]`` fires exactly when it belongs to the permutation we are
+    currently applying and its ``from`` equals the current value."""
+    body = b.set_reduce(
+        b.var("PERMS"),
+        b.lam("x", "e", b.var("x")),
+        b.lam(
+            "x", "p",
+            b.if_(
+                b.and_(
+                    b.eq(b.sel(1, b.var("x")), b.sel(1, b.var("p"))),
+                    b.eq(b.sel(1, b.sel(2, b.var("x"))), b.sel(2, b.var("p"))),
+                ),
+                b.tup(
+                    b.call("increment", b.sel(1, b.var("p"))),
+                    b.sel(2, b.sel(2, b.var("x"))),
+                ),
+                b.var("p"),
+            ),
+        ),
+        b.tup(b.var("ZERO"), b.var("i")),
+        b.emptyset(),
+    )
+    return b.define("ip", ["i"], body)
+
+
+def ip_program() -> Program:
+    """A program whose ``ip`` definition computes ``[m, product(i)]`` — the
+    iterated product applied to ``i`` (the first component just records that
+    all ``m`` permutations were consumed)."""
+    program = arithmetic_program()
+    program.define(_ip_definition())
+    return program
+
+
+def im_program() -> Program:
+    """The IM_Sn decision program: does the iterated product map ``START``
+    to ``TARGET``?"""
+    program = ip_program()
+    program.main = b.eq(b.sel(2, b.call("ip", b.var("START"))), b.var("TARGET"))
+    return program
+
+
+def run_iterated_product(perms: Sequence[Sequence[int]], i: int) -> int:
+    """Evaluate the BASRL program and return where the product sends ``i``."""
+    evaluator = Evaluator(ip_program())
+    result = evaluator.call("ip", Atom(i), database=im_database(perms, i))
+    return rank_of(result[1])  # type: ignore[index]

@@ -1,0 +1,121 @@
+"""Example 3.12 and the Section 3 remarks: escaping polynomial time.
+
+Two programs witness what happens when SRL's restrictions are lifted:
+
+* :func:`powerset_program` — the paper's Example 3.12: with set-height 2 the
+  ``powerset`` function constructs a set of size ``2^|S|``, so no polynomial
+  bound on the output (or running time) can hold;
+* :func:`doubling_list_program` — the LRL remark: with lists (order and
+  multiplicity preserved), repeatedly appending a list to itself produces a
+  list of length ``2^|S|`` — the function
+  ``F((1, 2, ..., n)) = (1, 1, ..., 1)`` (``2^n`` ones) that shows
+  ℱ(LRL) ⊄ FP.
+
+Both come with Python baselines and database builders.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable
+
+from repro.core import Atom, Database, Program, make_set, with_standard_library
+from repro.core import builders as b
+
+__all__ = [
+    "powerset_baseline",
+    "powerset_program",
+    "powerset_database",
+    "doubling_list_program",
+]
+
+
+def powerset_baseline(elements: Iterable[int]) -> frozenset[frozenset[int]]:
+    """All subsets of the given elements."""
+    items = list(elements)
+    return frozenset(
+        frozenset(subset)
+        for subset in chain.from_iterable(combinations(items, r) for r in range(len(items) + 1))
+    )
+
+
+def powerset_database(size: int) -> Database:
+    """``S = {0, ..., size-1}`` as atoms."""
+    return Database({"S": make_set(*(Atom(i) for i in range(size)))})
+
+
+def _finsert_definition():
+    """``finsert([y, x], T) = T ∪ {y} ∪ {y ∪ {x}}`` — the paper's finsert,
+    phrased on the pair produced by sift's app."""
+    pair = b.var("p")
+    subset = b.sel(1, pair)
+    element = b.sel(2, pair)
+    body = b.insert(subset, b.insert(b.insert(element, subset), b.var("T")))
+    return b.define("finsert", ["p", "T"], body)
+
+
+def _sift_definition():
+    """``sift(x, T)``: for every subset ``y`` already in ``T``, keep ``y``
+    and add ``y ∪ {x}`` (Example 3.12)."""
+    body = b.set_reduce(
+        b.var("T"),
+        b.lam("y", "x", b.tup(b.var("y"), b.var("x"))),
+        b.lam("a", "r", b.call("finsert", b.var("a"), b.var("r"))),
+        b.emptyset(),
+        b.var("x"),
+    )
+    return b.define("sift", ["x", "T"], body)
+
+
+def _powerset_definition():
+    """``powerset(S) = set-reduce(S, identity, sift, {{}})``."""
+    body = b.set_reduce(
+        b.var("S"),
+        b.lam("x", "e", b.var("x")),
+        b.lam("a", "T", b.call("sift", b.var("a"), b.var("T"))),
+        b.insert(b.emptyset(), b.emptyset()),
+        b.emptyset(),
+    )
+    return b.define("powerset", ["S"], body)
+
+
+def powerset_program() -> Program:
+    """Example 3.12: ``powerset(S)`` (a set-height-2 program)."""
+    program = Program()
+    for definition in (_finsert_definition(), _sift_definition(), _powerset_definition()):
+        program.define(definition)
+    program.main = b.call("powerset", b.var("S"))
+    return with_standard_library(program)
+
+
+def _append_list_definition():
+    """``append-list(A, B)``: list concatenation via list-reduce."""
+    body = b.list_reduce(
+        b.var("A"),
+        b.lam("x", "e", b.var("x")),
+        b.lam("a", "r", b.cons(b.var("a"), b.var("r"))),
+        b.var("B"),
+        b.emptylist(),
+    )
+    return b.define("append-list", ["A", "B"], body)
+
+
+def _double_definition():
+    return b.define("double", ["L"], b.call("append-list", b.var("L"), b.var("L")))
+
+
+def doubling_list_program() -> Program:
+    """The LRL remark after Theorem 3.10: starting from a one-element list
+    and doubling once per element of ``S`` yields a list of length
+    ``2^|S|`` — an output no polynomial-time function can produce."""
+    program = Program()
+    program.define(_append_list_definition())
+    program.define(_double_definition())
+    program.main = b.set_reduce(
+        b.var("S"),
+        b.lam("x", "e", b.var("x")),
+        b.lam("a", "L", b.call("double", b.var("L"))),
+        b.cons(b.atom(0), b.emptylist()),
+        b.emptyset(),
+    )
+    return with_standard_library(program)

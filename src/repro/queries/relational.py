@@ -1,0 +1,151 @@
+"""A small relational workload (the database reading of Section 7).
+
+The paper motivates order-independence with everyday database sets — e.g.
+printing "a set of employees in order of their names, or date of hire".
+This module provides a synthetic company database in the SRL encoding and a
+handful of classical relational queries written against the public API
+(selection, projection, join, universal quantification), all of them
+order-independent, plus one deliberately order-*dependent* query ("the
+employee that happens to come first in the arbitrary ordering") mirroring
+the ``Purple(First(S))`` example.  They are used by the
+``company_database.py`` example and the Section 7 tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core import Atom, Database, Program, make_set, make_tuple, with_standard_library
+from repro.core import builders as b
+from repro.core.stdlib import forall_expr, join_expr, project_expr, select_expr
+
+__all__ = [
+    "CompanyData",
+    "build_company_data",
+    "company_database",
+    "employees_in_department_program",
+    "departments_fully_senior_program",
+    "colleague_pairs_program",
+    "first_employee_is_senior_program",
+]
+
+
+@dataclass
+class CompanyData:
+    """The plain-Python view of the synthetic company (for baselines)."""
+
+    employees: list[tuple[int, int, int]]  # (employee, department, seniority level)
+    departments: list[int]
+    senior_level: int
+
+    def employees_in(self, department: int) -> frozenset[int]:
+        return frozenset(e for e, d, _ in self.employees if d == department)
+
+    def fully_senior_departments(self) -> frozenset[int]:
+        result = set()
+        for department in self.departments:
+            levels = [lvl for _, d, lvl in self.employees if d == department]
+            if levels and all(level >= self.senior_level for level in levels):
+                result.add(department)
+        return frozenset(result)
+
+    def colleague_pairs(self) -> frozenset[tuple[int, int]]:
+        return frozenset(
+            (e1, e2)
+            for e1, d1, _ in self.employees
+            for e2, d2, _ in self.employees
+            if d1 == d2 and e1 != e2
+        )
+
+
+def build_company_data(num_employees: int = 12, num_departments: int = 3,
+                       senior_level: int = 2, levels: int = 3,
+                       seed: int = 0) -> CompanyData:
+    """A deterministic synthetic company."""
+    rng = random.Random(seed)
+    departments = list(range(num_departments))
+    employees = []
+    for employee in range(num_employees):
+        employees.append((
+            num_departments + levels + employee,     # employee ids after the small codes
+            rng.randrange(num_departments),
+            rng.randrange(levels),
+        ))
+    return CompanyData(employees=employees, departments=departments,
+                       senior_level=senior_level)
+
+
+def company_database(data: CompanyData) -> Database:
+    """The SRL encoding: ``EMP`` is a set of ``[employee, department, level]``
+    tuples, ``DEPTS`` the departments, ``SENIOR`` the senior threshold."""
+    return Database({
+        "EMP": make_set(*(
+            make_tuple(Atom(e), Atom(d), Atom(level)) for e, d, level in data.employees
+        )),
+        "DEPTS": make_set(*(Atom(d) for d in data.departments)),
+        "SENIOR": Atom(data.senior_level),
+    })
+
+
+def employees_in_department_program(department: int) -> Program:
+    """Selection + projection: the employees of one department."""
+    program = with_standard_library(Program())
+    selected = select_expr(
+        b.var("EMP"), lambda row, _e: b.eq(b.sel(2, row), b.atom(department))
+    )
+    program.main = project_expr(selected, [1])
+    return program
+
+
+def departments_fully_senior_program() -> Program:
+    """Universal quantification: departments all of whose employees are at or
+    above the SENIOR level (departments with no employees do not qualify —
+    the emptiness guard is the inner ``forsome``)."""
+    program = with_standard_library(Program())
+
+    def staffed(dept, _extra):
+        return b.call(
+            "member", dept,
+            project_expr(b.var("EMP"), [2]),
+        )
+
+    def all_senior(dept, _extra):
+        return forall_expr(
+            b.var("EMP"),
+            lambda row, dd: b.or_(
+                b.not_(b.eq(b.sel(2, row), dd)),
+                b.leq(b.var("SENIOR"), b.sel(3, row)),
+            ),
+            extra=dept,
+        )
+
+    program.main = select_expr(
+        b.var("DEPTS"),
+        lambda dept, _e: b.and_(staffed(dept, _e), all_senior(dept, _e)),
+    )
+    return program
+
+
+def colleague_pairs_program() -> Program:
+    """Join: ordered pairs of distinct employees sharing a department."""
+    program = with_standard_library(Program())
+    program.main = join_expr(
+        b.var("EMP"), b.var("EMP"),
+        condition=lambda r1, r2: b.and_(
+            b.eq(b.sel(2, r1), b.sel(2, r2)),
+            b.not_(b.eq(b.sel(1, r1), b.sel(1, r2))),
+        ),
+        output=lambda r1, r2: b.tup(b.sel(1, r1), b.sel(1, r2)),
+    )
+    return program
+
+
+def first_employee_is_senior_program() -> Program:
+    """The order-dependent query of Section 7 (``Purple(First(S))``): is the
+    employee that happens to come *first in the implementation order* at or
+    above the senior level?  Used to demonstrate the order-dependence
+    detector."""
+    program = with_standard_library(Program())
+    program.main = b.leq(b.var("SENIOR"), b.sel(3, b.choose(b.var("EMP"))))
+    return program

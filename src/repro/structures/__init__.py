@@ -1,0 +1,42 @@
+"""Finite logical structures and the graph/permutation workloads.
+
+This is the descriptive-complexity substrate of Section 3: inputs are finite
+structures over an ordered universe ``{0, ..., n-1}``, which SRL programs
+see as databases of sets of (tuples of) atoms.
+"""
+
+from .cfi import CFIPair, cfi_pair, colored_graph_to_structure, cycle_base, cycle_pair, k4_base
+from .encoding import (
+    decode_relation,
+    encode_relation,
+    encode_structure,
+    index_to_tuple,
+    structure_bit_length,
+    tuple_to_index,
+)
+from .graphs import (
+    alternating_graph_structure,
+    and_or_tree,
+    cycle_graph,
+    functional_graph,
+    graph_structure,
+    layered_graph,
+    path_graph,
+    permutations_structure,
+    random_alternating_graph,
+    random_graph,
+    random_permutations,
+)
+from .structure import Structure, from_database
+from .vocabulary import ALTERNATING_GRAPH_VOCABULARY, GRAPH_VOCABULARY, Vocabulary
+from .wl import (
+    ColoredGraph,
+    are_isomorphic,
+    color_refinement,
+    find_isomorphism,
+    wl1_indistinguishable,
+    wl2_indistinguishable,
+    wl2_signature,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

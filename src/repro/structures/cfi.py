@@ -1,0 +1,167 @@
+"""Hard pairs of structures for counting logics (Theorem 7.7).
+
+The paper's Theorem 7.7 cites the Cai–Fürer–Immerman construction: a
+sequence of pairs ``G_n, H_n`` that agree on all ``(FO(wo<=) + count)``
+sentences with at most ``n`` variables yet are distinguishable in linear
+time when an ordering is available.  Two constructions are provided:
+
+* :func:`cfi_pair` — the genuine CFI companion construction over an
+  arbitrary connected base graph: every base vertex becomes a gadget of
+  even-cardinality subsets of its incident edges, every base edge a pair of
+  "assignment" vertices; the twisted companion flips exactly one vertex to
+  odd-cardinality subsets.  The two graphs are non-isomorphic but hard for
+  bounded-dimension Weisfeiler–Leman refinement (the higher the base graph's
+  connectivity, the higher the dimension needed).
+
+* :func:`cycle_pair` — the classic small separating example used by the
+  benchmarks as an inexpensive stand-in: a single cycle ``C_{2m}`` versus
+  two disjoint cycles ``C_m + C_m``.  The pair is 1-WL-indistinguishable
+  (every vertex looks identical to 2-variable counting logic) yet an SRL
+  program computing transitive closure — a polynomial-time,
+  order-independent query — separates them, which is exactly the *shape* of
+  Theorem 7.7's statement.  DESIGN.md records this substitution.
+
+Both constructions return :class:`~repro.structures.wl.ColoredGraph` objects
+(plus plain :class:`~repro.structures.structure.Structure` views via
+:func:`colored_graph_to_structure`) so they plug into the WL tools and the
+SRL pipeline alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from .structure import Structure
+from .vocabulary import Vocabulary
+from .wl import ColoredGraph
+
+__all__ = [
+    "CFIPair",
+    "cfi_pair",
+    "cycle_pair",
+    "colored_graph_to_structure",
+    "k4_base",
+    "cycle_base",
+]
+
+
+@dataclass
+class CFIPair:
+    """An untwisted/twisted pair of coloured graphs."""
+
+    untwisted: ColoredGraph
+    twisted: ColoredGraph
+    description: str
+
+
+def k4_base() -> list[tuple[int, int]]:
+    """The complete graph K4 as an undirected edge list (a 3-regular base)."""
+    return [(u, v) for u, v in combinations(range(4), 2)]
+
+
+def cycle_base(length: int) -> list[tuple[int, int]]:
+    """An undirected cycle of the given length (a 2-regular base)."""
+    if length < 3:
+        raise ValueError("a cycle base needs at least 3 vertices")
+    return [(i, (i + 1) % length) for i in range(length)]
+
+
+def _build_cfi(base_size: int, base_edges: Sequence[tuple[int, int]],
+               twisted_vertex: int | None) -> ColoredGraph:
+    """Build the CFI companion of the base graph.
+
+    ``twisted_vertex`` selects the vertex whose gadget uses odd-cardinality
+    subsets; ``None`` builds the untwisted companion.
+    """
+    edges = [frozenset(e) for e in base_edges]
+    incident: dict[int, list[int]] = {v: [] for v in range(base_size)}
+    for index, edge in enumerate(edges):
+        for endpoint in edge:
+            incident[endpoint].append(index)
+
+    vertices: list[tuple] = []            # descriptive labels
+    colors: list = []
+    index_of: dict[tuple, int] = {}
+
+    def add(label: tuple, color) -> int:
+        index_of[label] = len(vertices)
+        vertices.append(label)
+        colors.append(color)
+        return index_of[label]
+
+    # Two assignment vertices per base edge; both share the colour of the edge.
+    for edge_index in range(len(edges)):
+        add(("edge", edge_index, 0), ("edge", edge_index))
+        add(("edge", edge_index, 1), ("edge", edge_index))
+
+    # Vertex gadgets: one node per subset of incident edges of the right parity.
+    for v in range(base_size):
+        parity = 1 if v == twisted_vertex else 0
+        incident_edges = incident[v]
+        for r in range(len(incident_edges) + 1):
+            if r % 2 != parity:
+                continue
+            for subset in combinations(incident_edges, r):
+                add(("vertex", v, frozenset(subset)), ("vertex", v))
+
+    graph_edges: list[tuple[int, int]] = []
+    for label, index in index_of.items():
+        if label[0] != "vertex":
+            continue
+        _, v, subset = label
+        for edge_index in incident[v]:
+            side = 1 if edge_index in subset else 0
+            graph_edges.append((index, index_of[("edge", edge_index, side)]))
+
+    return ColoredGraph.from_edges(len(vertices), graph_edges, colors)
+
+
+def cfi_pair(base_edges: Iterable[tuple[int, int]] | None = None,
+             base_size: int | None = None) -> CFIPair:
+    """The CFI pair over the given undirected base graph (default: K4)."""
+    if base_edges is None:
+        base_edges = k4_base()
+    base_edges = list(base_edges)
+    if base_size is None:
+        base_size = 1 + max(max(u, v) for u, v in base_edges)
+    untwisted = _build_cfi(base_size, base_edges, twisted_vertex=None)
+    twisted = _build_cfi(base_size, base_edges, twisted_vertex=0)
+    return CFIPair(
+        untwisted=untwisted,
+        twisted=twisted,
+        description=f"CFI companions of a base graph with {base_size} vertices "
+                    f"and {len(base_edges)} edges",
+    )
+
+
+def cycle_pair(half_length: int) -> CFIPair:
+    """``C_{2m}`` versus ``C_m + C_m`` — 1-WL-indistinguishable,
+    connectivity-separable (the benchmarks' inexpensive stand-in)."""
+    if half_length < 3:
+        raise ValueError("half_length must be at least 3")
+    m = half_length
+    single = ColoredGraph.from_edges(
+        2 * m, [(i, (i + 1) % (2 * m)) for i in range(2 * m)]
+    )
+    two_edges = [(i, (i + 1) % m) for i in range(m)]
+    two_edges += [(m + i, m + ((i + 1) % m)) for i in range(m)]
+    double = ColoredGraph.from_edges(2 * m, two_edges)
+    return CFIPair(
+        untwisted=single,
+        twisted=double,
+        description=f"C_{2 * m} versus two copies of C_{m}",
+    )
+
+
+def colored_graph_to_structure(graph: ColoredGraph) -> Structure:
+    """View a coloured graph as a plain (symmetric) edge structure, suitable
+    for feeding to SRL programs and the FO/LFP evaluator.  Colours are
+    dropped; use a colour relation explicitly if a query needs them."""
+    edges = set()
+    for u, neighbours in enumerate(graph.adjacency):
+        for v in neighbours:
+            edges.add((u, v))
+            edges.add((v, u))
+    return Structure(Vocabulary.of(E=2), graph.size, {"E": frozenset(edges)})

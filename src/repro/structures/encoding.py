@@ -1,0 +1,86 @@
+"""Bit encodings of relations and structures (Definition 3.1).
+
+The paper's first-order interpretations assume a bit-encoding of relations:
+``R(x, y)`` over ``D = {0, ..., n-1}`` is a string of ``n^2`` bits whose
+``(n*x + y)``-th bit is 1 iff ``R(x, y)`` holds.  These helpers implement
+that encoding (and its inverse) so interpretations and reductions can be
+checked bit-for-bit in tests.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from .structure import Structure
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "tuple_to_index",
+    "index_to_tuple",
+    "encode_relation",
+    "decode_relation",
+    "encode_structure",
+    "structure_bit_length",
+]
+
+
+def tuple_to_index(row: Sequence[int], size: int) -> int:
+    """The n-ary positional index of a tuple (the paper's ``j1 j2 ... jbk``)."""
+    index = 0
+    for value in row:
+        if not 0 <= value < size:
+            raise ValueError(f"value {value} outside universe of size {size}")
+        index = index * size + value
+    return index
+
+
+def index_to_tuple(index: int, arity: int, size: int) -> tuple[int, ...]:
+    """Inverse of :func:`tuple_to_index`."""
+    if not 0 <= index < size ** arity:
+        raise ValueError(f"index {index} out of range for arity {arity}, size {size}")
+    row = []
+    for _ in range(arity):
+        row.append(index % size)
+        index //= size
+    return tuple(reversed(row))
+
+
+def encode_relation(rows: Iterable[Sequence[int]], arity: int, size: int) -> list[int]:
+    """The ``size**arity``-bit encoding of a relation."""
+    bits = [0] * (size ** arity)
+    for row in rows:
+        if len(row) != arity:
+            raise ValueError(f"tuple {tuple(row)} does not have arity {arity}")
+        bits[tuple_to_index(row, size)] = 1
+    return bits
+
+
+def decode_relation(bits: Sequence[int], arity: int, size: int) -> frozenset[tuple[int, ...]]:
+    """Inverse of :func:`encode_relation`."""
+    if len(bits) != size ** arity:
+        raise ValueError(
+            f"expected {size ** arity} bits for arity {arity} over size {size}, "
+            f"got {len(bits)}"
+        )
+    return frozenset(
+        index_to_tuple(index, arity, size)
+        for index, bit in enumerate(bits)
+        if bit
+    )
+
+
+def encode_structure(structure: Structure) -> dict[str, list[int]]:
+    """Encode every relation of a structure as a bit string."""
+    return {
+        name: encode_relation(structure.relation(name),
+                              structure.vocabulary.arity(name),
+                              structure.size)
+        for name in structure.vocabulary
+    }
+
+
+def structure_bit_length(vocabulary: Vocabulary, size: int) -> int:
+    """The total number of bits in the encoding of any structure of this
+    vocabulary and universe size."""
+    return sum(size ** arity for _, arity in vocabulary.relations)

@@ -1,0 +1,174 @@
+"""Graph structures and workload generators.
+
+These produce the inputs the benchmarks sweep over:
+
+* plain directed graphs (for GAP / transitive closure, Corollaries 4.2/4.4),
+* *alternating* graphs with universal/existential vertices (Definition 3.4,
+  the P-complete AGAP problem of Theorem 3.10),
+* functional graphs (out-degree one; deterministic reachability, DTC),
+* layered/grid graphs and random graphs for scaling experiments,
+* permutation inputs for iterated multiplication IM_Sn (Definition 4.8).
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .structure import Structure
+from .vocabulary import ALTERNATING_GRAPH_VOCABULARY, GRAPH_VOCABULARY, Vocabulary
+
+__all__ = [
+    "graph_structure",
+    "alternating_graph_structure",
+    "path_graph",
+    "cycle_graph",
+    "random_graph",
+    "functional_graph",
+    "layered_graph",
+    "random_alternating_graph",
+    "and_or_tree",
+    "permutations_structure",
+    "random_permutations",
+]
+
+
+def graph_structure(size: int, edges: Iterable[tuple[int, int]]) -> Structure:
+    """A directed graph over universe ``{0..size-1}``."""
+    return Structure(GRAPH_VOCABULARY, size, {"E": frozenset(tuple(e) for e in edges)})
+
+
+def alternating_graph_structure(size: int, edges: Iterable[tuple[int, int]],
+                                universal: Iterable[int]) -> Structure:
+    """An alternating graph (Definition 3.4): ``A`` marks universal vertices."""
+    return Structure(
+        ALTERNATING_GRAPH_VOCABULARY,
+        size,
+        {
+            "E": frozenset(tuple(e) for e in edges),
+            "A": frozenset((v,) for v in universal),
+        },
+    )
+
+
+def path_graph(size: int) -> Structure:
+    """The directed path 0 -> 1 -> ... -> size-1."""
+    return graph_structure(size, [(i, i + 1) for i in range(size - 1)])
+
+
+def cycle_graph(size: int) -> Structure:
+    """The directed cycle on ``size`` vertices."""
+    return graph_structure(size, [(i, (i + 1) % size) for i in range(size)])
+
+
+def random_graph(size: int, edge_probability: float = 0.15, seed: int = 0) -> Structure:
+    """An Erdős–Rényi style directed graph."""
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(size)
+        for v in range(size)
+        if u != v and rng.random() < edge_probability
+    ]
+    return graph_structure(size, edges)
+
+
+def functional_graph(size: int, seed: int = 0) -> Structure:
+    """A graph in which every vertex has out-degree exactly one.
+
+    Deterministic transitive closure (DTC, Corollary 4.4) is the natural
+    reachability notion on these.
+    """
+    rng = random.Random(seed)
+    edges = [(u, rng.randrange(size)) for u in range(size)]
+    return graph_structure(size, edges)
+
+
+def layered_graph(layers: int, width: int, seed: int = 0,
+                  edge_probability: float = 0.5) -> Structure:
+    """A DAG of ``layers`` layers with ``width`` vertices each; edges only go
+    from one layer to the next.  Vertex 0 is in the first layer, the last
+    vertex in the last layer — a standard reachability workload."""
+    rng = random.Random(seed)
+    size = layers * width
+    edges = []
+    for layer in range(layers - 1):
+        for i in range(width):
+            u = layer * width + i
+            for j in range(width):
+                v = (layer + 1) * width + j
+                if rng.random() < edge_probability:
+                    edges.append((u, v))
+    return graph_structure(size, edges)
+
+
+def random_alternating_graph(size: int, edge_probability: float = 0.25,
+                             universal_fraction: float = 0.4, seed: int = 0) -> Structure:
+    """A random alternating graph for AGAP experiments."""
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(size)
+        for v in range(size)
+        if u != v and rng.random() < edge_probability
+    ]
+    universal = [v for v in range(size) if rng.random() < universal_fraction]
+    return alternating_graph_structure(size, edges, universal)
+
+
+def and_or_tree(depth: int) -> Structure:
+    """A complete binary AND/OR tree of the given depth as an alternating
+    graph: the root is vertex 0; internal vertices alternate universal (AND)
+    and existential (OR) by level; leaves have no outgoing edges.
+
+    With this orientation APATH(root, leaf) asks whether the specific leaf is
+    "reachable through the game", which mirrors the and/or game semantics of
+    Definition 3.4.
+    """
+    size = 2 ** (depth + 1) - 1
+    edges = []
+    universal = []
+    for v in range(size):
+        left, right = 2 * v + 1, 2 * v + 2
+        if left < size:
+            edges.append((v, left))
+        if right < size:
+            edges.append((v, right))
+        level = (v + 1).bit_length() - 1
+        if level % 2 == 0 and left < size:
+            universal.append(v)
+    return alternating_graph_structure(size, edges, universal)
+
+
+# ------------------------------------------------------------- permutations
+
+
+def permutations_structure(perms: Sequence[Sequence[int]]) -> Structure:
+    """Encode a sequence of permutations of ``[m]`` as a structure.
+
+    The paper codes the IM_Sn input as tuples ``[i, [j, k]]`` meaning "the
+    i-th permutation maps j to k".  We use a ternary relation ``P(i, j, k)``
+    over a universe large enough to index both the permutations and their
+    domain; the SRL encoding mirrors the nested-pair shape.
+    """
+    count = len(perms)
+    degree = len(perms[0]) if perms else 0
+    for pi in perms:
+        if sorted(pi) != list(range(degree)):
+            raise ValueError(f"not a permutation of range({degree}): {pi}")
+    size = max(count, degree, 1)
+    rows = {(i, j, pi[j]) for i, pi in enumerate(perms) for j in range(degree)}
+    return Structure(Vocabulary.of(P=3), size, {"P": frozenset(rows)})
+
+
+def random_permutations(count: int, degree: int, seed: int = 0) -> list[list[int]]:
+    """``count`` uniformly random permutations of ``range(degree)``."""
+    rng = random.Random(seed)
+    result = []
+    for _ in range(count):
+        pi = list(range(degree))
+        rng.shuffle(pi)
+        result.append(pi)
+    return result

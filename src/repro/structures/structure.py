@@ -1,0 +1,182 @@
+"""Finite logical structures with universe ``{0, ..., n-1}`` (Section 3).
+
+This is the descriptive-complexity encoding of database inputs the paper
+uses: every input is a finite structure over an ordered universe, and SRL
+programs receive it as sets of (tuples of) atoms.  :meth:`Structure.to_database`
+performs that conversion; :func:`from_database` goes the other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core import Atom, Database, make_set, make_tuple
+from repro.core.values import SRLSet, SRLTuple, Value
+
+from .vocabulary import Vocabulary
+
+__all__ = ["Structure", "from_database"]
+
+
+@dataclass
+class Structure:
+    """A finite structure: a universe size and relations over it.
+
+    Relations are stored as frozensets of integer tuples; unary relations
+    still use 1-tuples internally, but :meth:`relation` accepts bare
+    integers for membership tests.
+    """
+
+    vocabulary: Vocabulary
+    size: int
+    relations: dict[str, frozenset[tuple[int, ...]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.vocabulary:
+            self.relations.setdefault(name, frozenset())
+        for name, tuples in self.relations.items():
+            arity = self.vocabulary.arity(name)
+            normalised = set()
+            for item in tuples:
+                row = tuple(item) if isinstance(item, (tuple, list)) else (item,)
+                if len(row) != arity:
+                    raise ValueError(
+                        f"relation {name} expects arity {arity}, got tuple {row}"
+                    )
+                if not all(0 <= v < self.size for v in row):
+                    raise ValueError(f"relation {name} tuple {row} outside universe")
+                normalised.add(tuple(int(v) for v in row))
+            self.relations[name] = frozenset(normalised)
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def universe(self) -> range:
+        return range(self.size)
+
+    def relation(self, name: str) -> frozenset[tuple[int, ...]]:
+        return self.relations[name]
+
+    def holds(self, name: str, *values: int) -> bool:
+        return tuple(values) in self.relations[name]
+
+    def count_tuples(self) -> int:
+        return sum(len(rows) for rows in self.relations.values())
+
+    # ----------------------------------------------------------- conversion
+
+    def to_database(self, include_domain: bool = True,
+                    domain_name: str = "D") -> Database:
+        """Encode the structure as an SRL database.
+
+        Every relation ``R`` becomes a set named ``R``: unary relations are
+        sets of atoms, higher-arity ones sets of tuples of atoms.  When
+        ``include_domain`` is set the ordered universe itself is bound to
+        ``domain_name`` (the paper's ``D`` / ``NODES``), which SRL programs
+        iterate over to simulate quantification and arithmetic.
+        """
+        database = Database()
+        if include_domain:
+            database.bind(domain_name, make_set(*(Atom(i) for i in self.universe)))
+        for name in self.vocabulary:
+            arity = self.vocabulary.arity(name)
+            rows = self.relations[name]
+            if arity == 1:
+                database.bind(name, make_set(*(Atom(row[0]) for row in rows)))
+            else:
+                database.bind(
+                    name,
+                    make_set(*(make_tuple(*(Atom(v) for v in row)) for row in rows)),
+                )
+        return database
+
+    # ------------------------------------------------------------- algebra
+
+    def with_relation(self, name: str, tuples: Iterable[Sequence[int]],
+                      arity: int | None = None) -> "Structure":
+        """A copy of this structure with relation ``name`` replaced/added."""
+        rows = frozenset(tuple(row) for row in tuples)
+        if name in self.vocabulary:
+            vocabulary = self.vocabulary
+        else:
+            if arity is None:
+                arity = len(next(iter(rows), ()))
+                if arity == 0:
+                    raise ValueError("cannot infer arity of an empty new relation")
+            vocabulary = self.vocabulary.extended(**{name: arity})
+        relations = dict(self.relations)
+        relations[name] = rows
+        return Structure(vocabulary, self.size, relations)
+
+    def restrict(self, names: Iterable[str]) -> "Structure":
+        """The reduct of this structure to the given relation symbols."""
+        names = list(names)
+        vocabulary = Vocabulary.of(**{n: self.vocabulary.arity(n) for n in names})
+        return Structure(vocabulary, self.size,
+                         {n: self.relations[n] for n in names})
+
+    def is_isomorphic_by(self, other: "Structure", mapping: Sequence[int]) -> bool:
+        """Check that ``mapping`` (a permutation of the universe) is an
+        isomorphism from this structure onto ``other``."""
+        if self.size != other.size or sorted(mapping) != list(range(self.size)):
+            return False
+        if set(self.vocabulary.names()) != set(other.vocabulary.names()):
+            return False
+        for name in self.vocabulary:
+            image = frozenset(tuple(mapping[v] for v in row) for row in self.relations[name])
+            if image != other.relations[name]:
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Structure)
+            and self.size == other.size
+            and set(self.vocabulary.names()) == set(other.vocabulary.names())
+            and all(self.relations[n] == other.relations[n] for n in self.vocabulary)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(f"{name}:{len(rows)}" for name, rows in sorted(self.relations.items()))
+        return f"Structure(n={self.size}, {sizes})"
+
+
+def from_database(database: Database | Mapping[str, object],
+                  domain_name: str = "D") -> Structure:
+    """Reconstruct a :class:`Structure` from an SRL database produced by
+    :meth:`Structure.to_database` (or shaped like one)."""
+    if not isinstance(database, Database):
+        database = Database(database)
+
+    def ranks_of(value: Value) -> set[tuple[int, ...]]:
+        rows: set[tuple[int, ...]] = set()
+        assert isinstance(value, SRLSet)
+        for element in value.elements:
+            if isinstance(element, Atom):
+                rows.add((element.rank,))
+            elif isinstance(element, SRLTuple):
+                rows.add(tuple(v.rank for v in element if isinstance(v, Atom)))
+            else:
+                raise ValueError(f"cannot reconstruct a relation from {element!r}")
+        return rows
+
+    names = [name for name in database.names() if name != domain_name]
+    arities: dict[str, int] = {}
+    relations: dict[str, frozenset[tuple[int, ...]]] = {}
+    max_rank = -1
+    if domain_name in database:
+        domain_value = database.lookup(domain_name)
+        assert isinstance(domain_value, SRLSet)
+        for element in domain_value.elements:
+            if isinstance(element, Atom):
+                max_rank = max(max_rank, element.rank)
+
+    for name in names:
+        rows = ranks_of(database.lookup(name))
+        arities[name] = max((len(row) for row in rows), default=1)
+        relations[name] = frozenset(rows)
+        for row in rows:
+            max_rank = max(max_rank, max(row, default=-1))
+
+    return Structure(Vocabulary.of(**arities), max_rank + 1, relations)

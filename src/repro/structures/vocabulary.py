@@ -1,0 +1,63 @@
+"""Vocabularies of finite logical structures (Section 3).
+
+A vocabulary ``tau = (R1^{a1}, ..., Rk^{ak})`` is a tuple of relation symbols
+of fixed arities; a problem is a subset of ``STRUCT[tau]``, the set of all
+finite structures of that vocabulary.  Constant symbols (the paper uses
+``0`` and ``n-1``) are handled by the logic layer, which always has access
+to the ordered universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+__all__ = ["Vocabulary", "GRAPH_VOCABULARY", "ALTERNATING_GRAPH_VOCABULARY"]
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """A finite map from relation names to arities."""
+
+    relations: tuple[tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, **arities: int) -> "Vocabulary":
+        """``Vocabulary.of(E=2, A=1)`` — keyword-style constructor."""
+        return cls(tuple(sorted(arities.items())))
+
+    def arity(self, name: str) -> int:
+        for relation, arity in self.relations:
+            if relation == name:
+                return arity
+        raise KeyError(f"unknown relation symbol: {name}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(relation == name for relation, _ in self.relations)
+
+    def __iter__(self) -> Iterator[str]:
+        return (relation for relation, _ in self.relations)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(relation for relation, _ in self.relations)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.relations)
+
+    def extended(self, **arities: int) -> "Vocabulary":
+        """A new vocabulary with extra relation symbols."""
+        merged = self.as_dict()
+        merged.update(arities)
+        return Vocabulary.of(**merged)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}^{arity}" for name, arity in self.relations)
+        return f"<{inner}>"
+
+
+#: Directed graphs: a single binary edge relation.
+GRAPH_VOCABULARY = Vocabulary.of(E=2)
+
+#: Alternating graphs (Definition 3.4): edges plus a unary predicate marking
+#: the universal ("AND") vertices.
+ALTERNATING_GRAPH_VOCABULARY = Vocabulary.of(E=2, A=1)

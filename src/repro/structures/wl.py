@@ -1,0 +1,259 @@
+"""Weisfeiler–Leman colour refinement (1-WL and 2-WL).
+
+Section 7 / Theorem 7.7 of the paper rests on structures that agree on all
+``(FO(wo<=) + count)`` sentences with a bounded number of variables.  The
+textbook correspondence is that equivalence in counting logic with ``k+1``
+variables coincides with indistinguishability under ``k``-dimensional
+Weisfeiler–Leman refinement, so WL is the practical stand-in we use to test
+"a bounded-variable counting logic cannot tell these apart" (see DESIGN.md's
+substitution notes).
+
+The module also contains a colour-aware graph-isomorphism backtracking
+search, used by the tests to confirm that WL-equivalent pairs really are
+non-isomorphic (feasible at the small sizes the experiments use).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .structure import Structure
+
+__all__ = [
+    "ColoredGraph",
+    "color_refinement",
+    "wl1_indistinguishable",
+    "wl2_signature",
+    "wl2_indistinguishable",
+    "find_isomorphism",
+    "are_isomorphic",
+]
+
+
+@dataclass
+class ColoredGraph:
+    """An undirected vertex-coloured graph.
+
+    ``adjacency[v]`` is the set of neighbours of ``v``; ``colors[v]`` is an
+    arbitrary hashable initial colour (vertex class).
+    """
+
+    size: int
+    adjacency: list[set[int]]
+    colors: list
+
+    @classmethod
+    def from_edges(cls, size: int, edges: Sequence[tuple[int, int]],
+                   colors: Sequence | None = None) -> "ColoredGraph":
+        adjacency: list[set[int]] = [set() for _ in range(size)]
+        for u, v in edges:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        return cls(size, adjacency, list(colors) if colors is not None else [0] * size)
+
+    @classmethod
+    def from_structure(cls, structure: Structure, edge_relation: str = "E",
+                       colors: Sequence | None = None) -> "ColoredGraph":
+        edges = [(u, v) for u, v in structure.relation(edge_relation)]
+        return cls.from_edges(structure.size, edges, colors)
+
+    def degree_sequence(self) -> list[int]:
+        return sorted(len(neighbours) for neighbours in self.adjacency)
+
+
+# ------------------------------------------------------------------ 1-WL
+
+
+def color_refinement(graph: ColoredGraph, rounds: int | None = None) -> list[int]:
+    """Run 1-WL colour refinement to stabilisation (or ``rounds`` rounds).
+
+    Returns the final colour of every vertex; colours are canonical integers,
+    comparable *across* graphs refined by this function in the same process
+    only through :func:`wl1_indistinguishable`, which refines both graphs
+    together.
+    """
+    colors = list(graph.colors)
+    limit = rounds if rounds is not None else graph.size
+    for _ in range(max(limit, 1)):
+        signatures = [
+            (colors[v], tuple(sorted(Counter(colors[u] for u in graph.adjacency[v]).items())))
+            for v in range(graph.size)
+        ]
+        palette = {signature: index for index, signature in enumerate(sorted(set(signatures)))}
+        new_colors = [palette[signature] for signature in signatures]
+        if new_colors == colors:
+            break
+        colors = new_colors
+    return colors
+
+
+def wl1_indistinguishable(left: ColoredGraph, right: ColoredGraph) -> bool:
+    """True when 1-WL cannot tell the two graphs apart (same stable colour
+    histogram).  The graphs are refined jointly so colour names align."""
+    if left.size != right.size:
+        return False
+    offset = left.size
+    merged = ColoredGraph(
+        left.size + right.size,
+        [set(neighbours) for neighbours in left.adjacency]
+        + [{u + offset for u in neighbours} for neighbours in right.adjacency],
+        list(left.colors) + list(right.colors),
+    )
+    colors = color_refinement(merged)
+    left_histogram = Counter(colors[:offset])
+    right_histogram = Counter(colors[offset:])
+    return left_histogram == right_histogram
+
+
+# ------------------------------------------------------------------ 2-WL
+
+
+def wl2_signature(graph: ColoredGraph, rounds: int | None = None) -> Counter:
+    """The stable colour histogram of 2-WL (pairs refinement).
+
+    Pair ``(u, v)`` starts with colour (colour(u), colour(v), edge?) and is
+    refined by the multiset of colour pairs ``((u,w), (w,v))`` over all
+    ``w``.  Quadratic in the number of pairs, cubic per round — fine for the
+    experiment sizes.
+    """
+    n = graph.size
+    adjacency = graph.adjacency
+
+    def base_color(u: int, v: int):
+        kind = "loop" if u == v else ("edge" if v in adjacency[u] else "non-edge")
+        return (graph.colors[u], graph.colors[v], kind)
+
+    colors = {(u, v): base_color(u, v) for u in range(n) for v in range(n)}
+    limit = rounds if rounds is not None else n * n
+    for _ in range(max(limit, 1)):
+        signatures = {}
+        for (u, v), color in colors.items():
+            neighbourhood = Counter((colors[(u, w)], colors[(w, v)]) for w in range(n))
+            signatures[(u, v)] = (color, tuple(sorted(neighbourhood.items())))
+        palette = {signature: index
+                   for index, signature in enumerate(sorted(set(signatures.values())))}
+        new_colors = {pair: palette[signature] for pair, signature in signatures.items()}
+        if new_colors == colors:
+            break
+        colors = new_colors
+    return Counter(colors.values())
+
+
+def wl2_indistinguishable(left: ColoredGraph, right: ColoredGraph,
+                          rounds: int | None = None) -> bool:
+    """True when 2-WL produces the same stable colour histogram.
+
+    As with 1-WL the graphs are refined jointly (as one disjoint union) so
+    that colour identities are shared.
+    """
+    if left.size != right.size:
+        return False
+    offset = left.size
+    merged = ColoredGraph(
+        left.size + right.size,
+        [set(neighbours) for neighbours in left.adjacency]
+        + [{u + offset for u in neighbours} for neighbours in right.adjacency],
+        list(left.colors) + list(right.colors),
+    )
+    n = merged.size
+    adjacency = merged.adjacency
+
+    def base_color(u: int, v: int):
+        kind = "loop" if u == v else ("edge" if v in adjacency[u] else "non-edge")
+        return (merged.colors[u], merged.colors[v], kind)
+
+    colors = {(u, v): base_color(u, v) for u in range(n) for v in range(n)}
+    limit = rounds if rounds is not None else n
+    for _ in range(max(limit, 1)):
+        signatures = {}
+        for (u, v), color in colors.items():
+            neighbourhood = Counter((colors[(u, w)], colors[(w, v)]) for w in range(n))
+            signatures[(u, v)] = (color, tuple(sorted(neighbourhood.items())))
+        palette = {signature: index
+                   for index, signature in enumerate(sorted(set(signatures.values())))}
+        new_colors = {pair: palette[signature] for pair, signature in signatures.items()}
+        if new_colors == colors:
+            break
+        colors = new_colors
+
+    left_histogram = Counter(
+        colors[(u, v)] for u in range(offset) for v in range(offset)
+    )
+    right_histogram = Counter(
+        colors[(u, v)] for u in range(offset, n) for v in range(offset, n)
+    )
+    return left_histogram == right_histogram
+
+
+# ------------------------------------------------------- isomorphism search
+
+
+def find_isomorphism(left: ColoredGraph, right: ColoredGraph) -> Optional[list[int]]:
+    """A colour-pruned backtracking isomorphism search.
+
+    Returns a vertex mapping (``mapping[u]`` in the right graph corresponds
+    to ``u`` in the left graph) or ``None``.  Intended for the small
+    instances used in tests and benchmarks; WL colours are used to prune the
+    search space aggressively.
+    """
+    if left.size != right.size:
+        return None
+    if sorted(map(len, left.adjacency)) != sorted(map(len, right.adjacency)):
+        return None
+
+    left_colors = color_refinement(
+        ColoredGraph(left.size, left.adjacency, list(left.colors))
+    )
+    right_colors = color_refinement(
+        ColoredGraph(right.size, right.adjacency, list(right.colors))
+    )
+    # A valid mapping can only send a vertex to one with an identical initial
+    # colour; refined colours must match as multisets for an isomorphism to
+    # exist at all, but individual refined colours are graph-local, so we key
+    # candidates on (initial colour, degree) and use refined colours only for
+    # candidate ordering.
+    if Counter(left.colors) != Counter(right.colors):
+        return None
+
+    order = sorted(range(left.size), key=lambda v: (left_colors[v], -len(left.adjacency[v])))
+    mapping: list[Optional[int]] = [None] * left.size
+    used = [False] * right.size
+
+    def compatible(u: int, v: int) -> bool:
+        if left.colors[u] != right.colors[v]:
+            return False
+        if len(left.adjacency[u]) != len(right.adjacency[v]):
+            return False
+        for w in range(left.size):
+            image = mapping[w]
+            if image is None:
+                continue
+            if (w in left.adjacency[u]) != (image in right.adjacency[v]):
+                return False
+        return True
+
+    def backtrack(position: int) -> bool:
+        if position == len(order):
+            return True
+        u = order[position]
+        for v in range(right.size):
+            if used[v] or not compatible(u, v):
+                continue
+            mapping[u] = v
+            used[v] = True
+            if backtrack(position + 1):
+                return True
+            mapping[u] = None
+            used[v] = False
+        return False
+
+    if backtrack(0):
+        return [m for m in mapping if m is not None] if None not in mapping else None
+    return None
+
+
+def are_isomorphic(left: ColoredGraph, right: ColoredGraph) -> bool:
+    """True when the two coloured graphs are isomorphic."""
+    return find_isomorphism(left, right) is not None

@@ -1,0 +1,108 @@
+"""Tests for the complexity-class landscape (Figure 1, hierarchy, classifier)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity import (
+    LOGSPACE,
+    MACHINE_CLASSES,
+    PRIMREC,
+    PTIME,
+    classify_program,
+    figure1_lattice,
+    hierarchy_level,
+    iterated_powerset_size,
+    tower,
+)
+from repro.core.typecheck import database_types
+from repro.queries import (
+    agap_database,
+    agap_program,
+    even_database,
+    even_program,
+    powerset_database,
+    powerset_program,
+)
+from repro.queries.powerset import doubling_list_program
+from repro.structures import random_alternating_graph
+
+
+class TestFigure1:
+    def test_chain_order(self):
+        lattice = figure1_lattice()
+        names = [c.name for c in lattice.chain()]
+        assert names[0] == "(FO(wo<=) + LFP)"
+        assert names[-1] == "(FO + LFP) = P"
+
+    def test_containment_is_transitive_and_antisymmetric(self):
+        lattice = figure1_lattice()
+        assert lattice.is_contained("fo_lfp_unordered", "p")
+        assert not lattice.is_contained("p", "fo_lfp_unordered")
+        assert lattice.is_contained("order_independent_p", "order_independent_p")
+
+    def test_every_edge_is_proper_and_has_a_witness(self):
+        lattice = figure1_lattice()
+        edges = list(lattice.edges())
+        assert len(edges) == 3
+        for edge in edges:
+            assert edge.proper
+            assert edge.witness
+            assert edge.evidence
+
+    def test_unknown_class_rejected(self):
+        from repro.complexity.classes import Containment
+
+        lattice = figure1_lattice()
+        with pytest.raises(KeyError):
+            lattice.add_containment(Containment("p", "nonsense", True, "", ""))
+
+
+class TestHierarchy:
+    def test_tower(self):
+        assert tower(0, 5) == 5
+        assert tower(1, 3) == 8
+        assert tower(2, 2) == 16
+        with pytest.raises(ValueError):
+            tower(-1, 2)
+
+    def test_iterated_powerset_size(self):
+        assert iterated_powerset_size(0, 4) == 4
+        assert iterated_powerset_size(1, 4) == 16
+        assert iterated_powerset_size(2, 2) == 16
+
+    def test_levels(self):
+        assert "P" in hierarchy_level(1).time_class
+        assert "EXPTIME" in hierarchy_level(2).time_class
+        assert "2_2" in hierarchy_level(3).time_class
+        with pytest.raises(ValueError):
+            hierarchy_level(0)
+
+    def test_machine_classes_have_references(self):
+        for cls in MACHINE_CLASSES:
+            assert cls.paper_reference
+            assert cls.captured_by
+
+
+class TestClassifier:
+    def test_agap_is_p(self):
+        graph = random_alternating_graph(4, seed=0)
+        verdict = classify_program(agap_program(), database_types(agap_database(graph)))
+        assert verdict.machine_class is PTIME
+        assert verdict.restriction.name == "SRL"
+        assert "P" in verdict.summary()
+
+    def test_even_is_logspace(self):
+        verdict = classify_program(even_program(), database_types(even_database(4)))
+        assert verdict.machine_class is LOGSPACE
+
+    def test_powerset_sits_in_the_hierarchy(self):
+        verdict = classify_program(powerset_program(), database_types(powerset_database(3)))
+        assert verdict.machine_class is None
+        assert verdict.hierarchy is not None
+        assert verdict.hierarchy.set_height == 2
+
+    def test_lists_are_primrec(self):
+        verdict = classify_program(doubling_list_program(),
+                                   database_types(powerset_database(3)))
+        assert verdict.machine_class is PRIMREC

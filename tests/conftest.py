@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core import Atom, Database, Evaluator, make_set, make_tuple, standard_library
+
+# The SRL interpreter is deliberately a straightforward tree-walker, so some
+# property tests run it thousands of times.  The default profile keeps the
+# suite thorough but bounded; export REPRO_HYPOTHESIS_PROFILE=thorough for a
+# deeper (slower) run.
+settings.register_profile(
+    "default",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=200, deadline=None)
+settings.register_profile("quick", max_examples=15, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
+
+
+@pytest.fixture
+def stdlib():
+    """A fresh standard-library program (Fact 2.4 definitions)."""
+    return standard_library()
+
+
+@pytest.fixture
+def evaluator(stdlib):
+    """An evaluator over the standard library."""
+    return Evaluator(stdlib)
+
+
+@pytest.fixture
+def small_sets():
+    """A pair of small atom sets used across stdlib tests."""
+    s = make_set(Atom(1), Atom(2), Atom(3))
+    t = make_set(Atom(3), Atom(4))
+    return s, t
+
+
+@pytest.fixture
+def edge_database():
+    """A tiny directed graph as a database: EDGES of pairs, NODES of atoms."""
+    nodes = [Atom(i) for i in range(5)]
+    edges = [(0, 1), (1, 2), (2, 3), (0, 4)]
+    return Database({
+        "NODES": make_set(*nodes),
+        "EDGES": make_set(*(make_tuple(Atom(a), Atom(b)) for a, b in edges)),
+    })

@@ -1,0 +1,269 @@
+"""Tests for the operational semantics (Section 2 reduction rules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Atom,
+    Database,
+    EvaluationLimits,
+    Evaluator,
+    Program,
+    ResourceLimitExceeded,
+    SRLList,
+    SRLRuntimeError,
+    make_set,
+    make_tuple,
+    parse_expression,
+    parse_program,
+    run_expression,
+    run_program,
+)
+from repro.core import builders as b
+from repro.core.errors import SRLNameError
+
+
+def run(text: str, **bindings):
+    return run_expression(parse_expression(text), bindings)
+
+
+class TestBasicRules:
+    def test_boolean_constants(self):
+        assert run("true") is True
+        assert run("false") is False
+
+    def test_if_true_selects_first_branch(self):
+        assert run("(if true (atom 1) (atom 2))") == Atom(1)
+
+    def test_if_false_selects_second_branch(self):
+        assert run("(if false (atom 1) (atom 2))") == Atom(2)
+
+    def test_if_branches_are_lazy(self):
+        # The untaken branch would fail (choose of emptyset) if evaluated.
+        assert run("(if true (atom 1) (choose emptyset))") == Atom(1)
+
+    def test_if_requires_boolean_condition(self):
+        with pytest.raises(SRLRuntimeError):
+            run("(if (atom 1) true false)")
+
+    def test_tuple_construction_and_selection(self):
+        assert run("(sel 1 (tuple (atom 4) (atom 5)))") == Atom(4)
+        assert run("(sel 2 (tuple (atom 4) (atom 5)))") == Atom(5)
+
+    def test_select_on_non_tuple_raises(self):
+        with pytest.raises(SRLRuntimeError):
+            run("(sel 1 (atom 3))")
+
+    def test_equality_on_tuples_is_componentwise(self):
+        assert run("(= (tuple (atom 1) (atom 2)) (tuple (atom 1) (atom 2)))") is True
+        assert run("(= (tuple (atom 1) (atom 2)) (tuple (atom 2) (atom 1)))") is False
+
+    def test_equality_on_sets_ignores_insertion_order(self):
+        text = "(= (insert (atom 1) (insert (atom 2) emptyset)) (insert (atom 2) (insert (atom 1) emptyset)))"
+        assert run(text) is True
+
+    def test_less_equal_uses_implementation_order(self):
+        assert run("(<= (atom 1) (atom 2))") is True
+        assert run("(<= (atom 2) (atom 1))") is False
+
+    def test_insert_builds_sets(self):
+        value = run("(insert (atom 1) (insert (atom 1) emptyset))")
+        assert value == make_set(Atom(1))
+
+    def test_insert_into_non_set_raises(self):
+        with pytest.raises(SRLRuntimeError):
+            run("(insert (atom 1) (atom 2))")
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(SRLNameError):
+            run("UNKNOWN")
+
+    def test_database_binding(self):
+        assert run("S", S=make_set(Atom(7))) == make_set(Atom(7))
+
+
+class TestSetReduce:
+    def test_empty_set_returns_base(self):
+        text = "(set-reduce emptyset (lambda (x e) x) (lambda (a r) (insert a r)) (atom 9) emptyset)"
+        assert run(text) == Atom(9)
+
+    def test_fold_matches_recursive_definition(self):
+        # Copy a set by folding insert: the result must equal the input.
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+        s = make_set(Atom(3), Atom(1), Atom(2))
+        assert run(text, S=s) == s
+
+    def test_traversal_threads_accumulator_in_ascending_order(self):
+        # The accumulator visits the smallest element first, so returning `a`
+        # unconditionally leaves the value produced for the *largest* element.
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) a) (atom 99) emptyset)"
+        assert run(text, S=make_set(Atom(5), Atom(2), Atom(7))) == Atom(7)
+
+    def test_accumulator_sees_smaller_elements_first(self):
+        # Keep the first element scanned (only overwrite the sentinel once):
+        # that element must be the minimum of the set.
+        text = """(set-reduce S (lambda (x e) x)
+                              (lambda (a r) (if (= r (atom 99)) a r))
+                              (atom 99) emptyset)"""
+        assert run(text, S=make_set(Atom(5), Atom(2), Atom(7))) == Atom(2)
+
+    def test_extra_threads_context(self):
+        # member(x, S) via extra.
+        text = """(set-reduce S (lambda (e x) (= e x))
+                              (lambda (a r) (if a true r)) false X)"""
+        assert run(text, S=make_set(Atom(1), Atom(2)), X=Atom(2)) is True
+        assert run(text, S=make_set(Atom(1), Atom(2)), X=Atom(5)) is False
+
+    def test_lambda_scope_is_local(self):
+        # An inner lambda cannot see an outer lambda's parameters: the
+        # paper requires all reference to be local (extra exists for that).
+        text = """(set-reduce S
+                    (lambda (x e)
+                      (set-reduce e (lambda (y z) x) (lambda (a r) a) (atom 0) emptyset))
+                    (lambda (a r) a)
+                    (atom 0) T)"""
+        with pytest.raises(SRLNameError):
+            run(text, S=make_set(Atom(1)), T=make_set(Atom(2)))
+
+    def test_reduce_over_non_set_raises(self):
+        text = "(set-reduce (atom 1) (lambda (x e) x) (lambda (a r) r) true emptyset)"
+        with pytest.raises(SRLRuntimeError):
+            run(text)
+
+    def test_standalone_lambda_rejected(self):
+        with pytest.raises(SRLRuntimeError):
+            run("(lambda (x y) x)")
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=10))
+    def test_identity_copy_for_arbitrary_sets(self, ranks):
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+        s = make_set(*(Atom(r) for r in ranks))
+        assert run(text, S=s) == s
+
+
+class TestFunctionCalls:
+    def test_composition(self):
+        program = parse_program("""
+        (define (not a) (if a false true))
+        (define (nand a b) (not (if a b false)))
+        (nand true true)
+        """)
+        assert run_program(program) is False
+
+    def test_arity_mismatch(self):
+        program = parse_program("(define (id x) x) (id true false)")
+        with pytest.raises(SRLRuntimeError):
+            run_program(program)
+
+    def test_unknown_function(self):
+        with pytest.raises(SRLNameError):
+            run("(mystery true)")
+
+    def test_recursion_is_rejected(self):
+        program = parse_program("(define (loop x) (loop x)) (loop true)")
+        with pytest.raises(SRLRuntimeError):
+            run_program(program)
+
+    def test_mutual_recursion_is_rejected(self):
+        program = parse_program("""
+        (define (f x) (g x))
+        (define (g x) (f x))
+        (f true)
+        """)
+        with pytest.raises(SRLRuntimeError):
+            run_program(program)
+
+    def test_call_helper(self):
+        program = parse_program("(define (second p) (sel 2 p))")
+        value = Evaluator(program).call("second", make_tuple(Atom(1), Atom(2)))
+        assert value == Atom(2)
+
+
+class TestExtensions:
+    def test_new_returns_fresh_atom(self):
+        s = make_set(Atom(0), Atom(1), Atom(2))
+        fresh = run("(new S)", S=s)
+        assert isinstance(fresh, Atom)
+        assert fresh not in s
+
+    def test_new_can_be_disabled(self):
+        expr = parse_expression("(new S)")
+        limits = EvaluationLimits(allow_new=False)
+        with pytest.raises(SRLRuntimeError):
+            run_expression(expr, {"S": make_set(Atom(0))}, limits=limits)
+
+    def test_choose_and_rest(self):
+        s = make_set(Atom(3), Atom(1), Atom(2))
+        assert run("(choose S)", S=s) == Atom(1)
+        assert run("(rest S)", S=s) == make_set(Atom(2), Atom(3))
+
+    def test_list_cons_and_reduce(self):
+        text = """(list-reduce L (lambda (x e) x)
+                               (lambda (a r) (cons a r)) emptylist emptylist)"""
+        xs = SRLList([Atom(1), Atom(2), Atom(1)])
+        assert run(text, L=xs) == xs
+
+    def test_lists_preserve_duplicates_unlike_sets(self):
+        # cons the same element twice: the list has length 2, the set size 1.
+        duplicate_list = run("(cons (atom 1) (cons (atom 1) emptylist))")
+        assert len(duplicate_list) == 2
+        duplicate_set = run("(insert (atom 1) (insert (atom 1) emptyset))")
+        assert len(duplicate_set) == 1
+
+    def test_lists_can_be_disabled(self):
+        limits = EvaluationLimits(allow_lists=False)
+        with pytest.raises(SRLRuntimeError):
+            run_expression(parse_expression("emptylist"), limits=limits)
+
+
+class TestInstrumentation:
+    def test_step_limit(self):
+        program = Program(main=parse_expression(
+            "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+        ))
+        evaluator = Evaluator(program, EvaluationLimits(max_steps=5))
+        with pytest.raises(ResourceLimitExceeded):
+            evaluator.run({"S": make_set(*(Atom(i) for i in range(50)))})
+
+    def test_insert_counting(self):
+        program = Program(main=parse_expression(
+            "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+        ))
+        evaluator = Evaluator(program)
+        evaluator.run({"S": make_set(*(Atom(i) for i in range(10)))})
+        assert evaluator.stats.inserts == 10
+        assert evaluator.stats.set_reduce_iterations == 10
+        assert evaluator.stats.max_set_size == 10
+
+    def test_set_size_limit(self):
+        program = Program(main=parse_expression(
+            "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+        ))
+        evaluator = Evaluator(program, EvaluationLimits(max_set_size=3))
+        with pytest.raises(ResourceLimitExceeded):
+            evaluator.run({"S": make_set(*(Atom(i) for i in range(10)))})
+
+    def test_stats_as_dict(self):
+        evaluator = Evaluator(Program(main=parse_expression("true")))
+        evaluator.run({})
+        assert evaluator.stats.as_dict()["steps"] >= 1
+
+
+class TestAtomOrderPermutation:
+    def test_choose_respects_permuted_order(self):
+        s = make_set(Atom(0), Atom(1), Atom(2))
+        expr = parse_expression("(choose S)")
+        # Natural order: minimum is atom 0.
+        assert run_expression(expr, {"S": s}) == Atom(0)
+        # Under the reversed order, atom 2 comes first.
+        assert run_expression(expr, {"S": s}, atom_order=(2, 1, 0)) == Atom(2)
+
+    def test_order_independent_result_is_stable(self):
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+        expr = parse_expression(text)
+        s = make_set(Atom(0), Atom(1), Atom(2))
+        natural = run_expression(expr, {"S": s})
+        permuted = run_expression(expr, {"S": s}, atom_order=(2, 0, 1))
+        assert natural == permuted

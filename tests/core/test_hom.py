@@ -1,0 +1,107 @@
+"""Tests for the Machiavelli hom operator (Section 7)."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Atom, make_set, run_expression, standard_library
+from repro.core import builders as b
+from repro.core.hom import ProperHomViolation, check_proper, count_hom, hom, hom_expr
+from repro.core.values import value_to_python
+
+
+class TestHomReference:
+    def test_empty_set_returns_z(self):
+        assert hom(lambda x: x, operator.add, 42, []) == 42
+
+    def test_hom_definition_unfolds_right(self):
+        # hom(f, op, z, {x1, x2}) = op(f(x1), op(f(x2), z))
+        trace = []
+
+        def op(a, r):
+            trace.append((a, r))
+            return a + r
+
+        assert hom(lambda x: x * 10, op, 0, [1, 2]) == 30
+        assert trace == [(20, 0), (10, 20)]
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), max_size=20))
+    def test_proper_hom_is_order_independent(self, xs):
+        forward = hom(lambda x: x, operator.add, 0, xs)
+        backward = hom(lambda x: x, operator.add, 0, list(reversed(xs)))
+        assert forward == backward == sum(xs)
+
+    def test_improper_hom_can_depend_on_order(self):
+        # Subtraction is not commutative: the two traversals disagree.
+        forward = hom(lambda x: x, operator.sub, 0, [1, 2])
+        backward = hom(lambda x: x, operator.sub, 0, [2, 1])
+        assert forward != backward
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=15))
+    def test_count_hom(self, xs):
+        assert count_hom(xs) == len(xs)
+
+
+class TestProperCheck:
+    def test_addition_is_proper(self):
+        assert check_proper(operator.add, [0, 1, 2, 5])
+
+    def test_max_is_proper(self):
+        assert check_proper(max, [0, 1, 7])
+
+    def test_subtraction_is_not_proper(self):
+        assert not check_proper(operator.sub, [0, 1, 2])
+
+    def test_strict_mode_raises_with_witness(self):
+        with pytest.raises(ProperHomViolation):
+            check_proper(operator.sub, [0, 1], strict=True)
+
+    def test_non_associative_operator_is_caught(self):
+        # Average is commutative but not associative.
+        average = lambda x, y: (x + y) / 2
+        assert not check_proper(average, [0.0, 1.0, 2.0])
+
+
+class TestHomToSRL:
+    def test_hom_expr_translates_to_set_reduce(self):
+        # hom(identity, union-of-singletons, {}, S) re-creates S.
+        expr = hom_expr(
+            b.var("S"),
+            f_body=lambda x, e: b.insert(x, b.emptyset()),
+            op_name="union",
+            z=b.emptyset(),
+        )
+        s = make_set(Atom(1), Atom(4), Atom(2))
+        result = run_expression(expr, {"S": s}, program=standard_library())
+        assert result == s
+
+    def test_hom_expr_boolean_or(self):
+        # hom(x = pivot, or, false, S) is membership.
+        expr = hom_expr(
+            b.var("S"),
+            f_body=lambda x, e: b.eq(x, e),
+            op_name="or",
+            z=b.false(),
+            extra=b.var("pivot"),
+        )
+        s = make_set(Atom(1), Atom(4))
+        lib = standard_library()
+        assert run_expression(expr, {"S": s, "pivot": Atom(4)}, program=lib) is True
+        assert run_expression(expr, {"S": s, "pivot": Atom(9)}, program=lib) is False
+
+    def test_hom_expr_matches_python_hom(self):
+        expr = hom_expr(
+            b.var("S"),
+            f_body=lambda x, e: b.insert(x, b.emptyset()),
+            op_name="union",
+            z=b.emptyset(),
+        )
+        ranks = {3, 1, 4, 1, 5}
+        srl_result = run_expression(
+            expr, {"S": make_set(*(Atom(r) for r in ranks))}, program=standard_library()
+        )
+        python_result = hom(lambda x: {x}, lambda a, r: a | r, set(), ranks)
+        assert value_to_python(srl_result) == frozenset(python_result)

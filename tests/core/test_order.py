@@ -1,0 +1,118 @@
+"""Tests for Section 7: order dependence and its detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Atom,
+    Program,
+    make_set,
+    make_tuple,
+    parse_expression,
+    standard_library,
+    with_standard_library,
+)
+from repro.core import builders as b
+from repro.core.order import (
+    certify_order_independence,
+    domain_size_of_database,
+    probe_order_independence,
+)
+from repro.core.stdlib import forsome_expr, select_expr
+
+
+def purple_first_program() -> Program:
+    """The paper's order-dependent example: Purple(First(S)) — here,
+    "the first element of S (in the implementation order) is atom 0"."""
+    return Program(main=parse_expression("(= (choose S) (atom 0))"))
+
+
+def copy_program() -> Program:
+    return Program(main=parse_expression(
+        "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+    ))
+
+
+class TestDomainSize:
+    def test_counts_max_rank_plus_one(self):
+        database = {"S": make_set(Atom(0), Atom(4)), "T": make_set(make_tuple(Atom(7), Atom(1)))}
+        assert domain_size_of_database(database) == 8
+
+    def test_empty_database(self):
+        assert domain_size_of_database({}) == 0
+
+
+class TestEmpiricalTester:
+    def test_order_independent_program_passes(self):
+        report = probe_order_independence(copy_program(), {"S": make_set(Atom(0), Atom(3), Atom(5))})
+        assert report.independent
+        assert report.witness_permutation is None
+
+    def test_order_dependent_program_is_caught(self):
+        report = probe_order_independence(
+            purple_first_program(), {"S": make_set(Atom(0), Atom(3), Atom(5))}, trials=50
+        )
+        assert not report.independent
+        assert report.witness_permutation is not None
+        assert report.witness_value != report.baseline
+
+    def test_boolean_query_via_stdlib_is_independent(self):
+        program = standard_library()
+        program.main = parse_expression("(member (atom 3) S)")
+        report = probe_order_independence(program, {"S": make_set(Atom(1), Atom(3))})
+        assert report.independent
+
+    def test_report_is_truthy_iff_independent(self):
+        report = probe_order_independence(copy_program(), {"S": make_set(Atom(1))}, trials=3)
+        assert bool(report)
+
+
+class TestStructuralCertifier:
+    def test_insert_accumulator_is_certified(self):
+        assert certify_order_independence(copy_program()).certified
+
+    def test_choose_blocks_certification(self):
+        certificate = certify_order_independence(purple_first_program())
+        assert not certificate.certified
+        assert any("order" in reason for reason in certificate.reasons)
+
+    def test_leq_blocks_certification(self):
+        program = Program(main=parse_expression("(<= (atom 1) (atom 2))"))
+        assert not certify_order_independence(program).certified
+
+    def test_proper_call_accumulator_is_certified(self):
+        program = with_standard_library(Program())
+        program.main = forsome_expr(b.var("S"), lambda x, e: b.eq(x, b.atom(2)))
+        assert certify_order_independence(program).certified
+
+    def test_guarded_insert_accumulator_is_certified(self):
+        program = with_standard_library(Program())
+        program.main = select_expr(b.var("S"), lambda x, e: b.eq(x, b.atom(1)))
+        assert certify_order_independence(program).certified
+
+    def test_unreachable_definitions_are_ignored(self):
+        # An unused order-sensitive helper must not block the certificate.
+        program = Program(main=parse_expression("(= S S)"))
+        program.define(b.define("first", ["S"], parse_expression("(choose S)")))
+        assert certify_order_independence(program).certified
+
+    def test_certifier_is_sound_on_the_empirical_tester(self):
+        # Everything the structural check certifies must pass the empirical
+        # test (the converse need not hold).
+        programs = [copy_program(), with_standard_library(Program())]
+        programs[1].main = forsome_expr(b.var("S"), lambda x, e: b.eq(x, b.atom(2)))
+        database = {"S": make_set(Atom(0), Atom(2), Atom(4))}
+        for program in programs:
+            if certify_order_independence(program).certified:
+                assert probe_order_independence(program, database, trials=10).independent
+
+    def test_unknown_is_not_a_false_negative_proof(self):
+        # `unknown` can coexist with actual independence: the accumulator
+        # below always returns its second argument, which is independent but
+        # not a recognised proper shape.
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) r) true emptyset)"
+        program = Program(main=parse_expression(text))
+        assert not certify_order_independence(program).certified
+        report = probe_order_independence(program, {"S": make_set(Atom(1), Atom(2))})
+        assert report.independent

@@ -1,0 +1,168 @@
+"""Tests for the s-expression parser and the pretty-printer round trip."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    BoolConst,
+    Call,
+    EmptySet,
+    If,
+    Insert,
+    Lambda,
+    SetReduce,
+    TupleExpr,
+    Var,
+    free_variables,
+    parse_expression,
+    parse_program,
+    pretty,
+    pretty_program,
+)
+from repro.core import builders as b
+from repro.core.errors import SRLSyntaxError
+
+
+class TestParseExpressions:
+    def test_booleans(self):
+        assert parse_expression("true") == BoolConst(True)
+        assert parse_expression("false") == BoolConst(False)
+
+    def test_emptyset(self):
+        assert parse_expression("emptyset") == EmptySet()
+
+    def test_variable(self):
+        assert parse_expression("EDGES") == Var("EDGES")
+
+    def test_if(self):
+        expr = parse_expression("(if true false true)")
+        assert isinstance(expr, If)
+        assert expr.cond == BoolConst(True)
+
+    def test_tuple_and_select(self):
+        expr = parse_expression("(sel 2 (tuple x y))")
+        assert expr == b.sel(2, b.tup(b.var("x"), b.var("y")))
+
+    def test_atom_and_nat_literals(self):
+        assert parse_expression("(atom 3)") == b.atom(3)
+        assert parse_expression("(nat 7)") == b.nat(7)
+
+    def test_bare_integer_is_rejected(self):
+        with pytest.raises(SRLSyntaxError):
+            parse_expression("42")
+
+    def test_set_reduce(self):
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) T emptyset)"
+        expr = parse_expression(text)
+        assert isinstance(expr, SetReduce)
+        assert isinstance(expr.app, Lambda)
+        assert expr.app.params == ("x", "e")
+        assert isinstance(expr.acc.body, Insert)
+
+    def test_call_of_unknown_head_becomes_call(self):
+        expr = parse_expression("(union S T)")
+        assert expr == Call("union", (Var("S"), Var("T")))
+
+    def test_comments_are_ignored(self):
+        expr = parse_expression("(if true ; comment here\n false true)")
+        assert isinstance(expr, If)
+
+    def test_new_choose_rest_cons(self):
+        assert parse_expression("(new S)") == b.new(b.var("S"))
+        assert parse_expression("(choose S)") == b.choose(b.var("S"))
+        assert parse_expression("(rest S)") == b.rest(b.var("S"))
+        assert parse_expression("(cons x emptylist)") == b.cons(b.var("x"), b.emptylist())
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "(if true false)",            # wrong arity
+        "(sel x y)",                  # non-integer index
+        "(lambda (x) x)",             # lambda needs two parameters
+        "(insert x)",                 # wrong arity
+        "(",                          # unbalanced
+        "()",                         # empty form
+        "(define (f x) x)",           # define not allowed in expressions
+        "(set-reduce S (lambda (x e) x) x base extra)",   # acc not a lambda
+    ])
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(SRLSyntaxError):
+            parse_expression(text)
+
+    def test_trailing_input_raises(self):
+        with pytest.raises(SRLSyntaxError):
+            parse_expression("true false")
+
+    def test_error_carries_location(self):
+        with pytest.raises(SRLSyntaxError) as excinfo:
+            parse_expression("(if true\n false)")
+        assert "line" in str(excinfo.value)
+
+
+class TestParsePrograms:
+    def test_definitions_and_main(self):
+        program = parse_program("""
+        ; negation, defined from if-then-else
+        (define (not a) (if a false true))
+        (define (and a b) (if a b false))
+        (and (not false) true)
+        """)
+        assert set(program.definitions) == {"not", "and"}
+        assert isinstance(program.main, Call)
+
+    def test_program_without_main(self):
+        program = parse_program("(define (id x) x)")
+        assert program.main is None
+        assert "id" in program.definitions
+
+    def test_pretty_program_roundtrip(self):
+        program = parse_program("""
+        (define (not a) (if a false true))
+        (not true)
+        """)
+        reparsed = parse_program(pretty_program(program))
+        assert reparsed.definitions.keys() == program.definitions.keys()
+        assert reparsed.main == program.main
+
+
+# ------------------------------------------------------- property-based tests
+
+_names = st.sampled_from(["x", "y", "S", "T", "acc", "value"])
+
+
+def _expressions(depth: int = 3):
+    leaves = st.one_of(
+        st.booleans().map(BoolConst),
+        _names.map(Var),
+        st.just(EmptySet()),
+        st.integers(min_value=0, max_value=9).map(b.atom),
+    )
+    if depth == 0:
+        return leaves
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        leaves,
+        st.tuples(sub, sub, sub).map(lambda t: If(*t)),
+        st.lists(sub, min_size=1, max_size=3).map(lambda xs: TupleExpr(tuple(xs))),
+        st.tuples(st.integers(min_value=1, max_value=3), sub).map(lambda t: b.sel(*t)),
+        st.tuples(sub, sub).map(lambda t: b.eq(*t)),
+        st.tuples(sub, sub).map(lambda t: b.insert(*t)),
+        st.tuples(sub, sub, sub, sub).map(
+            lambda t: b.set_reduce(t[0], b.lam("x", "e", t[1]), b.lam("a", "r", t[2]), t[3])
+        ),
+        st.tuples(st.sampled_from(["union", "member", "f"]), sub, sub).map(
+            lambda t: Call(t[0], (t[1], t[2]))
+        ),
+    )
+
+
+class TestRoundTrip:
+    @given(_expressions())
+    def test_parse_of_pretty_is_identity(self, expr):
+        assert parse_expression(pretty(expr)) == expr
+
+    @given(_expressions())
+    def test_free_variables_survive_roundtrip(self, expr):
+        assert free_variables(parse_expression(pretty(expr))) == free_variables(expr)

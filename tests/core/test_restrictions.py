@@ -1,0 +1,150 @@
+"""Tests for the language-restriction checkers (SRL, BASRL, SRFO, LRL...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ATOM,
+    NAT,
+    Program,
+    RestrictionViolation,
+    parse_expression,
+    parse_program,
+    set_of,
+    standard_library,
+    tuple_of,
+)
+from repro.core.restrictions import (
+    ALL_RESTRICTIONS,
+    BASRL,
+    LRL,
+    SRFO_DTC,
+    SRFO_TC,
+    SRL,
+    SRL_NEW,
+    UNRESTRICTED_SRL,
+    strictest_restriction,
+)
+
+
+COPY = "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+MIN_TRACKER = """(set-reduce S (lambda (x e) x)
+                   (lambda (a r) (if (<= a (sel 1 r)) (tuple a) r))
+                   (tuple (atom 0)) emptyset)"""
+
+
+def program_of(text: str) -> Program:
+    return Program(main=parse_expression(text))
+
+
+class TestSRL:
+    def test_copy_program_is_in_srl(self):
+        assert SRL.is_member(program_of(COPY), {"S": set_of(ATOM)})
+
+    def test_set_of_sets_input_is_rejected(self):
+        violations = SRL.check(program_of(COPY), {"S": set_of(set_of(ATOM))})
+        assert violations
+        assert any("set-height" in v for v in violations)
+
+    def test_new_is_rejected(self):
+        violations = SRL.check(program_of("(insert (new S) S)"), {"S": set_of(ATOM)})
+        assert any("new" in v for v in violations)
+
+    def test_lists_are_rejected(self):
+        violations = SRL.check(program_of("(cons (atom 1) emptylist)"))
+        assert any("lists" in v for v in violations)
+
+    def test_set_of_naturals_is_rejected(self):
+        violations = SRL.check(program_of("(insert (nat 1) N)"), {"N": set_of(NAT)})
+        assert any("naturals" in v for v in violations)
+
+    def test_assert_member_raises_with_details(self):
+        with pytest.raises(RestrictionViolation) as excinfo:
+            SRL.assert_member(program_of("(insert (new S) S)"), {"S": set_of(ATOM)})
+        assert excinfo.value.restriction == "SRL"
+        assert excinfo.value.violations
+
+    def test_metadata(self):
+        assert SRL.complexity_class == "P"
+        assert "3.10" in SRL.paper_reference
+
+
+class TestBASRL:
+    def test_flat_accumulator_is_accepted(self):
+        assert BASRL.is_member(program_of(MIN_TRACKER), {"S": set_of(ATOM)})
+
+    def test_set_building_accumulator_is_rejected(self):
+        violations = BASRL.check(program_of(COPY), {"S": set_of(ATOM)})
+        assert any("accumulator" in v for v in violations)
+
+    def test_syntactic_fallback_without_types(self):
+        # Without input types BASRL falls back to a syntactic check: an
+        # insert inside an accumulator body is flagged.
+        violations = BASRL.check(program_of(COPY))
+        assert violations
+
+    def test_basrl_is_contained_in_srl(self):
+        program = program_of(MIN_TRACKER)
+        assert BASRL.is_member(program, {"S": set_of(ATOM)})
+        assert SRL.is_member(program, {"S": set_of(ATOM)})
+
+
+class TestExtensions:
+    def test_srl_new_accepts_new(self):
+        assert SRL_NEW.is_member(program_of("(insert (new S) S)"), {"S": set_of(ATOM)})
+
+    def test_srl_new_rejects_lists(self):
+        assert not SRL_NEW.is_member(program_of("(cons (atom 1) emptylist)"))
+
+    def test_lrl_accepts_lists(self):
+        text = "(list-reduce L (lambda (x e) x) (lambda (a r) (cons a r)) emptylist emptylist)"
+        assert LRL.is_member(program_of(text))
+
+    def test_lrl_rejects_new(self):
+        assert not LRL.is_member(program_of("(new S)"))
+
+    def test_unrestricted_accepts_everything(self):
+        assert UNRESTRICTED_SRL.is_member(program_of("(insert (new S) S)"))
+        assert UNRESTRICTED_SRL.is_member(program_of("(cons (atom 1) emptylist)"))
+
+
+class TestSRFOFragments:
+    def test_quantifier_only_program_is_in_both_fragments(self):
+        program = standard_library()
+        program.main = parse_expression("(forall D P)") if False else parse_expression(
+            "(and (member (atom 1) S) (not (member (atom 2) S)))"
+        )
+        assert SRFO_TC.is_member(program, {"S": set_of(ATOM)})
+        assert SRFO_DTC.is_member(program, {"S": set_of(ATOM)})
+
+    def test_foreign_calls_are_flagged(self):
+        program = Program(main=parse_expression("(mystery S)"))
+        assert not SRFO_TC.is_member(program, {"S": set_of(ATOM)})
+        assert not SRFO_DTC.is_member(program, {"S": set_of(ATOM)})
+
+    def test_new_is_outside_the_fragments(self):
+        program = Program(main=parse_expression("(new S)"))
+        assert not SRFO_TC.is_member(program, {"S": set_of(ATOM)})
+
+
+class TestStrictestRestriction:
+    def test_flat_program_lands_in_basrl(self):
+        assert strictest_restriction(program_of(MIN_TRACKER), {"S": set_of(ATOM)}) is BASRL
+
+    def test_copy_program_lands_in_srl(self):
+        assert strictest_restriction(program_of(COPY), {"S": set_of(ATOM)}) is SRL
+
+    def test_new_program_lands_in_srl_new(self):
+        assert strictest_restriction(
+            program_of("(insert (new S) S)"), {"S": set_of(ATOM)}
+        ) is SRL_NEW
+
+    def test_list_program_lands_in_lrl(self):
+        text = "(cons (atom 1) emptylist)"
+        assert strictest_restriction(program_of(text)) is LRL
+
+    def test_every_restriction_reports_a_class(self):
+        for restriction in ALL_RESTRICTIONS:
+            assert restriction.complexity_class
+            assert restriction.paper_reference

@@ -1,0 +1,184 @@
+"""Tests for the Fact 2.4 standard library (all of it written in SRL)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Atom,
+    Evaluator,
+    make_set,
+    make_tuple,
+    run_expression,
+    standard_library,
+    with_standard_library,
+)
+from repro.core import builders as b
+from repro.core.stdlib import (
+    forall_expr,
+    forsome_expr,
+    join_expr,
+    product_expr,
+    project_expr,
+    select_expr,
+    singleton_expr,
+)
+from repro.core.values import value_to_python
+
+ranks = st.integers(min_value=0, max_value=12)
+rank_sets = st.frozensets(ranks, max_size=8)
+
+
+def atom_set(ranks_):
+    return make_set(*(Atom(r) for r in ranks_))
+
+
+def run_with_lib(expr, **bindings):
+    return run_expression(expr, bindings, program=standard_library())
+
+
+class TestBooleans:
+    @pytest.mark.parametrize("a", [True, False])
+    def test_not(self, evaluator, a):
+        assert evaluator.call("not", a) is (not a)
+
+    @pytest.mark.parametrize("a", [True, False])
+    @pytest.mark.parametrize("c", [True, False])
+    def test_and_or(self, evaluator, a, c):
+        assert evaluator.call("and", a, c) is (a and c)
+        assert evaluator.call("or", a, c) is (a or c)
+
+
+class TestSetOperations:
+    @given(rank_sets, rank_sets)
+    def test_union_matches_python(self, xs, ys):
+        result = Evaluator(standard_library()).call("union", atom_set(xs), atom_set(ys))
+        assert value_to_python(result) == frozenset(xs | ys)
+
+    @given(rank_sets, rank_sets)
+    def test_intersection_matches_python(self, xs, ys):
+        result = Evaluator(standard_library()).call("intersection", atom_set(xs), atom_set(ys))
+        assert value_to_python(result) == frozenset(xs & ys)
+
+    @given(rank_sets, rank_sets)
+    def test_difference_matches_python(self, xs, ys):
+        result = Evaluator(standard_library()).call("difference", atom_set(xs), atom_set(ys))
+        assert value_to_python(result) == frozenset(xs - ys)
+
+    @given(rank_sets, ranks)
+    def test_member_matches_python(self, xs, x):
+        result = Evaluator(standard_library()).call("member", Atom(x), atom_set(xs))
+        assert result is (x in xs)
+
+    @given(rank_sets, rank_sets)
+    def test_subset_matches_python(self, xs, ys):
+        result = Evaluator(standard_library()).call("subset", atom_set(xs), atom_set(ys))
+        assert result is (xs <= ys)
+
+    def test_is_empty_and_singleton(self, evaluator):
+        assert evaluator.call("is-empty", make_set()) is True
+        assert evaluator.call("is-empty", make_set(Atom(1))) is False
+        assert evaluator.call("singleton", Atom(4)) == make_set(Atom(4))
+
+    def test_union_with_empty_is_identity(self, evaluator, small_sets):
+        s, _ = small_sets
+        assert evaluator.call("union", s, make_set()) == s
+        assert evaluator.call("union", make_set(), s) == s
+
+
+class TestQuantifierMacros:
+    @given(rank_sets)
+    def test_forall_threshold(self, xs):
+        expr = forall_expr(b.var("S"), lambda x, e: b.leq(x, b.atom(6)))
+        expected = all(r <= 6 for r in xs)
+        assert run_with_lib(expr, S=atom_set(xs)) is expected
+
+    @given(rank_sets)
+    def test_forsome_threshold(self, xs):
+        expr = forsome_expr(b.var("S"), lambda x, e: b.leq(b.atom(10), x))
+        expected = any(r >= 10 for r in xs)
+        assert run_with_lib(expr, S=atom_set(xs)) is expected
+
+    def test_forall_is_vacuously_true_on_empty(self):
+        expr = forall_expr(b.var("S"), lambda x, e: b.false())
+        assert run_with_lib(expr, S=make_set()) is True
+
+    def test_forsome_is_false_on_empty(self):
+        expr = forsome_expr(b.var("S"), lambda x, e: b.true())
+        assert run_with_lib(expr, S=make_set()) is False
+
+    def test_extra_is_available_to_the_predicate(self):
+        # forsome x in S . x = pivot, with the pivot passed through extra.
+        expr = forsome_expr(b.var("S"), lambda x, e: b.eq(x, e), extra=b.var("pivot"))
+        assert run_with_lib(expr, S=atom_set({1, 2, 3}), pivot=Atom(2)) is True
+        assert run_with_lib(expr, S=atom_set({1, 2, 3}), pivot=Atom(9)) is False
+
+
+class TestRelationalMacros:
+    def pairs(self, *pairs_):
+        return make_set(*(make_tuple(Atom(a), Atom(bb)) for a, bb in pairs_))
+
+    def test_select(self):
+        expr = select_expr(b.var("R"), lambda x, e: b.eq(b.sel(1, x), b.atom(1)))
+        result = run_with_lib(expr, R=self.pairs((1, 2), (2, 3), (1, 4)))
+        assert value_to_python(result) == frozenset({(1, 2), (1, 4)})
+
+    def test_project_single_column_gives_atoms(self):
+        expr = project_expr(b.var("R"), [2])
+        result = run_with_lib(expr, R=self.pairs((1, 2), (2, 3), (1, 2)))
+        assert value_to_python(result) == frozenset({2, 3})
+
+    def test_project_multiple_columns_gives_tuples(self):
+        expr = project_expr(b.var("R"), [2, 1])
+        result = run_with_lib(expr, R=self.pairs((1, 2), (2, 3)))
+        assert value_to_python(result) == frozenset({(2, 1), (3, 2)})
+
+    def test_project_requires_indices(self):
+        with pytest.raises(ValueError):
+            project_expr(b.var("R"), [])
+
+    def test_product(self):
+        expr = product_expr(b.var("A"), b.var("B"))
+        result = run_with_lib(expr, A=atom_set({1, 2}), B=atom_set({5}))
+        assert value_to_python(result) == frozenset({(1, 5), (2, 5)})
+
+    def test_join_composes_relations(self):
+        # R join R on R.2 = R.1 is relation composition.
+        expr = join_expr(
+            b.var("R"), b.var("R"),
+            condition=lambda t1, t2: b.eq(b.sel(2, t1), b.sel(1, t2)),
+            output=lambda t1, t2: b.tup(b.sel(1, t1), b.sel(2, t2)),
+        )
+        result = run_with_lib(expr, R=self.pairs((1, 2), (2, 3), (3, 4)))
+        assert value_to_python(result) == frozenset({(1, 3), (2, 4)})
+
+    @given(st.frozensets(st.tuples(ranks, ranks), max_size=6),
+           st.frozensets(st.tuples(ranks, ranks), max_size=6))
+    def test_join_matches_python_composition(self, r_pairs, s_pairs):
+        expr = join_expr(
+            b.var("R"), b.var("S"),
+            condition=lambda t1, t2: b.eq(b.sel(2, t1), b.sel(1, t2)),
+            output=lambda t1, t2: b.tup(b.sel(1, t1), b.sel(2, t2)),
+        )
+        result = run_with_lib(expr, R=self.pairs(*r_pairs), S=self.pairs(*s_pairs))
+        expected = frozenset((a, d) for a, bb in r_pairs for c, d in s_pairs if bb == c)
+        assert value_to_python(result) == expected
+
+    def test_singleton_expr(self):
+        assert run_with_lib(singleton_expr(b.atom(3))) == make_set(Atom(3))
+
+
+class TestWithStandardLibrary:
+    def test_existing_definitions_are_not_overwritten(self):
+        program = b.program(b.define("union", ["S", "T"], b.var("S")))
+        with_standard_library(program)
+        # The user's union (projection onto the first argument) is preserved.
+        assert program.definitions["union"].body == b.var("S")
+        assert "member" in program.definitions
+
+    def test_library_is_self_contained(self, evaluator, small_sets):
+        s, t = small_sets
+        # Every definition can be invoked without extra context.
+        assert evaluator.call("union", s, t) is not None
+        assert evaluator.call("subset", s, t) in (True, False)

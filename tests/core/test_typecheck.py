@@ -1,0 +1,178 @@
+"""Tests for type inference / checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ATOM,
+    BOOL,
+    NAT,
+    Atom,
+    Program,
+    SetType,
+    TupleType,
+    TypeChecker,
+    make_set,
+    make_tuple,
+    parse_expression,
+    parse_program,
+    set_of,
+    standard_library,
+    tuple_of,
+)
+from repro.core.errors import SRLNameError, SRLTypeError
+from repro.core.typecheck import check_program, database_types, type_of_value
+
+
+def infer(text: str, program: Program | None = None, **input_types):
+    checker = TypeChecker(program if program is not None else Program())
+    return checker.check_expression(parse_expression(text), input_types).result_type
+
+
+class TestTypeOfValue:
+    def test_base_values(self):
+        assert type_of_value(True) == BOOL
+        assert type_of_value(Atom(3)) == ATOM
+        assert type_of_value(7) == NAT
+
+    def test_tuple_value(self):
+        assert type_of_value(make_tuple(Atom(1), True)) == tuple_of(ATOM, BOOL)
+
+    def test_homogeneous_set(self):
+        assert type_of_value(make_set(Atom(1), Atom(2))) == set_of(ATOM)
+
+    def test_heterogeneous_set_raises(self):
+        with pytest.raises(SRLTypeError):
+            type_of_value(make_set(Atom(1), True))
+
+    def test_empty_set_gets_a_type_variable(self):
+        t = type_of_value(make_set())
+        assert isinstance(t, SetType)
+
+    def test_database_types(self):
+        types = database_types({"S": make_set(Atom(1)), "flag": True})
+        assert types == {"S": set_of(ATOM), "flag": BOOL}
+
+
+class TestInference:
+    def test_constants(self):
+        assert infer("true") == BOOL
+        assert infer("(atom 3)") == ATOM
+        assert infer("(nat 3)") == NAT
+
+    def test_if_requires_matching_branches(self):
+        assert infer("(if true (atom 1) (atom 2))") == ATOM
+        with pytest.raises(SRLTypeError):
+            infer("(if true (atom 1) false)")
+
+    def test_if_requires_boolean_condition(self):
+        with pytest.raises(SRLTypeError):
+            infer("(if (atom 1) true false)")
+
+    def test_tuple_and_select(self):
+        assert infer("(tuple (atom 1) true)") == tuple_of(ATOM, BOOL)
+        assert infer("(sel 2 (tuple (atom 1) true))") == BOOL
+
+    def test_select_out_of_range(self):
+        with pytest.raises(SRLTypeError):
+            infer("(sel 3 (tuple (atom 1) true))")
+
+    def test_equality_requires_same_type(self):
+        assert infer("(= (atom 1) (atom 2))") == BOOL
+        with pytest.raises(SRLTypeError):
+            infer("(= (atom 1) true)")
+
+    def test_leq_rejects_tuples(self):
+        with pytest.raises(SRLTypeError):
+            infer("(<= (tuple (atom 1) (atom 1)) (tuple (atom 1) (atom 2)))")
+
+    def test_insert_unifies_element_with_set(self):
+        assert infer("(insert (atom 1) emptyset)") == set_of(ATOM)
+        with pytest.raises(SRLTypeError):
+            infer("(insert (atom 1) (insert true emptyset))")
+
+    def test_unbound_variable(self):
+        with pytest.raises(SRLNameError):
+            infer("S")
+
+    def test_variable_takes_input_type(self):
+        assert infer("S", S=set_of(ATOM)) == set_of(ATOM)
+
+    def test_set_reduce_types(self):
+        # Copying a set of atoms yields a set of atoms.
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+        assert infer(text, S=set_of(ATOM)) == set_of(ATOM)
+
+    def test_set_reduce_accumulator_mismatch(self):
+        # acc returns an atom while base is a boolean.
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) a) true emptyset)"
+        with pytest.raises(SRLTypeError):
+            infer(text, S=set_of(ATOM))
+
+    def test_new_requires_a_set_of_atoms(self):
+        assert infer("(new S)", S=set_of(ATOM)) == ATOM
+        with pytest.raises(SRLTypeError):
+            infer("(new S)", S=set_of(BOOL))
+
+    def test_choose_and_rest(self):
+        assert infer("(choose S)", S=set_of(tuple_of(ATOM, ATOM))) == tuple_of(ATOM, ATOM)
+        assert infer("(rest S)", S=set_of(ATOM)) == set_of(ATOM)
+
+    def test_lists(self):
+        assert infer("(cons (atom 1) emptylist)").element == ATOM
+        text = "(list-reduce L (lambda (x e) x) (lambda (a r) (cons a r)) emptylist emptylist)"
+        result = infer(text, L=parse_type_list_of_atom())
+        assert result.element == ATOM
+
+    def test_accumulator_types_are_recorded(self):
+        checker = TypeChecker(Program())
+        text = "(set-reduce S (lambda (x e) x) (lambda (a r) (insert a r)) emptyset emptyset)"
+        report = checker.check_expression(parse_expression(text), {"S": set_of(ATOM)})
+        assert report.accumulator_types == [set_of(ATOM)]
+        assert report.max_set_height() == 1
+
+
+def parse_type_list_of_atom():
+    from repro.core.types import list_of
+
+    return list_of(ATOM)
+
+
+class TestCallChecking:
+    def test_definition_is_checked_at_call_site(self):
+        program = parse_program("(define (second p) (sel 2 p)) (second (tuple (atom 1) true))")
+        report = check_program(program)
+        assert report.result_type == BOOL
+
+    def test_call_with_wrong_arity(self):
+        program = parse_program("(define (id x) x) (id true false)")
+        with pytest.raises(SRLTypeError):
+            check_program(program)
+
+    def test_recursive_definitions_rejected(self):
+        program = parse_program("(define (loop x) (loop x)) (loop true)")
+        with pytest.raises(SRLTypeError):
+            check_program(program)
+
+    def test_stdlib_types(self):
+        program = standard_library()
+        program.main = parse_expression("(union S T)")
+        report = check_program(program, input_types={"S": set_of(ATOM), "T": set_of(ATOM)})
+        assert report.result_type == set_of(ATOM)
+
+    def test_member_is_boolean(self):
+        program = standard_library()
+        program.main = parse_expression("(member (atom 1) S)")
+        report = check_program(program, input_types={"S": set_of(ATOM)})
+        assert report.result_type == BOOL
+
+    def test_check_program_from_sample_database(self):
+        program = standard_library()
+        program.main = parse_expression("(intersection S T)")
+        report = check_program(program, database={"S": make_set(Atom(1)), "T": make_set(Atom(2))})
+        assert report.result_type == set_of(ATOM)
+
+    def test_program_without_main_raises(self):
+        with pytest.raises(SRLTypeError):
+            check_program(standard_library())

@@ -1,0 +1,190 @@
+"""Unit and property tests for the runtime value layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Atom, SRLList, SRLSet, SRLTuple, make_set, make_tuple
+from repro.core.errors import SRLRuntimeError
+from repro.core.values import (
+    EMPTY_SET,
+    is_value,
+    python_to_value,
+    value_key,
+    value_size,
+    value_sort,
+    value_to_python,
+)
+
+
+atoms = st.integers(min_value=0, max_value=30).map(Atom)
+atom_sets = st.lists(atoms, max_size=12).map(lambda xs: SRLSet(xs))
+atom_pairs = st.tuples(atoms, atoms).map(lambda p: SRLTuple(p))
+shallow_values = st.one_of(st.booleans(), atoms, atom_pairs, atom_sets)
+
+
+class TestAtom:
+    def test_equality_is_by_rank(self):
+        assert Atom(3, "x") == Atom(3, "y")
+        assert Atom(3) != Atom(4)
+
+    def test_ordering_is_by_rank(self):
+        assert Atom(1) < Atom(2)
+        assert not Atom(2) < Atom(2)
+
+    def test_str_uses_name_when_present(self):
+        assert str(Atom(3)) == "d3"
+        assert str(Atom(3, "alice")) == "alice"
+
+    def test_hashable(self):
+        assert len({Atom(1), Atom(1, "x"), Atom(2)}) == 2
+
+
+class TestSRLTuple:
+    def test_select_is_one_based(self):
+        t = make_tuple(Atom(1), Atom(2), Atom(3))
+        assert t.select(1) == Atom(1)
+        assert t.select(3) == Atom(3)
+
+    def test_select_out_of_range(self):
+        t = make_tuple(Atom(1))
+        with pytest.raises(SRLRuntimeError):
+            t.select(2)
+        with pytest.raises(SRLRuntimeError):
+            t.select(0)
+
+    def test_equality_structural(self):
+        assert make_tuple(Atom(1), Atom(2)) == make_tuple(Atom(1), Atom(2))
+        assert make_tuple(Atom(1), Atom(2)) != make_tuple(Atom(2), Atom(1))
+
+
+class TestSRLSet:
+    def test_duplicates_are_removed(self):
+        s = SRLSet([Atom(1), Atom(1), Atom(2)])
+        assert len(s) == 2
+
+    def test_elements_are_canonically_ordered(self):
+        s = SRLSet([Atom(3), Atom(1), Atom(2)])
+        assert [a.rank for a in s.elements] == [1, 2, 3]
+
+    def test_choose_returns_minimum(self):
+        s = make_set(Atom(5), Atom(2), Atom(9))
+        assert s.choose() == Atom(2)
+
+    def test_rest_removes_minimum(self):
+        s = make_set(Atom(5), Atom(2), Atom(9))
+        assert s.rest() == make_set(Atom(5), Atom(9))
+
+    def test_choose_rest_on_empty_raise(self):
+        with pytest.raises(SRLRuntimeError):
+            EMPTY_SET.choose()
+        with pytest.raises(SRLRuntimeError):
+            EMPTY_SET.rest()
+
+    def test_insert_is_idempotent(self):
+        s = make_set(Atom(1))
+        assert s.insert(Atom(1)) == s
+        assert len(s.insert(Atom(2))) == 2
+
+    def test_insert_keeps_order(self):
+        s = make_set(Atom(1), Atom(5))
+        assert [a.rank for a in s.insert(Atom(3)).elements] == [1, 3, 5]
+
+    def test_equality_ignores_construction_order(self):
+        assert SRLSet([Atom(1), Atom(2)]) == SRLSet([Atom(2), Atom(1)])
+
+    def test_sets_of_sets(self):
+        inner1 = make_set(Atom(1))
+        inner2 = make_set(Atom(2))
+        outer = make_set(inner1, inner2)
+        assert inner1 in outer
+        assert make_set(Atom(3)) not in outer
+
+    def test_union(self):
+        assert make_set(Atom(1)).union(make_set(Atom(2))) == make_set(Atom(1), Atom(2))
+
+    @given(st.lists(atoms, max_size=15))
+    def test_set_behaves_like_frozenset(self, elements):
+        srl = SRLSet(elements)
+        reference = frozenset(a.rank for a in elements)
+        assert len(srl) == len(reference)
+        assert {a.rank for a in srl.elements} == reference
+
+    @given(st.lists(atoms, max_size=15), atoms)
+    def test_insert_matches_frozenset_union(self, elements, extra):
+        srl = SRLSet(elements).insert(extra)
+        reference = frozenset(a.rank for a in elements) | {extra.rank}
+        assert {a.rank for a in srl.elements} == reference
+
+    @given(st.lists(atoms, min_size=1, max_size=15))
+    def test_choose_plus_rest_partitions(self, elements):
+        srl = SRLSet(elements)
+        assert srl.rest().insert(srl.choose()) == srl
+        assert srl.choose() not in srl.rest()
+
+
+class TestSRLList:
+    def test_order_and_multiplicity_matter(self):
+        assert SRLList([Atom(1), Atom(2)]) != SRLList([Atom(2), Atom(1)])
+        assert SRLList([Atom(1), Atom(1)]) != SRLList([Atom(1)])
+
+    def test_cons_head_tail(self):
+        xs = SRLList([Atom(2)]).cons(Atom(1))
+        assert xs.head() == Atom(1)
+        assert xs.tail() == SRLList([Atom(2)])
+
+    def test_head_tail_on_empty_raise(self):
+        with pytest.raises(SRLRuntimeError):
+            SRLList().head()
+        with pytest.raises(SRLRuntimeError):
+            SRLList().tail()
+
+
+class TestValueKey:
+    @given(st.lists(shallow_values, max_size=10))
+    def test_sorting_is_stable_and_idempotent(self, values):
+        once = value_sort(values)
+        assert value_sort(once) == once
+
+    @given(shallow_values, shallow_values)
+    def test_key_consistent_with_equality(self, a, b):
+        if a == b:
+            assert value_key(a) == value_key(b)
+
+    def test_kinds_are_separated(self):
+        values = [True, Atom(0), make_tuple(Atom(0)), make_set(Atom(0))]
+        ordered = value_sort(values)
+        assert isinstance(ordered[0], bool)
+        assert isinstance(ordered[1], Atom)
+
+    def test_atom_order_permutation_changes_ranking(self):
+        a, c = Atom(0), Atom(2)
+        assert value_key(a) < value_key(c)
+        # Under the permuted order 0 -> position 2, 2 -> position 0.
+        assert value_key(a, (2, 1, 0)) > value_key(c, (2, 1, 0))
+
+
+class TestConversions:
+    def test_python_roundtrip(self):
+        value = python_to_value({(1, 2), (3, 4)})
+        assert isinstance(value, SRLSet)
+        assert value_to_python(value) == frozenset({(1, 2), (3, 4)})
+
+    def test_bool_is_not_an_atom(self):
+        assert python_to_value(True) is True
+        assert python_to_value(0) == Atom(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=10))
+    def test_set_roundtrip(self, ranks):
+        assert value_to_python(python_to_value(set(ranks))) == frozenset(ranks)
+
+    def test_is_value(self):
+        assert is_value(make_set(make_tuple(Atom(1), True)))
+        assert not is_value("hello")
+        assert not is_value(3.14)
+
+    def test_value_size_counts_constituents(self):
+        assert value_size(Atom(1)) == 1
+        assert value_size(make_tuple(Atom(1), Atom(2))) == 2
+        assert value_size(make_set(Atom(1), Atom(2))) == 3  # 1 for the set + 2

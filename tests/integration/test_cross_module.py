@@ -1,0 +1,132 @@
+"""Integration tests spanning several subsystems.
+
+These are the end-to-end claims the paper's theorems rest on: the SRL
+programs, the logic evaluator, the Turing machines, the PrimRec translation
+and the structural encodings must all agree with one another on shared
+workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Atom, make_set, run_program
+from repro.core.analysis import analyze
+from repro.core.order import probe_order_independence
+from repro.core.typecheck import database_types
+from repro.logic import evaluate
+from repro.logic.queries import agap_formula, reachability_dtc, reachability_tc
+from repro.machines import compile_machine, parity_machine
+from repro.primrec import ADD, MULT, primrec_to_srl, run_translated
+from repro.queries import (
+    agap_baseline,
+    agap_database,
+    agap_program,
+    deterministic_reachability_program,
+    even_program,
+    graph_database,
+    reachability_program,
+)
+from repro.structures import (
+    cycle_pair,
+    colored_graph_to_structure,
+    from_database,
+    functional_graph,
+    random_alternating_graph,
+    random_graph,
+    wl1_indistinguishable,
+)
+
+
+class TestThreeWayAgreementOnAGAP:
+    """Lemma 3.6 + Fact 3.5: the SRL program, the FO+LFP formula and the
+    direct fixed-point baseline all compute the same AGAP answers."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement(self, seed):
+        graph = random_alternating_graph(5, seed=seed)
+        baseline = agap_baseline(graph)
+        assert evaluate(agap_formula(), graph) == baseline
+        assert run_program(agap_program(), agap_database(graph)) == baseline
+
+
+class TestThreeWayAgreementOnReachability:
+    """Section 4: the SRL closure programs agree with the TC/DTC operators
+    of the logic layer and with the graph-search baselines."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tc(self, seed):
+        graph = random_graph(6, seed=seed)
+        assert run_program(reachability_program(), graph_database(graph)) == \
+            evaluate(reachability_tc(), graph)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dtc(self, seed):
+        graph = functional_graph(6, seed=seed)
+        assert run_program(deterministic_reachability_program(), graph_database(graph)) == \
+            evaluate(reachability_dtc(), graph)
+
+
+class TestMachineAgainstSRLAndAnalysis:
+    """Proposition 6.2 end to end: compile, run, audit."""
+
+    def test_compiled_machine_agrees_and_is_polynomial(self):
+        compiled = compile_machine(parity_machine())
+        for text in ["", "1", "01", "0110", "11011"]:
+            assert compiled.run(text) == (text.count("1") % 2 == 0)
+        analysis = compiled.analysis("0101")
+        assert "P = SRL" in analysis.classification
+
+
+class TestPrimRecAgainstSRL:
+    """Theorem 5.2 end to end: the translated programs compute the same
+    functions as the combinator terms."""
+
+    @pytest.mark.parametrize("x, y", [(0, 0), (1, 3), (3, 2), (4, 4)])
+    def test_add_and_mult(self, x, y):
+        assert run_translated(primrec_to_srl(ADD), x, y) == ADD(x, y)
+        if x <= 3 and y <= 3:
+            assert run_translated(primrec_to_srl(MULT), x, y) == MULT(x, y)
+
+
+class TestStructureDatabaseBridge:
+    """Structures survive the trip into SRL databases and back, and the SRL
+    programs built on them see exactly the encoded relations."""
+
+    def test_roundtrip_preserves_queries(self):
+        graph = random_graph(6, seed=2)
+        recovered = from_database(graph.to_database())
+        assert recovered.relation("E") == graph.relation("E")
+
+
+class TestTheorem77Shape:
+    """The Section 7 pipeline: a 1-WL-indistinguishable pair is separated by
+    an order-using (but order-independent) SRL reachability query."""
+
+    def test_cycle_pair_separated_by_connectivity(self):
+        pair = cycle_pair(4)
+        assert wl1_indistinguishable(pair.untwisted, pair.twisted)
+        single = colored_graph_to_structure(pair.untwisted)
+        double = colored_graph_to_structure(pair.twisted)
+        # Reachability from vertex 0 to vertex n-1 (an order-independent,
+        # polynomial-time SRL query) tells them apart.
+        answer_single = run_program(reachability_program(), graph_database(single))
+        answer_double = run_program(reachability_program(), graph_database(double))
+        assert answer_single != answer_double
+
+
+class TestOrderIndependenceAcrossTheBoard:
+    """EVEN and AGAP are order-independent; the analysis classifies both."""
+
+    def test_even(self):
+        database = {"S": make_set(*(Atom(i) for i in range(6)))}
+        assert probe_order_independence(even_program(), database, trials=8).independent
+        analysis = analyze(even_program(), input_types=database_types(database))
+        assert "L = BASRL" in analysis.classification
+
+    def test_agap(self):
+        graph = random_alternating_graph(4, seed=1)
+        database = agap_database(graph)
+        assert probe_order_independence(agap_program(), database, trials=4).independent
+        analysis = analyze(agap_program(), input_types=database_types(database))
+        assert "P = SRL" in analysis.classification

@@ -1,0 +1,218 @@
+"""Tests for primitive recursion, the Fact 5.4 toolkit, the Gödel encoding
+and the Theorem 5.2 translation into SRL + new."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.primrec import (
+    ADD,
+    BIT,
+    COND,
+    CHOOSE_PR,
+    Compose,
+    Const,
+    DIV2,
+    DIV_POW2,
+    EQ,
+    EXP,
+    INSERT_PR,
+    IS_ZERO,
+    LESS,
+    LOG,
+    MOD2,
+    MOD_POW2,
+    MONUS,
+    MULT,
+    NEW_PR,
+    PRED,
+    PrimRec,
+    Proj,
+    REST_PR,
+    RLOG,
+    SIGN,
+    Succ,
+    Zero,
+    choose_number,
+    decode_element,
+    decode_set,
+    encode_element,
+    encode_set,
+    insert_number,
+    nat_to_set,
+    new_number,
+    primrec_to_srl,
+    rest_number,
+    run_translated,
+    set_to_nat,
+)
+
+small = st.integers(min_value=0, max_value=12)
+tiny = st.integers(min_value=0, max_value=6)
+
+
+class TestCombinators:
+    def test_initial_functions(self):
+        assert Zero(3)(5, 6, 7) == 0
+        assert Succ()(4) == 5
+        assert Proj(2, 3)(10, 20, 30) == 20
+
+    def test_arity_checks(self):
+        with pytest.raises(TypeError):
+            Succ()(1, 2)
+        with pytest.raises(TypeError):
+            ADD(1)
+        with pytest.raises(TypeError):
+            ADD(-1, 2)
+        with pytest.raises(TypeError):
+            ADD(True, 2)
+
+    def test_projection_validation(self):
+        with pytest.raises(ValueError):
+            Proj(4, 3)
+
+    def test_compose_validation(self):
+        with pytest.raises(ValueError):
+            Compose(ADD, (Succ(),))  # ADD needs two inner functions
+        with pytest.raises(ValueError):
+            PrimRec(base=Zero(1), step=Zero(1))  # step must have arity base+2
+
+    def test_primrec_definition_unfolds(self):
+        double = PrimRec(base=Zero(0), step=Compose(Succ(), (Compose(Succ(), (Proj(2, 2),)),)))
+        assert [double(i) for i in range(5)] == [0, 2, 4, 6, 8]
+
+
+class TestArithmetic:
+    @given(small, small)
+    def test_add_mult_monus(self, x, y):
+        assert ADD(x, y) == x + y
+        assert MULT(x, y) == x * y
+        assert MONUS(x, y) == max(x - y, 0)
+
+    @given(small)
+    def test_unary_helpers(self, x):
+        assert PRED(x) == max(x - 1, 0)
+        assert SIGN(x) == (1 if x else 0)
+        assert IS_ZERO(x) == (1 if x == 0 else 0)
+        assert MOD2(x) == x % 2
+        assert DIV2(x) == x // 2
+
+    @given(small, small)
+    def test_comparisons(self, x, y):
+        assert EQ(x, y) == int(x == y)
+        assert LESS(x, y) == int(x < y)
+
+    @given(tiny, st.integers(min_value=0, max_value=3))
+    def test_exp(self, base, exponent):
+        assert EXP(base, exponent) == base ** exponent
+
+    @given(small, st.integers(min_value=0, max_value=4))
+    def test_div_mod_bit(self, n, j):
+        assert DIV_POW2(n, j) == n // (2 ** j)
+        assert MOD_POW2(n, j) == n % (2 ** j)
+        assert BIT(n, j) == (n >> j) & 1
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_log_rlog(self, n):
+        expected_log = n.bit_length() - 1 if n >= 1 else 0
+        assert LOG(n) == max(expected_log, 0)
+        expected_rlog = (n & -n).bit_length() - 1 if n else 0
+        assert RLOG(n) == expected_rlog
+
+    @given(small, small, small)
+    def test_cond(self, b, i, j):
+        assert COND(b, i, j) == (i if b >= 1 else j)
+
+
+class TestGodelEncoding:
+    @given(st.frozensets(st.integers(min_value=0, max_value=10), max_size=8))
+    def test_roundtrip(self, ranks):
+        assert decode_set(encode_set(ranks)) == ranks
+
+    def test_element_codes(self):
+        assert encode_element(3) == 8
+        assert decode_element(8) == 3
+        with pytest.raises(ValueError):
+            decode_element(6)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_choose_and_rest_match_the_set_semantics(self, code):
+        ranks = decode_set(code)
+        assert decode_element(choose_number(code)) == min(ranks)
+        assert decode_set(rest_number(code)) == ranks - {min(ranks)}
+        # And the primitive recursive terms agree with the references.
+        assert CHOOSE_PR(code) == choose_number(code)
+        assert REST_PR(code) == rest_number(code)
+
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=60))
+    def test_insert_matches_the_set_semantics(self, rank, code):
+        element = encode_element(rank)
+        assert decode_set(insert_number(element, code)) == decode_set(code) | {rank}
+        assert INSERT_PR(element, code) == insert_number(element, code)
+
+    @given(st.integers(min_value=1, max_value=60))
+    def test_new_is_outside_the_set(self, code):
+        fresh = new_number(code)
+        assert decode_element(fresh) not in decode_set(code)
+        assert NEW_PR(code) == fresh
+
+
+class TestTheorem52Translation:
+    def test_nat_set_roundtrip(self):
+        assert set_to_nat(nat_to_set(5)) == 5
+        assert set_to_nat(nat_to_set(0)) == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(tiny, tiny)
+    def test_translated_add(self, x, y):
+        assert run_translated(primrec_to_srl(ADD), x, y) == x + y
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4))
+    def test_translated_mult(self, x, y):
+        assert run_translated(primrec_to_srl(MULT), x, y) == x * y
+
+    @settings(max_examples=10, deadline=None)
+    @given(tiny, tiny)
+    def test_translated_monus(self, x, y):
+        assert run_translated(primrec_to_srl(MONUS), x, y) == max(x - y, 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(tiny)
+    def test_translated_pred_and_sign(self, x):
+        assert run_translated(primrec_to_srl(PRED), x) == max(x - 1, 0)
+        assert run_translated(primrec_to_srl(SIGN), x) == (1 if x else 0)
+
+    def test_translated_constants_and_projections(self):
+        assert run_translated(primrec_to_srl(Const(3, 1)), 9) == 3
+        assert run_translated(primrec_to_srl(Proj(2, 3)), 4, 5, 6) == 5
+        assert run_translated(primrec_to_srl(Zero(2)), 4, 5) == 0
+        assert run_translated(primrec_to_srl(Succ()), 4) == 5
+
+    def test_translation_uses_new_only_for_succ(self):
+        from repro.core.ast import New, walk
+
+        translated = primrec_to_srl(ADD)
+        new_sites = [
+            node
+            for definition in translated.program.definitions.values()
+            for node in walk(definition.body)
+            if isinstance(node, New)
+        ]
+        # ADD's only succ is the step function: exactly one new-site.
+        assert len(new_sites) == 1
+
+    def test_arity_check(self):
+        with pytest.raises(TypeError):
+            run_translated(primrec_to_srl(ADD), 1)
+
+    def test_translated_program_is_outside_plain_srl(self):
+        from repro.core.restrictions import SRL, SRL_NEW
+
+        translated = primrec_to_srl(ADD)
+        program = translated.program
+        program.main = None
+        # It uses new, so it is not in SRL but is in SRL+new.
+        assert SRL.check(program) != []
+        assert SRL_NEW.is_member(program)

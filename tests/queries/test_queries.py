@@ -1,0 +1,257 @@
+"""Tests for the paper's concrete programs against their Python baselines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_program
+from repro.core.order import certify_order_independence, probe_order_independence
+from repro.core.restrictions import BASRL, SRL
+from repro.core.typecheck import database_types
+from repro.core.values import value_to_python
+from repro.queries import (
+    agap_baseline,
+    agap_database,
+    agap_program,
+    apath_baseline,
+    apath_program,
+    build_company_data,
+    colleague_pairs_program,
+    company_database,
+    compose_permutations_baseline,
+    departments_fully_senior_program,
+    deterministic_reachability_program,
+    deterministic_reachable_baseline,
+    doubling_list_program,
+    employees_in_department_program,
+    even_baseline,
+    even_database,
+    even_program,
+    even_via_counting,
+    evaluate_arithmetic,
+    first_employee_is_senior_program,
+    graph_database,
+    im_baseline,
+    im_database,
+    im_program,
+    powerset_baseline,
+    powerset_database,
+    powerset_program,
+    reachability_program,
+    reachable_baseline,
+    run_iterated_product,
+)
+from repro.core import Evaluator
+from repro.structures import (
+    functional_graph,
+    random_alternating_graph,
+    random_graph,
+    random_permutations,
+)
+
+small_nat = st.integers(min_value=0, max_value=10)
+
+
+class TestAGAP:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_srl_program_matches_baseline(self, seed):
+        graph = random_alternating_graph(6, seed=seed)
+        assert run_program(agap_program(), agap_database(graph)) == agap_baseline(graph)
+
+    def test_quadratic_variant_agrees_with_linear(self):
+        graph = random_alternating_graph(5, seed=11)
+        linear = run_program(agap_program(quadratic=False), agap_database(graph))
+        quadratic = run_program(agap_program(quadratic=True), agap_database(graph))
+        assert linear == quadratic == agap_baseline(graph)
+
+    def test_apath_relation_matches_baseline(self):
+        graph = random_alternating_graph(5, seed=3)
+        evaluator = Evaluator(apath_program())
+        relation = evaluator.call("apath-iterate", database=agap_database(graph))
+        assert value_to_python(relation) == apath_baseline(graph)
+
+    def test_reflexivity(self):
+        graph = random_alternating_graph(4, seed=7)
+        assert all((v, v) in apath_baseline(graph) for v in graph.universe)
+
+    def test_agap_program_is_in_srl_but_not_basrl(self):
+        graph = random_alternating_graph(4, seed=0)
+        types = database_types(agap_database(graph))
+        assert SRL.is_member(agap_program(), types)
+        assert not BASRL.is_member(agap_program(), types)
+
+    def test_agap_is_order_independent_empirically(self):
+        graph = random_alternating_graph(5, seed=2)
+        report = probe_order_independence(agap_program(), agap_database(graph), trials=5)
+        assert report.independent
+
+
+class TestTransitiveClosure:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reachability_matches_baseline(self, seed):
+        graph = random_graph(7, seed=seed)
+        assert run_program(reachability_program(), graph_database(graph)) == \
+            reachable_baseline(graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_deterministic_reachability_matches_baseline(self, seed):
+        graph = functional_graph(7, seed=seed)
+        assert run_program(deterministic_reachability_program(), graph_database(graph)) == \
+            deterministic_reachable_baseline(graph)
+
+    def test_dtc_is_a_subset_of_tc(self):
+        graph = random_graph(6, seed=9, edge_probability=0.3)
+        database = graph_database(graph)
+        tc_answer = run_program(reachability_program(), database)
+        dtc_answer = run_program(deterministic_reachability_program(), database)
+        if dtc_answer:
+            assert tc_answer
+
+
+class TestBASRLArithmetic:
+    @given(small_nat, small_nat)
+    @settings(max_examples=20, deadline=None)
+    def test_add(self, x, y):
+        assert evaluate_arithmetic("add", x, y, size=32) == x + y
+
+    @given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_mult(self, x, y):
+        assert evaluate_arithmetic("mult", x, y, size=32) == x * y
+
+    @pytest.mark.parametrize("base, exponent", [(2, 0), (2, 3), (3, 2), (5, 1), (1, 4)])
+    def test_expn(self, base, exponent):
+        assert evaluate_arithmetic("expn", base, exponent, size=32) == base ** exponent
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_shift_and_parity(self, x):
+        assert evaluate_arithmetic("shift", x, size=32) == x // 2
+        assert evaluate_arithmetic("parity", x, size=32) == (x % 2 == 1)
+
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=15))
+    @settings(max_examples=20, deadline=None)
+    def test_rem_and_bit(self, i, a):
+        assert evaluate_arithmetic("rem", i, a, size=32) == a >> i
+        assert evaluate_arithmetic("bit", i, a, size=32) == bool((a >> i) & 1)
+
+    def test_saturation_at_the_domain_boundary(self):
+        assert evaluate_arithmetic("increment", 15, size=16) == 15
+        assert evaluate_arithmetic("decrement", 0, size=16) == 0
+        assert evaluate_arithmetic("add", 12, 9, size=16) == 15
+
+    def test_arithmetic_is_basrl(self):
+        from repro.queries.arithmetic_basrl import arithmetic_database, arithmetic_program
+        from repro.core import builders as b
+
+        program = arithmetic_program()
+        program.main = b.call("add", b.atom(2), b.atom(3))
+        types = database_types(arithmetic_database(8))
+        assert BASRL.is_member(program, types, main=program.main)
+
+
+class TestIteratedPermutationProduct:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_baseline(self, seed):
+        perms = random_permutations(3, 4, seed=seed)
+        product = compose_permutations_baseline(perms)
+        for i in range(4):
+            assert run_iterated_product(perms, i) == product[i]
+
+    def test_im_decision_program(self):
+        perms = random_permutations(3, 4, seed=5)
+        product = compose_permutations_baseline(perms)
+        from repro.core import Atom
+
+        database = im_database(perms, 1)
+        database.bind("TARGET", Atom(product[1]))
+        assert run_program(im_program(), database) is True
+        database.bind("TARGET", Atom((product[1] + 1) % 4))
+        assert run_program(im_program(), database) is False
+        assert im_baseline(perms, 1, product[1])
+
+    def test_identity_permutations(self):
+        perms = [list(range(5)) for _ in range(3)]
+        assert [run_iterated_product(perms, i) for i in range(5)] == list(range(5))
+
+    def test_program_is_basrl(self):
+        perms = random_permutations(2, 3, seed=1)
+        types = database_types(im_database(perms, 0))
+        program = im_program()
+        from repro.core import Atom
+
+        types["TARGET"] = types["START"]
+        assert BASRL.is_member(program, types)
+
+
+class TestPowersetAndLists:
+    @pytest.mark.parametrize("size", [0, 1, 2, 3, 4, 5])
+    def test_powerset_matches_baseline(self, size):
+        result = run_program(powerset_program(), powerset_database(size))
+        assert value_to_python(result) == powerset_baseline(range(size))
+        assert len(result) == 2 ** size
+
+    def test_powerset_is_not_in_srl(self):
+        types = database_types(powerset_database(3))
+        assert not SRL.is_member(powerset_program(), types)
+
+    @pytest.mark.parametrize("size", [0, 1, 3, 5])
+    def test_doubling_list_length(self, size):
+        result = run_program(doubling_list_program(), powerset_database(size))
+        assert len(result) == 2 ** size
+
+    def test_doubling_list_is_not_in_srl(self):
+        types = database_types(powerset_database(2))
+        assert not SRL.is_member(doubling_list_program(), types)
+
+
+class TestEven:
+    @pytest.mark.parametrize("size", range(8))
+    def test_all_three_routes_agree(self, size):
+        baseline = even_baseline(range(size))
+        assert run_program(even_program(), even_database(size)) == baseline
+        assert even_via_counting(range(size)) == baseline
+
+    def test_even_program_is_basrl_and_order_independent(self):
+        types = database_types(even_database(5))
+        assert BASRL.is_member(even_program(), types)
+        report = probe_order_independence(even_program(), even_database(6), trials=10)
+        assert report.independent
+
+
+class TestCompanyQueries:
+    @pytest.fixture
+    def company(self):
+        data = build_company_data(num_employees=10, num_departments=3, seed=4)
+        return data, company_database(data)
+
+    def test_selection_projection(self, company):
+        data, database = company
+        for department in data.departments:
+            result = run_program(employees_in_department_program(department), database)
+            assert value_to_python(result) == data.employees_in(department)
+
+    def test_universal_quantification(self, company):
+        data, database = company
+        result = run_program(departments_fully_senior_program(), database)
+        assert value_to_python(result) == data.fully_senior_departments()
+
+    def test_join(self, company):
+        data, database = company
+        result = run_program(colleague_pairs_program(), database)
+        assert value_to_python(result) == data.colleague_pairs()
+
+    def test_relational_queries_are_certified_order_independent(self, company):
+        _, database = company
+        for program in (employees_in_department_program(0), colleague_pairs_program()):
+            assert certify_order_independence(program).certified
+
+    def test_first_employee_query_is_order_dependent(self, company):
+        _, database = company
+        program = first_employee_is_senior_program()
+        assert not certify_order_independence(program).certified
+        report = probe_order_independence(program, database, trials=40)
+        # The seniority of "whoever comes first" genuinely depends on the
+        # order for this data set.
+        assert not report.independent

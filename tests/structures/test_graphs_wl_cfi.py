@@ -1,0 +1,149 @@
+"""Tests for the graph generators, WL refinement and the CFI pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.structures import (
+    ColoredGraph,
+    and_or_tree,
+    are_isomorphic,
+    cfi_pair,
+    color_refinement,
+    colored_graph_to_structure,
+    cycle_base,
+    cycle_graph,
+    cycle_pair,
+    find_isomorphism,
+    functional_graph,
+    layered_graph,
+    path_graph,
+    permutations_structure,
+    random_alternating_graph,
+    random_graph,
+    random_permutations,
+    wl1_indistinguishable,
+    wl2_indistinguishable,
+)
+
+
+class TestGenerators:
+    def test_path_and_cycle(self):
+        assert len(path_graph(5).relation("E")) == 4
+        assert len(cycle_graph(5).relation("E")) == 5
+
+    def test_functional_graph_has_out_degree_one(self):
+        g = functional_graph(10, seed=3)
+        sources = [u for u, _ in g.relation("E")]
+        assert sorted(sources) == list(range(10))
+
+    def test_random_graph_is_deterministic_in_seed(self):
+        assert random_graph(8, seed=5) == random_graph(8, seed=5)
+        assert random_graph(8, seed=5) != random_graph(8, seed=6)
+
+    def test_layered_graph_only_links_adjacent_layers(self):
+        g = layered_graph(3, 2, seed=1, edge_probability=1.0)
+        for u, v in g.relation("E"):
+            assert v // 2 == u // 2 + 1
+
+    def test_alternating_graph_marks_universal_vertices(self):
+        g = random_alternating_graph(8, seed=2)
+        for (v,) in g.relation("A"):
+            assert 0 <= v < 8
+
+    def test_and_or_tree_shape(self):
+        g = and_or_tree(3)
+        assert g.size == 15
+        assert len(g.relation("E")) == 14
+
+    def test_permutation_structure_validates(self):
+        with pytest.raises(ValueError):
+            permutations_structure([[0, 0]])
+        s = permutations_structure(random_permutations(3, 4, seed=1))
+        assert len(s.relation("P")) == 12
+
+
+class TestColorRefinement:
+    def test_regular_graph_collapses_to_one_color(self):
+        graph = ColoredGraph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert len(set(color_refinement(graph))) == 1
+
+    def test_path_end_vertices_get_distinct_colors(self):
+        graph = ColoredGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        colors = color_refinement(graph)
+        assert colors[0] == colors[3]
+        assert colors[0] != colors[1]
+
+    def test_initial_colors_are_respected(self):
+        graph = ColoredGraph.from_edges(2, [], colors=["red", "blue"])
+        colors = color_refinement(graph)
+        assert colors[0] != colors[1]
+
+
+class TestWLIndistinguishability:
+    def test_cycle_pair_fools_1wl(self):
+        pair = cycle_pair(4)
+        assert wl1_indistinguishable(pair.untwisted, pair.twisted)
+
+    def test_cycle_pair_is_caught_by_2wl(self):
+        pair = cycle_pair(3)
+        assert not wl2_indistinguishable(pair.untwisted, pair.twisted)
+
+    def test_different_sizes_are_distinguished(self):
+        a = ColoredGraph.from_edges(3, [(0, 1)])
+        b = ColoredGraph.from_edges(4, [(0, 1)])
+        assert not wl1_indistinguishable(a, b)
+
+    def test_isomorphic_graphs_are_indistinguishable(self):
+        a = ColoredGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        b = ColoredGraph.from_edges(4, [(3, 2), (2, 1), (1, 0)])
+        assert wl1_indistinguishable(a, b)
+        assert wl2_indistinguishable(a, b)
+
+
+class TestIsomorphismSearch:
+    def test_finds_mapping_for_isomorphic_graphs(self):
+        a = ColoredGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        b = ColoredGraph.from_edges(4, [(1, 0), (0, 3), (3, 2)])
+        mapping = find_isomorphism(a, b)
+        assert mapping is not None
+        for u in range(4):
+            for v in a.adjacency[u]:
+                assert mapping[v] in b.adjacency[mapping[u]]
+
+    def test_respects_colors(self):
+        a = ColoredGraph.from_edges(2, [(0, 1)], colors=["x", "y"])
+        b = ColoredGraph.from_edges(2, [(0, 1)], colors=["y", "y"])
+        assert not are_isomorphic(a, b)
+
+    def test_cycle_pair_is_not_isomorphic(self):
+        pair = cycle_pair(3)
+        assert not are_isomorphic(pair.untwisted, pair.twisted)
+
+
+class TestCFI:
+    def test_cfi_pair_over_a_cycle(self):
+        pair = cfi_pair(cycle_base(4))
+        assert pair.untwisted.size == pair.twisted.size
+        assert pair.untwisted.degree_sequence() == pair.twisted.degree_sequence()
+
+    def test_cfi_pair_is_not_isomorphic_but_fools_1wl(self):
+        pair = cfi_pair(cycle_base(4))
+        assert wl1_indistinguishable(pair.untwisted, pair.twisted)
+        assert not are_isomorphic(pair.untwisted, pair.twisted)
+
+    def test_k4_cfi_pair(self):
+        pair = cfi_pair()  # K4 base
+        assert pair.untwisted.size == 4 * 4 + 6 * 2
+        assert wl1_indistinguishable(pair.untwisted, pair.twisted)
+        assert not are_isomorphic(pair.untwisted, pair.twisted)
+
+    def test_structure_view_is_symmetric(self):
+        pair = cycle_pair(3)
+        structure = colored_graph_to_structure(pair.untwisted)
+        for u, v in structure.relation("E"):
+            assert structure.holds("E", v, u)
+
+    def test_cycle_pair_validates_length(self):
+        with pytest.raises(ValueError):
+            cycle_pair(2)

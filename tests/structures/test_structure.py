@@ -1,0 +1,123 @@
+"""Tests for vocabularies, structures and the SRL database encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    from_database,
+    graph_structure,
+    path_graph,
+)
+from repro.structures.encoding import (
+    decode_relation,
+    encode_relation,
+    encode_structure,
+    index_to_tuple,
+    structure_bit_length,
+    tuple_to_index,
+)
+
+
+class TestVocabulary:
+    def test_of_and_arity(self):
+        vocabulary = Vocabulary.of(E=2, A=1)
+        assert vocabulary.arity("E") == 2
+        assert vocabulary.arity("A") == 1
+        assert "E" in vocabulary and "Q" not in vocabulary
+
+    def test_unknown_relation(self):
+        with pytest.raises(KeyError):
+            Vocabulary.of(E=2).arity("R")
+
+    def test_extended(self):
+        extended = GRAPH_VOCABULARY.extended(A=1)
+        assert set(extended.names()) == {"E", "A"}
+
+
+class TestStructure:
+    def test_relations_are_normalised(self):
+        s = graph_structure(3, [(0, 1), (1, 2)])
+        assert s.holds("E", 0, 1)
+        assert not s.holds("E", 1, 0)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Structure(GRAPH_VOCABULARY, 3, {"E": frozenset({(0, 1, 2)})})
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError):
+            graph_structure(2, [(0, 5)])
+
+    def test_with_relation_adds_new_symbol(self):
+        s = graph_structure(3, [(0, 1)]).with_relation("A", [(2,)], arity=1)
+        assert s.holds("A", 2)
+        assert s.vocabulary.arity("A") == 1
+
+    def test_restrict(self):
+        s = graph_structure(3, [(0, 1)]).with_relation("A", [(1,)], arity=1)
+        reduct = s.restrict(["E"])
+        assert set(reduct.vocabulary.names()) == {"E"}
+
+    def test_isomorphism_check(self):
+        s = graph_structure(3, [(0, 1), (1, 2)])
+        t = graph_structure(3, [(2, 1), (1, 0)])
+        assert s.is_isomorphic_by(t, [2, 1, 0])
+        assert not s.is_isomorphic_by(t, [0, 1, 2])
+
+    def test_database_roundtrip(self):
+        s = path_graph(5).with_relation("A", [(0,), (3,)], arity=1)
+        assert from_database(s.to_database()) == s
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=20))
+    def test_random_roundtrip(self, size, seed):
+        import random
+
+        rng = random.Random(seed)
+        edges = [(rng.randrange(size), rng.randrange(size)) for _ in range(size)]
+        s = graph_structure(size, edges)
+        assert from_database(s.to_database()) == s
+
+
+class TestEncoding:
+    def test_tuple_index_roundtrip(self):
+        assert tuple_to_index((1, 2), 3) == 5
+        assert index_to_tuple(5, 2, 3) == (1, 2)
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=1, max_value=3),
+           st.data())
+    def test_index_roundtrip_random(self, size, arity, data):
+        row = tuple(data.draw(st.integers(min_value=0, max_value=size - 1))
+                    for _ in range(arity))
+        assert index_to_tuple(tuple_to_index(row, size), arity, size) == row
+
+    def test_encode_decode_relation(self):
+        rows = {(0, 1), (2, 2)}
+        bits = encode_relation(rows, 2, 3)
+        assert len(bits) == 9
+        assert decode_relation(bits, 2, 3) == frozenset(rows)
+
+    def test_bit_positions_follow_definition_3_1(self):
+        # R(x, y) is bit number n*x + y.
+        bits = encode_relation({(1, 2)}, 2, 3)
+        assert bits[3 * 1 + 2] == 1
+        assert sum(bits) == 1
+
+    def test_encode_structure_and_length(self):
+        s = path_graph(3).with_relation("A", [(1,)], arity=1)
+        encoded = encode_structure(s)
+        assert len(encoded["E"]) == 9
+        assert len(encoded["A"]) == 3
+        assert structure_bit_length(s.vocabulary, 3) == 12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            encode_relation({(0, 1, 2)}, 2, 3)
+        with pytest.raises(ValueError):
+            decode_relation([0, 1], 2, 3)
+        with pytest.raises(ValueError):
+            tuple_to_index((5,), 3)
