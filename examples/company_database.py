@@ -9,6 +9,8 @@ Section 7 order-independence question is asked of each query.
 Run with:  python examples/company_database.py
 """
 
+import _bootstrap  # noqa: F401  (puts src/ on sys.path for checkout runs)
+
 from repro.core import run_program
 from repro.core.order import certify_order_independence, probe_order_independence
 from repro.core.values import value_to_python

@@ -9,6 +9,8 @@ captures.
 Run with:  python examples/complexity_audit.py
 """
 
+import _bootstrap  # noqa: F401  (puts src/ on sys.path for checkout runs)
+
 from repro.complexity import classify_program
 from repro.core.typecheck import database_types
 from repro.machines import compile_machine, parity_machine

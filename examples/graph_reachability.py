@@ -11,6 +11,8 @@ equivalent in expressive power, are run side by side:
 Run with:  python examples/graph_reachability.py
 """
 
+import _bootstrap  # noqa: F401  (puts src/ on sys.path for checkout runs)
+
 from repro.core import run_program
 from repro.logic import evaluate
 from repro.logic.queries import agap_formula, reachability_dtc, reachability_tc

@@ -13,6 +13,8 @@
 Run with:  python examples/order_independence.py
 """
 
+import _bootstrap  # noqa: F401  (puts src/ on sys.path for checkout runs)
+
 from repro.core import Atom, make_set, run_program
 from repro.core.order import certify_order_independence, probe_order_independence
 from repro.queries import even_database, even_program, even_via_counting

@@ -12,6 +12,8 @@ This walks through the core workflow of the library:
 Run with:  python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (puts src/ on sys.path for checkout runs)
+
 from repro.core import (
     Atom,
     Database,

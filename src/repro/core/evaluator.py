@@ -71,6 +71,7 @@ from .values import (
     SRLSet,
     SRLTuple,
     Value,
+    caches_enabled,
     value_key,
     value_size,
 )
@@ -195,106 +196,139 @@ class Evaluator:
             if len(value) > self.stats.max_list_length:
                 self.stats.max_list_length = len(value)
 
-    def _ordered_elements(self, value: SRLSet) -> list[Value]:
+    def _ordered_elements(self, value: SRLSet) -> Sequence[Value]:
         """The elements of ``value`` in the (possibly permuted) scan order."""
         if self.atom_order is None:
-            return list(value.elements)
+            return value.elements
         return value.ordered_under(self.atom_order)
 
     def evaluate(self, expr: Expr, env: Environment) -> Value:
-        """Evaluate ``expr`` in ``env``."""
-        self._tick()
+        """Evaluate ``expr`` in ``env``.
 
-        if isinstance(expr, BoolConst):
-            return expr.value
-        if isinstance(expr, AtomConst):
-            return expr.value
-        if isinstance(expr, NatConst):
-            return expr.value
-        if isinstance(expr, Var):
-            return env.lookup(expr.name)
-        if isinstance(expr, If):
-            condition = self.evaluate(expr.cond, env)
-            if not isinstance(condition, bool):
+        Dispatch is by a per-node-type table (``type(expr)`` → handler)
+        instead of the seed's ~20-branch isinstance chain, so every node
+        pays one dict lookup rather than a position-dependent scan.
+        """
+        self._tick()
+        handler = _DISPATCH.get(type(expr))
+        if handler is None:
+            # Subclasses of AST nodes still dispatch (at a one-off cost);
+            # anything else is a genuine error.
+            for node_type, node_handler in _DISPATCH.items():
+                if isinstance(expr, node_type):
+                    handler = node_handler
+                    break
+            else:
+                if isinstance(expr, Lambda):
+                    raise SRLRuntimeError(
+                        "a lambda can only appear as the app/acc argument of a reduce"
+                    )
                 raise SRLRuntimeError(
-                    f"if condition evaluated to a non-boolean: {condition!r}"
+                    f"cannot evaluate expression of type {type(expr).__name__}"
                 )
-            branch = expr.then_branch if condition else expr.else_branch
-            return self.evaluate(branch, env)
-        if isinstance(expr, TupleExpr):
-            return SRLTuple(self.evaluate(item, env) for item in expr.items)
-        if isinstance(expr, Select):
-            target = self.evaluate(expr.target, env)
-            if not isinstance(target, SRLTuple):
-                raise SRLRuntimeError(
-                    f"sel_{expr.index} applied to a non-tuple: {target!r}"
-                )
-            return target.select(expr.index)
-        if isinstance(expr, Equal):
-            left = self.evaluate(expr.left, env)
-            right = self.evaluate(expr.right, env)
-            return left == right
-        if isinstance(expr, LessEq):
-            left = self.evaluate(expr.left, env)
-            right = self.evaluate(expr.right, env)
-            return value_key(left, self.atom_order) <= value_key(right, self.atom_order)
-        if isinstance(expr, EmptySet):
-            return EMPTY_SET
-        if isinstance(expr, Insert):
-            element = self.evaluate(expr.element, env)
-            target = self.evaluate(expr.target, env)
-            if not isinstance(target, SRLSet):
-                raise SRLRuntimeError(f"insert into a non-set: {target!r}")
-            self.stats.inserts += 1
-            limit = self.limits.max_inserts
-            if limit is not None and self.stats.inserts > limit:
-                raise ResourceLimitExceeded("inserts", limit, self.stats.inserts)
-            result = target.insert(element)
-            self._note_set(result)
-            return result
-        if isinstance(expr, SetReduce):
-            return self._evaluate_set_reduce(expr, env)
-        if isinstance(expr, Call):
-            return self._evaluate_call(expr, env)
-        if isinstance(expr, New):
-            return self._evaluate_new(expr, env)
-        if isinstance(expr, Choose):
-            source = self.evaluate(expr.source, env)
-            if not isinstance(source, SRLSet):
-                raise SRLRuntimeError(f"choose applied to a non-set: {source!r}")
-            elements = self._ordered_elements(source)
-            if not elements:
-                raise SRLRuntimeError("choose applied to the empty set")
-            return elements[0]
-        if isinstance(expr, Rest):
-            source = self.evaluate(expr.source, env)
-            if not isinstance(source, SRLSet):
-                raise SRLRuntimeError(f"rest applied to a non-set: {source!r}")
-            elements = self._ordered_elements(source)
-            if not elements:
-                raise SRLRuntimeError("rest applied to the empty set")
-            return SRLSet(elements[1:])
-        if isinstance(expr, EmptyList):
-            if not self.limits.allow_lists:
-                raise SRLRuntimeError("list values are disabled by the evaluation limits")
-            return SRLList()
-        if isinstance(expr, ConsList):
-            if not self.limits.allow_lists:
-                raise SRLRuntimeError("list values are disabled by the evaluation limits")
-            item = self.evaluate(expr.item, env)
-            target = self.evaluate(expr.target, env)
-            if not isinstance(target, SRLList):
-                raise SRLRuntimeError(f"cons onto a non-list: {target!r}")
-            result = target.cons(item)
-            self._note_set(result)
-            return result
-        if isinstance(expr, ListReduce):
-            return self._evaluate_list_reduce(expr, env)
-        if isinstance(expr, Lambda):
+        return handler(self, expr, env)
+
+    # ------------------------------------------------------------- handlers
+
+    def _eval_const(self, expr, env: Environment) -> Value:
+        return expr.value
+
+    def _eval_var(self, expr: Var, env: Environment) -> Value:
+        return env.lookup(expr.name)
+
+    def _eval_if(self, expr: If, env: Environment) -> Value:
+        condition = self.evaluate(expr.cond, env)
+        if not isinstance(condition, bool):
             raise SRLRuntimeError(
-                "a lambda can only appear as the app/acc argument of a reduce"
+                f"if condition evaluated to a non-boolean: {condition!r}"
             )
-        raise SRLRuntimeError(f"cannot evaluate expression of type {type(expr).__name__}")
+        branch = expr.then_branch if condition else expr.else_branch
+        return self.evaluate(branch, env)
+
+    def _eval_tuple(self, expr: TupleExpr, env: Environment) -> Value:
+        return SRLTuple(self.evaluate(item, env) for item in expr.items)
+
+    def _eval_select(self, expr: Select, env: Environment) -> Value:
+        target = self.evaluate(expr.target, env)
+        if not isinstance(target, SRLTuple):
+            raise SRLRuntimeError(
+                f"sel_{expr.index} applied to a non-tuple: {target!r}"
+            )
+        return target.select(expr.index)
+
+    def _eval_equal(self, expr: Equal, env: Environment) -> Value:
+        left = self.evaluate(expr.left, env)
+        right = self.evaluate(expr.right, env)
+        # Equality follows the canonical key, exactly like ``<=`` below and
+        # SRLSet's dedup: the kinds are distinct, so ``true = 1`` is false
+        # (the seed's Python ``==`` conflated them, making ``=`` disagree
+        # with both ``<=`` and ``insert``).  Same-type scalars and sets
+        # short-circuit through their (key-consistent) native equality;
+        # tuples/lists go through the cached keys so nested values compare
+        # kind-aware too.
+        left_type, right_type = type(left), type(right)
+        if left_type is right_type and left_type not in (SRLTuple, SRLList):
+            return left == right
+        return value_key(left) == value_key(right)
+
+    def _eval_lesseq(self, expr: LessEq, env: Environment) -> Value:
+        left = self.evaluate(expr.left, env)
+        right = self.evaluate(expr.right, env)
+        return value_key(left, self.atom_order) <= value_key(right, self.atom_order)
+
+    def _eval_emptyset(self, expr: EmptySet, env: Environment) -> Value:
+        return EMPTY_SET
+
+    def _eval_insert(self, expr: Insert, env: Environment) -> Value:
+        element = self.evaluate(expr.element, env)
+        target = self.evaluate(expr.target, env)
+        if not isinstance(target, SRLSet):
+            raise SRLRuntimeError(f"insert into a non-set: {target!r}")
+        self.stats.inserts += 1
+        limit = self.limits.max_inserts
+        if limit is not None and self.stats.inserts > limit:
+            raise ResourceLimitExceeded("inserts", limit, self.stats.inserts)
+        result = target.insert(element)
+        self._note_set(result)
+        return result
+
+    def _eval_choose(self, expr: Choose, env: Environment) -> Value:
+        source = self.evaluate(expr.source, env)
+        if not isinstance(source, SRLSet):
+            raise SRLRuntimeError(f"choose applied to a non-set: {source!r}")
+        if self.atom_order is None and caches_enabled():
+            return source.choose()  # O(1): the canonical minimum is element 0
+        elements = self._ordered_elements(source)
+        if not elements:
+            raise SRLRuntimeError("choose applied to the empty set")
+        return elements[0]
+
+    def _eval_rest(self, expr: Rest, env: Environment) -> Value:
+        source = self.evaluate(expr.source, env)
+        if not isinstance(source, SRLSet):
+            raise SRLRuntimeError(f"rest applied to a non-set: {source!r}")
+        if self.atom_order is None and caches_enabled():
+            return source.rest()  # O(n) slice, no re-sort
+        elements = self._ordered_elements(source)
+        if not elements:
+            raise SRLRuntimeError("rest applied to the empty set")
+        return SRLSet(elements[1:])
+
+    def _eval_emptylist(self, expr: EmptyList, env: Environment) -> Value:
+        if not self.limits.allow_lists:
+            raise SRLRuntimeError("list values are disabled by the evaluation limits")
+        return SRLList()
+
+    def _eval_cons(self, expr: ConsList, env: Environment) -> Value:
+        if not self.limits.allow_lists:
+            raise SRLRuntimeError("list values are disabled by the evaluation limits")
+        item = self.evaluate(expr.item, env)
+        target = self.evaluate(expr.target, env)
+        if not isinstance(target, SRLList):
+            raise SRLRuntimeError(f"cons onto a non-list: {target!r}")
+        result = target.cons(item)
+        self._note_set(result)
+        return result
 
     # ------------------------------------------------------------- reducers
 
@@ -311,27 +345,59 @@ class Evaluator:
         scope = Environment(env.database, {fn.params[0]: first, fn.params[1]: second})
         return self.evaluate(fn.body, scope)
 
+    def _reduce_loop(self, expr: SetReduce | ListReduce, items: Sequence[Value],
+                     base: Value, extra: Value, env: Environment,
+                     is_set_reduce: bool) -> Value:
+        """The shared fold of set-reduce and list-reduce.
+
+        The two lambda scopes are allocated once and their parameter slots
+        rebound per iteration — per rule 9 a lambda body can only see its
+        own two parameters (plus database names and definitions), so no
+        evaluation step can observe or retain the recycled Environment.
+        """
+        app, acc = expr.app, expr.acc
+        stats = self.stats
+        database = env.database
+        app_scope = Environment(database, {})
+        acc_scope = Environment(database, {})
+        app_bindings, acc_bindings = app_scope.bindings, acc_scope.bindings
+        app_first, app_second = app.params
+        acc_first, acc_second = acc.params
+        accumulator = base
+        iterations = 0
+        try:
+            for item in items:
+                iterations += 1
+                self._tick()
+                app_bindings[app_first] = item
+                app_bindings[app_second] = extra
+                applied = self.evaluate(app.body, app_scope)
+                acc_bindings[acc_first] = applied
+                acc_bindings[acc_second] = accumulator
+                accumulator = self.evaluate(acc.body, acc_scope)
+                acc_size = value_size(accumulator)
+                if acc_size > stats.max_accumulator_size:
+                    stats.max_accumulator_size = acc_size
+                self._note_set(accumulator)
+        finally:
+            # Flushed here so the counters stay exact even when a resource
+            # limit aborts the fold mid-iteration.
+            if is_set_reduce:
+                stats.set_reduce_iterations += iterations
+            else:
+                stats.list_reduce_iterations += iterations
+        return accumulator
+
     def _evaluate_set_reduce(self, expr: SetReduce, env: Environment) -> Value:
         source = self.evaluate(expr.source, env)
         if not isinstance(source, SRLSet):
             raise SRLRuntimeError(f"set-reduce over a non-set: {source!r}")
         base = self.evaluate(expr.base, env)
         extra = self.evaluate(expr.extra, env)
-
-        elements = self._ordered_elements(source)
-        accumulator = base
         # Thread the accumulator through the elements smallest-first (see the
         # module docstring for why this is the ascending direction).
-        for element in elements:
-            self.stats.set_reduce_iterations += 1
-            self._tick()
-            applied = self._apply_lambda(expr.app, element, extra, env)
-            accumulator = self._apply_lambda(expr.acc, applied, accumulator, env)
-            acc_size = value_size(accumulator)
-            if acc_size > self.stats.max_accumulator_size:
-                self.stats.max_accumulator_size = acc_size
-            self._note_set(accumulator)
-        return accumulator
+        return self._reduce_loop(expr, self._ordered_elements(source), base,
+                                 extra, env, True)
 
     def _evaluate_list_reduce(self, expr: ListReduce, env: Environment) -> Value:
         if not self.limits.allow_lists:
@@ -341,19 +407,8 @@ class Evaluator:
             raise SRLRuntimeError(f"list-reduce over a non-list: {source!r}")
         base = self.evaluate(expr.base, env)
         extra = self.evaluate(expr.extra, env)
-
-        accumulator = base
         # Lists thread head-first, mirroring the set case.
-        for item in source.items:
-            self.stats.list_reduce_iterations += 1
-            self._tick()
-            applied = self._apply_lambda(expr.app, item, extra, env)
-            accumulator = self._apply_lambda(expr.acc, applied, accumulator, env)
-            acc_size = value_size(accumulator)
-            if acc_size > self.stats.max_accumulator_size:
-                self.stats.max_accumulator_size = acc_size
-            self._note_set(accumulator)
-        return accumulator
+        return self._reduce_loop(expr, source.items, base, extra, env, False)
 
     # ----------------------------------------------------------- calls, new
 
@@ -422,6 +477,31 @@ class Evaluator:
         fresh = Atom(self._new_counter)
         self._new_counter += 1
         return fresh
+
+
+#: The evaluator's per-node-type dispatch table.  Built once at import time;
+#: ``evaluate`` resolves ``type(expr)`` through it in a single dict lookup.
+_DISPATCH = {
+    BoolConst: Evaluator._eval_const,
+    AtomConst: Evaluator._eval_const,
+    NatConst: Evaluator._eval_const,
+    Var: Evaluator._eval_var,
+    If: Evaluator._eval_if,
+    TupleExpr: Evaluator._eval_tuple,
+    Select: Evaluator._eval_select,
+    Equal: Evaluator._eval_equal,
+    LessEq: Evaluator._eval_lesseq,
+    EmptySet: Evaluator._eval_emptyset,
+    Insert: Evaluator._eval_insert,
+    SetReduce: Evaluator._evaluate_set_reduce,
+    Call: Evaluator._evaluate_call,
+    New: Evaluator._evaluate_new,
+    Choose: Evaluator._eval_choose,
+    Rest: Evaluator._eval_rest,
+    EmptyList: Evaluator._eval_emptylist,
+    ConsList: Evaluator._eval_cons,
+    ListReduce: Evaluator._evaluate_list_reduce,
+}
 
 
 def run_program(program: Program,

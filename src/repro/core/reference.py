@@ -1,0 +1,102 @@
+"""Seed-equivalent reference implementations, kept for differential testing
+and for the perf-trajectory benchmarks.
+
+The optimized value layer (cached canonical keys, linear-merge union,
+sorted-input detection — see DESIGN.md) must agree *exactly* with the
+original uncached algorithms.  This module keeps those originals around in
+two forms:
+
+* :func:`value_key_reference` / :func:`value_sort_reference` — the seed's
+  recursive key computation, recomputed from scratch on every call, with no
+  memoization anywhere.  Property tests compare the cached keys against
+  these on randomly generated nested values and random ``atom_order``
+  permutations.
+
+* :func:`legacy_mode` — a context manager that flips the whole runtime
+  (``SRLSet`` construction, ``insert``, ``union``, membership, hashing,
+  ``value_size``, and the evaluator's ``choose``/``rest`` fast paths) back
+  to the seed code paths.  ``benchmarks/bench_perf_overhaul.py`` uses it to
+  time the identical workload on the seed implementation and on the
+  optimized one, which is how the ≥10× speedup figures in
+  ``BENCH_perf.json`` are measured.
+
+Nothing in the production code path imports this module.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Sequence
+
+from .errors import SRLRuntimeError
+from .values import Atom, SRLList, SRLSet, SRLTuple, Value, _set_caching, caches_enabled
+
+__all__ = [
+    "value_key_reference",
+    "value_sort_reference",
+    "choose_reference",
+    "rest_reference",
+    "legacy_mode",
+]
+
+
+def value_key_reference(value: "Value", atom_order: Sequence[int] | None = None):
+    """The seed's :func:`~repro.core.values.value_key`: a full recursive
+    recomputation with no caching.  Used as the differential oracle for the
+    cached keys."""
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, int):
+        return (1, value)
+    if isinstance(value, Atom):
+        rank = value.rank if atom_order is None else atom_order[value.rank]
+        return (2, rank)
+    if isinstance(value, SRLTuple):
+        return (3, len(value), tuple(value_key_reference(v, atom_order) for v in value))
+    if isinstance(value, SRLSet):
+        ordered = (
+            value.elements
+            if atom_order is None
+            else tuple(sorted(value.elements,
+                              key=lambda v: value_key_reference(v, atom_order)))
+        )
+        return (4, len(ordered), tuple(value_key_reference(v, atom_order) for v in ordered))
+    if isinstance(value, SRLList):
+        return (5, len(value.items),
+                tuple(value_key_reference(v, atom_order) for v in value.items))
+    raise SRLRuntimeError(f"not an SRL value: {value!r}")
+
+
+def value_sort_reference(values: Iterable["Value"],
+                         atom_order: Sequence[int] | None = None) -> list["Value"]:
+    """Sort by the recomputed reference key."""
+    return sorted(values, key=lambda v: value_key_reference(v, atom_order))
+
+
+def choose_reference(value: SRLSet, atom_order: Sequence[int] | None = None) -> "Value":
+    """Brute-force ``choose``: scan every element for the key minimum."""
+    if value.is_empty():
+        raise SRLRuntimeError("choose applied to the empty set")
+    return min(value.elements, key=lambda v: value_key_reference(v, atom_order))
+
+
+def rest_reference(value: SRLSet, atom_order: Sequence[int] | None = None) -> SRLSet:
+    """Brute-force ``rest``: rebuild the set without the key minimum."""
+    minimum = choose_reference(value, atom_order)
+    return SRLSet([v for v in value.elements if v != minimum])
+
+
+@contextmanager
+def legacy_mode():
+    """Run the enclosed block on the seed's uncached code paths.
+
+    Only benchmarks and differential tests should use this.  The flag is
+    process-global, so the block must not run concurrently with optimized
+    evaluation (the test suite and benchmarks are single-threaded).
+    """
+    previous = caches_enabled()
+    _set_caching(False)
+    try:
+        yield
+    finally:
+        _set_caching(previous)

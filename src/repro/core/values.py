@@ -23,10 +23,31 @@ Python value       SRL value
 
 All values are immutable and hashable, so sets of sets, sets of tuples of
 sets, and so on, work uniformly.
+
+Canonical-key caching
+---------------------
+
+Because values are immutable, every container (:class:`SRLTuple`,
+:class:`SRLSet`, :class:`SRLList`) memoizes its canonical key per
+``atom_order`` the first time it is computed, its structural hash, and its
+:func:`value_size`.  :class:`SRLSet` additionally keeps the keys of its
+elements aligned with the element tuple, so ``insert`` binary-searches over
+cached keys, ``union`` is a linear merge of two sorted runs, and
+construction detects already-sorted input without re-sorting.  The cached
+key of a nested value is therefore computed once per ``atom_order`` over
+the whole lifetime of the value instead of once per comparison — this is
+what keeps set-of-sets workloads (powerset, TM simulation) from going
+super-quadratic.  See DESIGN.md ("Caching architecture").
+
+The module-level switch :func:`caches_enabled` (toggled through
+:func:`repro.core.reference.legacy_mode`) re-enables the seed's uncached
+code paths; it exists purely so benchmarks and differential tests can
+measure the optimized paths against the original ones.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from functools import total_ordering
 from typing import Iterable, Iterator, Sequence, Union
@@ -49,7 +70,42 @@ __all__ = [
     "value_size",
     "value_to_python",
     "python_to_value",
+    "caches_enabled",
 ]
+
+
+# When False, every operation falls back to the seed's uncached algorithms
+# (recursive key recomputation, sort-on-construct, linear membership scans).
+# Toggled only by repro.core.reference.legacy_mode for benchmarking and
+# differential testing; never flip it directly.
+_CACHES_ENABLED = True
+
+
+def caches_enabled() -> bool:
+    """Whether the canonical-key / hash / size caches are in use."""
+    return _CACHES_ENABLED
+
+
+def _set_caching(enabled: bool) -> None:
+    global _CACHES_ENABLED
+    _CACHES_ENABLED = enabled
+
+
+#: How many *permuted* (non-natural) atom orders a value keeps keys for.
+#: The natural-order key is kept forever; permuted keys mostly serve one
+#: order-independence trial each (random permutations essentially never
+#: repeat across trials), so the cache is bounded to stop long probing
+#: sessions from accumulating one dead key tuple per trial per value.
+_MAX_PERMUTED_KEYS = 4
+
+
+def _store_key(cache: dict, atom_order, key):
+    """Insert a computed key, evicting stale permuted entries if full."""
+    if atom_order is not None and sum(1 for k in cache if k is not None) >= _MAX_PERMUTED_KEYS:
+        for stale in [k for k in cache if k is not None]:
+            del cache[stale]
+    cache[atom_order] = key
+    return key
 
 
 @total_ordering
@@ -88,6 +144,9 @@ class SRLTuple(tuple):
     """A fixed-arity SRL tuple.  Components are accessed 1-based via
     :meth:`select`, matching the paper's ``sel_i`` / ``.i`` notation."""
 
+    # tuple subclasses cannot carry non-empty __slots__, so the memoized
+    # key/hash/size live in the instance __dict__, created lazily.
+
     def select(self, index: int) -> "Value":
         """Return component ``index`` (1-based), as in the paper's ``t.i``."""
         if not 1 <= index <= len(self):
@@ -95,6 +154,26 @@ class SRLTuple(tuple):
                 f"tuple selector .{index} out of range for width-{len(self)} tuple"
             )
         return self[index - 1]
+
+    def _key(self, atom_order: tuple[int, ...] | None):
+        cache = self.__dict__.get("_key_cache")
+        if cache is None:
+            cache = {}
+            self.__dict__["_key_cache"] = cache
+        key = cache.get(atom_order)
+        if key is None:
+            key = _store_key(
+                cache, atom_order,
+                (3, len(self), tuple(_value_key(v, atom_order) for v in self)),
+            )
+        return key
+
+    def _size(self) -> int:
+        size = self.__dict__.get("_size_cache")
+        if size is None:
+            size = sum(value_size(v) for v in self)
+            self.__dict__["_size_cache"] = size
+        return size
 
     def __str__(self) -> str:
         return "[" + ", ".join(format_value(v) for v in self) + "]"
@@ -107,27 +186,97 @@ class SRLSet:
     """A finite set in canonical order.
 
     The elements are stored as a sorted, duplicate-free tuple according to
-    :func:`value_key`.  ``choose`` returns the first element and ``rest``
-    the set of the remaining ones — the operational semantics of
-    ``set-reduce`` in the paper.
+    :func:`value_key`, alongside the tuple of their cached keys.  ``choose``
+    returns the first element and ``rest`` the set of the remaining ones —
+    the operational semantics of ``set-reduce`` in the paper.
     """
 
-    __slots__ = ("_elements",)
+    __slots__ = ("_elements", "_keys", "_key_cache", "_hash", "_size_cache")
 
     def __init__(self, elements: Iterable["Value"] = ()):
-        canonical: list[Value] = []
-        seen: set[Value] = set()
-        for element in elements:
-            if element not in seen:
-                seen.add(element)
-                canonical.append(element)
-        canonical.sort(key=value_key)
-        self._elements = tuple(canonical)
+        self._key_cache = None
+        self._hash = None
+        self._size_cache = None
+        if not _CACHES_ENABLED:
+            canonical: list[Value] = []
+            seen: set[Value] = set()
+            for element in elements:
+                if element not in seen:
+                    seen.add(element)
+                    canonical.append(element)
+            canonical.sort(key=value_key)
+            self._elements = tuple(canonical)
+            self._keys = None
+            return
+        elems = list(elements)
+        keys = [_value_key(e, None) for e in elems]
+        ascending = True
+        for i in range(len(keys) - 1):
+            if not keys[i] < keys[i + 1]:
+                ascending = False
+                break
+        if ascending:
+            self._elements = tuple(elems)
+            self._keys = tuple(keys)
+            return
+        order = sorted(range(len(keys)), key=keys.__getitem__)
+        dedup_elems: list[Value] = []
+        dedup_keys: list = []
+        for i in order:
+            key = keys[i]
+            if dedup_keys and dedup_keys[-1] == key:
+                continue
+            dedup_keys.append(key)
+            dedup_elems.append(elems[i])
+        self._elements = tuple(dedup_elems)
+        self._keys = tuple(dedup_keys)
+
+    @classmethod
+    def _from_sorted(cls, elements: tuple["Value", ...],
+                     keys: tuple | None = None) -> "SRLSet":
+        """Internal: wrap an already-canonical element tuple (with its
+        aligned key tuple, when known) without re-sorting."""
+        result = cls.__new__(cls)
+        result._elements = elements
+        result._keys = keys
+        result._key_cache = None
+        result._hash = None
+        result._size_cache = None
+        return result
 
     @property
     def elements(self) -> tuple["Value", ...]:
         """The elements in ascending implementation order."""
         return self._elements
+
+    def _element_keys(self) -> tuple:
+        """The cached natural-order keys, aligned with :attr:`elements`."""
+        keys = self._keys
+        if keys is None:
+            keys = self._keys = tuple(_value_key(v, None) for v in self._elements)
+        return keys
+
+    def _key(self, atom_order: tuple[int, ...] | None):
+        cache = self._key_cache
+        if cache is None:
+            cache = self._key_cache = {}
+        key = cache.get(atom_order)
+        if key is None:
+            if atom_order is None:
+                element_keys = self._element_keys()
+            else:
+                element_keys = tuple(
+                    sorted(_value_key(v, atom_order) for v in self._elements)
+                )
+            key = _store_key(cache, atom_order,
+                             (4, len(self._elements), tuple(element_keys)))
+        return key
+
+    def _size(self) -> int:
+        size = self._size_cache
+        if size is None:
+            size = self._size_cache = 1 + sum(value_size(v) for v in self._elements)
+        return size
 
     def __len__(self) -> int:
         return len(self._elements)
@@ -136,13 +285,43 @@ class SRLSet:
         return iter(self._elements)
 
     def __contains__(self, item: object) -> bool:
-        return item in self._elements
+        if not _CACHES_ENABLED:
+            return item in self._elements
+        try:
+            key = _value_key(item, None)
+        except SRLRuntimeError:
+            # Not an SRL value (e.g. a plain Python tuple probing for an
+            # SRLTuple element): keep the seed's equality scan rather than
+            # silently answering False.
+            return item in self._elements
+        keys = self._element_keys()
+        index = bisect_left(keys, key)
+        return index < len(keys) and keys[index] == key
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, SRLSet) and self._elements == other._elements
+        # Equality follows the canonical key, not Python's ``==`` on the
+        # element tuples: Python conflates bool with int (True == 1), which
+        # would let a "canonical, duplicate-free" set hold two ==-equal
+        # elements.  Keys are injective on values, so key equality is
+        # structural equality with the kind tags respected.  Legacy mode
+        # keeps the seed's tuple comparison.
+        if self is other:
+            return True
+        if not isinstance(other, SRLSet):
+            return False
+        if not _CACHES_ENABLED:
+            return self._elements == other._elements
+        return self._key(None) == other._key(None)
 
     def __hash__(self) -> int:
-        return hash(("set", self._elements))
+        if not _CACHES_ENABLED:
+            return hash(("set", self._elements))
+        result = self._hash
+        if result is None:
+            # Hash the canonical key so eq-equal implies hash-equal under
+            # the key-based equality above.
+            result = self._hash = hash(("set", self._key(None)))
+        return result
 
     def __str__(self) -> str:
         return "{" + ", ".join(format_value(v) for v in self._elements) + "}"
@@ -163,29 +342,80 @@ class SRLSet:
         """The set without its minimal element."""
         if not self._elements:
             raise SRLRuntimeError("rest applied to the empty set")
-        result = SRLSet.__new__(SRLSet)
-        result._elements = self._elements[1:]
+        keys = self._keys
+        result = SRLSet._from_sorted(
+            self._elements[1:], None if keys is None else keys[1:]
+        )
+        if _CACHES_ENABLED and self._size_cache is not None:
+            result._size_cache = self._size_cache - value_size(self._elements[0])
         return result
 
     def insert(self, element: "Value") -> "SRLSet":
         """Return ``self`` with ``element`` added (no-op if already present)."""
-        if element in self._elements:
+        if not _CACHES_ENABLED:
+            if element in self._elements:
+                return self
+            key = value_key(element)
+            elements = self._elements
+            lo, hi = 0, len(elements)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if value_key(elements[mid]) < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            return SRLSet._from_sorted(elements[:lo] + (element,) + elements[lo:])
+        key = _value_key(element, None)
+        keys = self._element_keys()
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
             return self
-        result = SRLSet.__new__(SRLSet)
-        key = value_key(element)
-        elements = self._elements
-        lo, hi = 0, len(elements)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if value_key(elements[mid]) < key:
-                lo = mid + 1
-            else:
-                hi = mid
-        result._elements = elements[:lo] + (element,) + elements[lo:]
+        result = SRLSet._from_sorted(
+            self._elements[:index] + (element,) + self._elements[index:],
+            keys[:index] + (key,) + keys[index:],
+        )
+        # Propagate the size cache incrementally: the evaluator asks for
+        # value_size(accumulator) once per reduce iteration, and accumulators
+        # grow one insert at a time — re-summing would be O(n) per iteration.
+        if self._size_cache is not None:
+            result._size_cache = self._size_cache + value_size(element)
         return result
 
     def union(self, other: "SRLSet") -> "SRLSet":
-        return SRLSet(self._elements + other._elements)
+        if not _CACHES_ENABLED:
+            return SRLSet(self._elements + other._elements)
+        if not self._elements:
+            return other
+        if not other._elements:
+            return self
+        left, left_keys = self._elements, self._element_keys()
+        right, right_keys = other._elements, other._element_keys()
+        merged_elems: list[Value] = []
+        merged_keys: list = []
+        i = j = 0
+        len_left, len_right = len(left), len(right)
+        while i < len_left and j < len_right:
+            lk, rk = left_keys[i], right_keys[j]
+            if lk < rk:
+                merged_elems.append(left[i])
+                merged_keys.append(lk)
+                i += 1
+            elif rk < lk:
+                merged_elems.append(right[j])
+                merged_keys.append(rk)
+                j += 1
+            else:
+                merged_elems.append(left[i])
+                merged_keys.append(lk)
+                i += 1
+                j += 1
+        if i < len_left:
+            merged_elems.extend(left[i:])
+            merged_keys.extend(left_keys[i:])
+        elif j < len_right:
+            merged_elems.extend(right[j:])
+            merged_keys.extend(right_keys[j:])
+        return SRLSet._from_sorted(tuple(merged_elems), tuple(merged_keys))
 
     def ordered_under(self, permutation: Sequence[int]) -> list["Value"]:
         """The elements sorted under an alternative implementation order.
@@ -193,21 +423,44 @@ class SRLSet:
         ``permutation[rank]`` gives the new rank of the atom with that base
         rank; used by the order-independence tester (Section 7).
         """
-        return sorted(self._elements, key=lambda v: value_key(v, tuple(permutation)))
+        atom_order = tuple(permutation)
+        return sorted(self._elements, key=lambda v: _value_key(v, atom_order))
 
 
 class SRLList:
     """A finite list (LRL).  Unlike :class:`SRLSet`, order and multiplicity
     are significant, which is exactly why LRL escapes polynomial time."""
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "_key_cache", "_hash", "_size_cache")
 
     def __init__(self, items: Iterable["Value"] = ()):
         self._items = tuple(items)
+        self._key_cache = None
+        self._hash = None
+        self._size_cache = None
 
     @property
     def items(self) -> tuple["Value", ...]:
         return self._items
+
+    def _key(self, atom_order: tuple[int, ...] | None):
+        cache = self._key_cache
+        if cache is None:
+            cache = self._key_cache = {}
+        key = cache.get(atom_order)
+        if key is None:
+            key = _store_key(
+                cache, atom_order,
+                (5, len(self._items),
+                 tuple(_value_key(v, atom_order) for v in self._items)),
+            )
+        return key
+
+    def _size(self) -> int:
+        size = self._size_cache
+        if size is None:
+            size = self._size_cache = 1 + sum(value_size(v) for v in self._items)
+        return size
 
     def __len__(self) -> int:
         return len(self._items)
@@ -216,10 +469,23 @@ class SRLList:
         return iter(self._items)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, SRLList) and self._items == other._items
+        # Key-based for the same reason as SRLSet.__eq__: Python's ``==``
+        # conflates bool with int inside the item tuples.
+        if self is other:
+            return True
+        if not isinstance(other, SRLList):
+            return False
+        if not _CACHES_ENABLED:
+            return self._items == other._items
+        return self._key(None) == other._key(None)
 
     def __hash__(self) -> int:
-        return hash(("list", self._items))
+        if not _CACHES_ENABLED:
+            return hash(("list", self._items))
+        result = self._hash
+        if result is None:
+            result = self._hash = hash(("list", self._key(None)))
+        return result
 
     def __str__(self) -> str:
         return "<" + ", ".join(format_value(v) for v in self._items) + ">"
@@ -241,7 +507,10 @@ class SRLList:
         return SRLList(self._items[1:])
 
     def cons(self, item: "Value") -> "SRLList":
-        return SRLList((item,) + self._items)
+        result = SRLList((item,) + self._items)
+        if _CACHES_ENABLED and self._size_cache is not None:
+            result._size_cache = self._size_cache + value_size(item)
+        return result
 
 
 Value = Union[bool, int, Atom, SRLTuple, SRLSet, SRLList]
@@ -265,7 +534,22 @@ def value_key(value: "Value", atom_order: tuple[int, ...] | None = None):
     atom's position in the alternative order); this is how the Section 7
     order-independence tester varies the order ``choose`` uses without
     changing the values themselves.
+
+    Container keys are memoized on the value per ``atom_order``; the
+    uncached recursion is preserved as
+    :func:`repro.core.reference.value_key_reference`.
     """
+    if atom_order is not None and not isinstance(atom_order, tuple):
+        atom_order = tuple(atom_order)
+    return _value_key(value, atom_order)
+
+
+def _value_key(value: "Value", atom_order: tuple[int, ...] | None):
+    """Internal worker: ``atom_order`` is already ``None`` or a tuple."""
+    if _CACHES_ENABLED:
+        kind = type(value)
+        if kind is SRLTuple or kind is SRLSet or kind is SRLList:
+            return value._key(atom_order)
     if isinstance(value, bool):
         return (0, int(value))
     if isinstance(value, int):
@@ -274,16 +558,16 @@ def value_key(value: "Value", atom_order: tuple[int, ...] | None = None):
         rank = value.rank if atom_order is None else atom_order[value.rank]
         return (2, rank)
     if isinstance(value, SRLTuple):
-        return (3, len(value), tuple(value_key(v, atom_order) for v in value))
+        return (3, len(value), tuple(_value_key(v, atom_order) for v in value))
     if isinstance(value, SRLSet):
         ordered = (
             value.elements
             if atom_order is None
-            else tuple(sorted(value.elements, key=lambda v: value_key(v, atom_order)))
+            else tuple(sorted(value.elements, key=lambda v: _value_key(v, atom_order)))
         )
-        return (4, len(ordered), tuple(value_key(v, atom_order) for v in ordered))
+        return (4, len(ordered), tuple(_value_key(v, atom_order) for v in ordered))
     if isinstance(value, SRLList):
-        return (5, len(value.items), tuple(value_key(v, atom_order) for v in value.items))
+        return (5, len(value.items), tuple(_value_key(v, atom_order) for v in value.items))
     raise SRLRuntimeError(f"not an SRL value: {value!r}")
 
 
@@ -315,11 +599,15 @@ def value_size(value: "Value") -> int:
     This is the measure the Section 4 / Section 6 benchmarks use for "how
     big did the accumulator get": a bounded-width tuple of atoms has O(1)
     size whereas a set of k-tuples over an n-element domain can reach n^k.
+    The result is memoized on container values (the evaluator calls this
+    once per reduce iteration on the whole accumulator).
     """
     if isinstance(value, (bool, Atom)):
         return 1
     if isinstance(value, int):
         return max(1, value.bit_length())
+    if _CACHES_ENABLED and type(value) in (SRLTuple, SRLSet, SRLList):
+        return value._size()
     if isinstance(value, SRLTuple):
         return sum(value_size(v) for v in value)
     if isinstance(value, SRLSet):

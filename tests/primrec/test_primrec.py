@@ -113,6 +113,7 @@ class TestArithmetic:
         assert MOD_POW2(n, j) == n % (2 ** j)
         assert BIT(n, j) == (n >> j) & 1
 
+    @pytest.mark.slow  # RLOG drives EXP(2, n) through unary recursion: huge
     @given(st.integers(min_value=0, max_value=20))
     def test_log_rlog(self, n):
         expected_log = n.bit_length() - 1 if n >= 1 else 0
@@ -136,6 +137,7 @@ class TestGodelEncoding:
         with pytest.raises(ValueError):
             decode_element(6)
 
+    @pytest.mark.slow  # CHOOSE_PR/REST_PR expand EXP/MOD_POW2 unary terms
     @given(st.integers(min_value=1, max_value=200))
     def test_choose_and_rest_match_the_set_semantics(self, code):
         ranks = decode_set(code)
@@ -145,12 +147,14 @@ class TestGodelEncoding:
         assert CHOOSE_PR(code) == choose_number(code)
         assert REST_PR(code) == rest_number(code)
 
+    @pytest.mark.slow  # INSERT_PR's Cond/Bit terms are unary-recursion heavy
     @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=60))
     def test_insert_matches_the_set_semantics(self, rank, code):
         element = encode_element(rank)
         assert decode_set(insert_number(element, code)) == decode_set(code) | {rank}
         assert INSERT_PR(element, code) == insert_number(element, code)
 
+    @pytest.mark.slow  # NEW_PR = Exp(2, Log(S) + 1), again unary recursion
     @given(st.integers(min_value=1, max_value=60))
     def test_new_is_outside_the_set(self, code):
         fresh = new_number(code)
