@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.complexity import hierarchy_level, iterated_powerset_size, tower
-from repro.core import Evaluator, run_program
+from repro.core import run_program
 from repro.core import builders as b
 from repro.core.typecheck import database_types
 from repro.complexity import classify_program

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Evaluator, run_program
+from repro.core import Session, run_program
 from repro.core.restrictions import SRL
 from repro.core.typecheck import database_types
 from repro.queries import powerset_baseline, powerset_database, powerset_program
@@ -23,11 +23,11 @@ SIZES = (2, 4, 6, 8, 10)
 def test_powerset_output_doubles_per_element(table):
     rows = []
     previous = None
+    session = Session(powerset_program())
     for size in SIZES:
-        evaluator = Evaluator(powerset_program())
-        result = evaluator.run(powerset_database(size))
+        result = session.run(powerset_database(size))
         assert len(result) == 2 ** size
-        rows.append([size, len(result), evaluator.stats.inserts, evaluator.stats.max_set_size])
+        rows.append([size, len(result), session.stats.inserts, session.stats.max_set_size])
         if previous is not None:
             assert len(result) == 4 * previous  # sizes step by 2
         previous = len(result)

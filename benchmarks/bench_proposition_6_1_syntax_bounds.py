@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Atom, Database, Evaluator, Program, make_set, parse_expression
+from repro.core import Atom, Database, Program, Session, make_set, parse_expression
 from repro.core.analysis import analyze
 from repro.core.typecheck import database_types
 
@@ -56,14 +56,16 @@ def test_measured_cost_respects_the_syntactic_bound(table):
         program = Program(main=parse_expression(text))
         analysis = analyze(program, input_types=database_types(_database(4)))
         exponent = analysis.time_exponent
+        # The n^{ad} bound of Proposition 6.1 is stated in AST-node
+        # visits, so this experiment pins the interpreter backend.
+        session = Session(program, backend="interp")
         for size in SIZES:
-            evaluator = Evaluator(program)
-            evaluator.run(_database(size))
+            session.run(_database(size))
             bound = size ** exponent
             # T_ins is at least 1, so steps <= c * n^{ad} for a modest c.
-            assert evaluator.stats.steps <= 40 * bound
+            assert session.stats.steps <= 40 * bound
             rows.append([name, analysis.width, analysis.depth, size,
-                         evaluator.stats.steps, bound])
+                         session.stats.steps, bound])
     table("E6: measured evaluator steps vs the n^{a*d} bound",
           ["program", "a", "d", "n", "steps", "n^(a*d)"], rows)
 
@@ -72,9 +74,9 @@ def test_deeper_programs_cost_more(table):
     size = 24
     costs = {}
     for name, text in PROGRAMS.items():
-        evaluator = Evaluator(Program(main=parse_expression(text)))
-        evaluator.run(_database(size))
-        costs[name] = evaluator.stats.steps
+        session = Session(Program(main=parse_expression(text)), backend="interp")
+        session.run(_database(size))
+        costs[name] = session.stats.steps
     table("E6: cost ordering at n=24", ["program", "steps"],
           [[name, steps] for name, steps in costs.items()])
     assert costs["nested copy (a=1, d=2)"] > costs["copy (a=1, d=1)"]
@@ -93,5 +95,6 @@ def test_analysis_reports_the_right_measures():
 def test_benchmark_programs(benchmark, name):
     program = Program(main=parse_expression(PROGRAMS[name]))
     database = _database(24)
-    benchmark.pedantic(lambda: Evaluator(program).run(database), rounds=1, iterations=1)
+    session = Session(program)
+    benchmark.pedantic(lambda: session.run(database), rounds=1, iterations=1)
     benchmark.extra_info["program"] = name

@@ -12,6 +12,21 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="benchmark smoke mode: smaller sizes, no speedup-ratio "
+             "assertions (for shared CI runners where wall-clock ratios "
+             "wobble); BENCH_perf.json keeps its vetted full-size entries",
+    )
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """True when the run is a CI smoke pass (see --smoke)."""
+    return bool(request.config.getoption("--smoke"))
+
+
 def emit_table(title: str, header: list[str], rows: list[list[object]]) -> None:
     """Print a results table (visible with ``pytest -s`` and in captured
     output on failure)."""

@@ -17,7 +17,7 @@ import _bootstrap  # noqa: F401  (puts src/ on sys.path for checkout runs)
 from repro.core import (
     Atom,
     Database,
-    Evaluator,
+    Session,
     analyze,
     certify_order_independence,
     make_set,
@@ -84,10 +84,15 @@ def main() -> None:
     print("empirical probe (10 random orders): independent =", probe.independent)
 
     # ------------------------------------------------------------------ 6.
-    # Instrumented evaluation: the counters the benchmarks report.
-    evaluator = Evaluator(program)
-    evaluator.run(database)
-    print("\nevaluator statistics:", evaluator.stats.as_dict())
+    # Instrumented evaluation through the engine facade: a Session compiles
+    # the program once (AST -> register IR -> Python closures) and can also
+    # run it on the tree-walking interpreter for per-node step counts.
+    session = Session(program)  # backend="compiled" is the default
+    session.run(database)
+    print("\ncompiled-engine statistics:", session.stats.as_dict())
+    interp = Session(program, backend="interp")
+    interp.run(database)
+    print("interpreter statistics:   ", interp.stats.as_dict())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,114 @@
+"""``python -m repro`` — run an SRL source file through the full pipeline.
+
+The CLI drives the same :class:`~repro.core.engine.Session` facade the rest
+of the repo uses: parse the program, type-check it, classify it against the
+paper's syntactic restrictions, execute it on the selected backend, and
+print the result together with the engine's :class:`EvaluationStats`.
+
+Usage::
+
+    python -m repro program.srl [--db database.json] [--backend compiled]
+                                [--no-stdlib] [--max-steps N] [--quiet]
+
+The database file is a JSON object mapping input names to values: ``true``
+/ ``false`` are booleans, bare integers are atom ranks, an untagged array
+is a *set* whose untagged array elements are *tuples* (so a binary relation
+is just ``"EDGES": [[0, 1], [1, 2]]``), and deeper nesting uses the tagged
+forms ``{"atom": r}``, ``{"nat": n}``, ``{"set": [...]}``,
+``{"tuple": [...]}`` and ``{"list": [...]}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import (
+    BACKENDS,
+    Database,
+    EvaluationLimits,
+    Session,
+    parse_program,
+    with_standard_library,
+)
+from repro.core.engine import database_from_json
+from repro.core.errors import SRLError
+from repro.core.restrictions import strictest_restriction
+from repro.core.typecheck import check_program, database_types
+from repro.core.values import format_value
+
+
+def _build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parse, type-check, restriction-check and run an SRL program.",
+    )
+    parser.add_argument("program", type=Path,
+                        help="SRL source file (s-expression syntax)")
+    parser.add_argument("--db", type=Path, default=None,
+                        help="JSON database file supplying the input sets/relations")
+    parser.add_argument("--backend", choices=BACKENDS, default="compiled",
+                        help="execution backend (default: compiled)")
+    parser.add_argument("--no-stdlib", action="store_true",
+                        help="do not add the Fact 2.4 standard library definitions")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="abort after this many evaluation steps")
+    parser.add_argument("--skip-checks", action="store_true",
+                        help="skip the type and restriction checks, just run")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the result value")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_argument_parser().parse_args(argv)
+
+    try:
+        source = args.program.read_text()
+    except OSError as error:
+        print(f"error: cannot read {args.program}: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        database = Database()
+        if args.db is not None:
+            database = database_from_json(json.loads(args.db.read_text()))
+        program = parse_program(source)
+        if not args.no_stdlib:
+            with_standard_library(program)
+        if program.main is None:
+            print("error: the program has no main expression to run", file=sys.stderr)
+            return 2
+
+        if not args.skip_checks:
+            types = database_types(database)
+            report = check_program(program, input_types=types)
+            restriction = strictest_restriction(program, types)
+            if not args.quiet:
+                print(f"type:        {report.result_type}")
+                print(f"restriction: {restriction.name} "
+                      f"({restriction.complexity_class}, {restriction.paper_reference})")
+
+        limits = EvaluationLimits(max_steps=args.max_steps) \
+            if args.max_steps is not None else None
+        session = Session(program, limits=limits, backend=args.backend)
+        value = session.run(database)
+    except (SRLError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.quiet:
+        print(format_value(value))
+        return 0
+    print(f"backend:     {args.backend}")
+    print(f"result:      {format_value(value)}")
+    print("stats:       " + ", ".join(
+        f"{key}={count}" for key, count in session.stats.as_dict().items()
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

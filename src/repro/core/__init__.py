@@ -7,6 +7,9 @@ Immerman, Patnaik and Stemple:
 * :mod:`repro.core.ast`, :mod:`repro.core.parser`, :mod:`repro.core.builders`
   — three ways to construct programs (raw AST, s-expression text, Python DSL);
 * :mod:`repro.core.evaluator` — the instrumented operational semantics;
+* :mod:`repro.core.ir`, :mod:`repro.core.compiler`, :mod:`repro.core.engine`
+  — the compilation pipeline (AST → register IR → Python closures) and the
+  :class:`~repro.core.engine.Session` facade with its pluggable backends;
 * :mod:`repro.core.typecheck` — type inference / checking;
 * :mod:`repro.core.stdlib` — the Fact 2.4 derived operations, written in SRL;
 * :mod:`repro.core.restrictions` — SRL, BASRL, SRFO+TC, SRFO+DTC, SRL+new, LRL;
@@ -54,12 +57,17 @@ from .errors import (
     SRLSyntaxError,
     SRLTypeError,
 )
+from .compiler import CompiledProgram, compile_expression, compile_program
+from .engine import (
+    BACKENDS,
+    Session,
+    run_expression,
+    run_program,
+)
 from .evaluator import (
     EvaluationLimits,
     EvaluationStats,
     Evaluator,
-    run_expression,
-    run_program,
 )
 from .hom import check_proper, count_hom, hom, hom_expr
 from .order import (

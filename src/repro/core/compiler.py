@@ -1,0 +1,508 @@
+"""Compiling the register IR of :mod:`repro.core.ir` into Python closures.
+
+Each :class:`~repro.core.ir.IRFunction` is turned into one Python function
+(generated source, ``exec``-ed once per program): registers become local
+variables, pre-bound calls become direct closure invocations through the
+shared compile namespace, and the reduce loops become plain ``for`` loops.
+Nothing in the hot path walks a tree, chains an environment, or dispatches
+on node types — that work was all done once, at lowering time.
+
+Instrumentation and limits
+--------------------------
+
+The compiled backend threads a tiny :class:`_Runtime` through every call.
+It carries the same :class:`~repro.core.evaluator.EvaluationStats` /
+:class:`~repro.core.evaluator.EvaluationLimits` the interpreter uses, and
+the *semantically determined* counters match the interpreter exactly:
+``inserts``, ``set_reduce_iterations``, ``list_reduce_iterations``,
+``function_calls``, ``new_values``, ``max_set_size``,
+``max_accumulator_size`` and ``max_list_length`` are all maintained at the
+same program points.  Only ``steps`` is coarser: the interpreter ticks once
+per AST node visited, while compiled code has no per-node events and ticks
+once per reduce iteration and per function call (see DESIGN.md, "What
+instrumentation each backend guarantees").  ``max_steps`` budgets therefore
+bound the same asymptotic quantity, at a different constant factor.
+
+Resource limits (``max_steps``, ``max_inserts``, ``max_set_size``,
+``allow_new``, ``allow_lists``) are enforced at the same operations as the
+interpreter, raising the same exception types.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .ast import Expr, Program
+from .environment import Database
+from .errors import (
+    ResourceLimitExceeded,
+    SRLCompilationError,
+    SRLNameError,
+    SRLRuntimeError,
+)
+from .evaluator import EvaluationLimits, EvaluationStats
+from .ir import Block, IRFunction, IRProgram, Instr, Op, lower_program
+from .values import (
+    Atom,
+    SRLList,
+    SRLSet,
+    SRLTuple,
+    Value,
+    _value_key,
+    max_atom_rank,
+    value_equal,
+    value_size,
+)
+
+__all__ = ["CompiledProgram", "compile_program", "compile_expression"]
+
+
+class _Runtime:
+    """Per-run state threaded through compiled closures: stats, limits, the
+    scan order, the ``new`` counter and the recursion guard."""
+
+    __slots__ = ("stats", "limits", "atom_order", "new_counter", "active",
+                 "allow_lists")
+
+    def __init__(self, limits: EvaluationLimits, atom_order: tuple[int, ...] | None,
+                 stats: EvaluationStats | None = None):
+        # A caller-supplied stats object stays observable even when the run
+        # aborts on a resource limit (Session relies on this).
+        self.stats = stats if stats is not None else EvaluationStats()
+        self.limits = limits
+        self.atom_order = atom_order
+        self.new_counter = 0
+        self.active: set[str] = set()
+        self.allow_lists = limits.allow_lists
+
+    # --------------------------------------------------------------- ticks
+
+    def tick(self) -> None:
+        stats = self.stats
+        stats.steps += 1
+        limit = self.limits.max_steps
+        if limit is not None and stats.steps > limit:
+            raise ResourceLimitExceeded("steps", limit, stats.steps)
+
+    def call_tick(self) -> None:
+        self.stats.function_calls += 1
+        self.tick()
+
+    def enter(self, name: str) -> None:
+        if name in self.active:
+            raise SRLRuntimeError(
+                f"recursive call of {name}: SRL functions are closed "
+                "under composition only, recursion is not part of the language"
+            )
+        self.active.add(name)
+
+    def exit(self, name: str) -> None:
+        self.active.discard(name)
+
+    # ---------------------------------------------------------- operations
+
+    def insert(self, element: Value, target: Value) -> SRLSet:
+        if not isinstance(target, SRLSet):
+            raise SRLRuntimeError(f"insert into a non-set: {target!r}")
+        stats = self.stats
+        stats.inserts += 1
+        limit = self.limits.max_inserts
+        if limit is not None and stats.inserts > limit:
+            raise ResourceLimitExceeded("inserts", limit, stats.inserts)
+        result = target.insert(element)
+        size = len(result)
+        if size > stats.max_set_size:
+            stats.max_set_size = size
+        size_limit = self.limits.max_set_size
+        if size_limit is not None and size > size_limit:
+            raise ResourceLimitExceeded("set size", size_limit, size)
+        return result
+
+    def choose(self, source: Value) -> Value:
+        if not isinstance(source, SRLSet):
+            raise SRLRuntimeError(f"choose applied to a non-set: {source!r}")
+        if self.atom_order is None:
+            return source.choose()
+        elements = source.ordered_under(self.atom_order)
+        if not elements:
+            raise SRLRuntimeError("choose applied to the empty set")
+        return elements[0]
+
+    def rest(self, source: Value) -> Value:
+        if not isinstance(source, SRLSet):
+            raise SRLRuntimeError(f"rest applied to a non-set: {source!r}")
+        if self.atom_order is None:
+            return source.rest()
+        elements = source.ordered_under(self.atom_order)
+        if not elements:
+            raise SRLRuntimeError("rest applied to the empty set")
+        return SRLSet(elements[1:])
+
+    def new(self, source: Value) -> Value:
+        if not self.limits.allow_new:
+            raise SRLRuntimeError(
+                "new (invented values) is disabled: the program is being run "
+                "under plain-SRL semantics"
+            )
+        if not isinstance(source, SRLSet):
+            raise SRLRuntimeError(f"new applied to a non-set: {source!r}")
+        self.stats.new_values += 1
+        self.new_counter = max(self.new_counter, max_atom_rank(source) + 1)
+        fresh = Atom(self.new_counter)
+        self.new_counter += 1
+        return fresh
+
+    def cons(self, item: Value, target: Value) -> SRLList:
+        if not isinstance(target, SRLList):
+            raise SRLRuntimeError(f"cons onto a non-list: {target!r}")
+        result = target.cons(item)
+        length = len(result)
+        if length > self.stats.max_list_length:
+            self.stats.max_list_length = length
+        return result
+
+    def emptylist(self) -> SRLList:
+        if not self.allow_lists:
+            raise SRLRuntimeError("list values are disabled by the evaluation limits")
+        return SRLList()
+
+    def check_lists(self) -> None:
+        if not self.allow_lists:
+            raise SRLRuntimeError("list values are disabled by the evaluation limits")
+
+    def check_new(self) -> None:
+        if not self.limits.allow_new:
+            raise SRLRuntimeError(
+                "new (invented values) is disabled: the program is being run "
+                "under plain-SRL semantics"
+            )
+
+    def ordered(self, source: SRLSet) -> Sequence[Value]:
+        if self.atom_order is None:
+            return source.elements
+        return source.ordered_under(self.atom_order)
+
+    def note_acc(self, value: Value) -> None:
+        stats = self.stats
+        size = value_size(value)
+        if size > stats.max_accumulator_size:
+            stats.max_accumulator_size = size
+        if isinstance(value, SRLSet):
+            set_size = len(value)
+            if set_size > stats.max_set_size:
+                stats.max_set_size = set_size
+            limit = self.limits.max_set_size
+            if limit is not None and set_size > limit:
+                raise ResourceLimitExceeded("set size", limit, set_size)
+        elif isinstance(value, SRLList):
+            if len(value) > stats.max_list_length:
+                stats.max_list_length = len(value)
+
+
+# ------------------------------------------------------------ error helpers
+
+
+def _make_lookup(database: Database):
+    """The database accessor threaded through compiled closures.
+
+    Reads the bindings dict directly (one call level less than
+    ``Database.lookup``) and raises the *interpreter's* unbound-name error:
+    by the time compiled code executes a LOAD_DB, slot resolution has
+    already ruled out every parameter scope, which is exactly the state in
+    which ``Environment.lookup`` reports "unbound variable".
+    """
+    bindings = database._bindings
+
+    def lookup(name: str) -> Value:
+        try:
+            return bindings[name]
+        except KeyError:
+            raise SRLNameError(f"unbound variable: {name}") from None
+
+    return lookup
+
+
+def _raise_runtime(message: str):
+    raise SRLRuntimeError(message)
+
+
+def _raise_name(message: str):
+    raise SRLNameError(message)
+
+
+def _bad_condition(value):
+    raise SRLRuntimeError(f"if condition evaluated to a non-boolean: {value!r}")
+
+
+def _bad_source(value, is_set: bool):
+    if is_set:
+        raise SRLRuntimeError(f"set-reduce over a non-set: {value!r}")
+    raise SRLRuntimeError(f"list-reduce over a non-list: {value!r}")
+
+
+def _select(value, index: int):
+    if not isinstance(value, SRLTuple):
+        raise SRLRuntimeError(f"sel_{index} applied to a non-tuple: {value!r}")
+    if not 1 <= index <= len(value):
+        raise SRLRuntimeError(
+            f"tuple selector .{index} out of range for width-{len(value)} tuple"
+        )
+    return value[index - 1]
+
+
+# ------------------------------------------------------------------- codegen
+
+
+class _CodeGen:
+    """Emits the Python source of one IR function."""
+
+    def __init__(self, fn: IRFunction, fn_globals: dict[str, str],
+                 consts: list, emitted_name: str,
+                 guarded_names: frozenset[str] = frozenset()):
+        self.fn = fn
+        self.fn_globals = fn_globals  # callee name -> generated global name
+        self.consts = consts
+        self.emitted_name = emitted_name
+        self.guarded_names = guarded_names
+        self.lines: list[str] = []
+        self.indent = 1
+        self._reduce_id = 0
+
+    def _line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def _const_name(self, value) -> str:
+        self.consts.append(value)
+        return f"_K{len(self.consts) - 1}"
+
+    def generate(self) -> str:
+        fn = self.fn
+        params = ", ".join(f"r{slot}" for slot in range(len(fn.params)))
+        header = f"def {self.emitted_name}(rt, _lookup{', ' + params if params else ''}):"
+        self.lines.append(header)
+        self._line("_st = rt.stats")
+        if fn.guarded:
+            # The interpreter checks the call stack *before* counting the
+            # call, so a guard-rejected re-entry must not tick — guarded
+            # functions therefore self-tick after the guard passes, and
+            # their call sites skip the usual call_tick.
+            self._line(f"rt.enter({fn.name!r})")
+            self._line("try:")
+            self.indent += 1
+            self._line("rt.call_tick()")
+        self._emit_block(fn.block)
+        self._line(f"return r{fn.block.result}")
+        if fn.guarded:
+            self.indent -= 1
+            self._line("finally:")
+            self._line(f"    rt.exit({fn.name!r})")
+        return "\n".join(self.lines)
+
+    def _emit_block(self, block: Block) -> None:
+        for instr in block.instrs:
+            self._emit_instr(instr)
+
+    def _emit_instr(self, instr: Instr) -> None:
+        op, dest, args = instr.op, instr.dest, instr.args
+        if op is Op.CONST:
+            self._line(f"r{dest} = {self._const_name(args[0])}")
+        elif op is Op.LOAD_DB:
+            self._line(f"r{dest} = _lookup({args[0]!r})")
+        elif op is Op.TUPLE:
+            inner = ", ".join(f"r{slot}" for slot in args[0])
+            trailing = "," if len(args[0]) == 1 else ""
+            self._line(f"r{dest} = _Tuple(({inner}{trailing}))")
+        elif op is Op.SELECT:
+            self._line(f"r{dest} = _select(r{args[0]}, {args[1]})")
+        elif op is Op.EQUAL:
+            self._line(f"r{dest} = _veq(r{args[0]}, r{args[1]})")
+        elif op is Op.LESSEQ:
+            self._line(
+                f"r{dest} = _vk(r{args[0]}, rt.atom_order) <= _vk(r{args[1]}, rt.atom_order)"
+            )
+        elif op is Op.INSERT:
+            self._line(f"r{dest} = rt.insert(r{args[0]}, r{args[1]})")
+        elif op is Op.CHOOSE:
+            self._line(f"r{dest} = rt.choose(r{args[0]})")
+        elif op is Op.REST:
+            self._line(f"r{dest} = rt.rest(r{args[0]})")
+        elif op is Op.NEW:
+            self._line(f"r{dest} = rt.new(r{args[0]})")
+        elif op is Op.CONS:
+            self._line(f"r{dest} = rt.cons(r{args[0]}, r{args[1]})")
+        elif op is Op.EMPTY_LIST:
+            self._line(f"r{dest} = rt.emptylist()")
+        elif op is Op.CHECK_LISTS:
+            self._line("rt.check_lists()")
+        elif op is Op.CHECK_NEW:
+            self._line("rt.check_new()")
+        elif op is Op.CHECK_SOURCE:
+            src, is_set = args
+            expected = "_Set" if is_set else "_List"
+            self._line(f"if not isinstance(r{src}, {expected}): _bad_source(r{src}, {is_set})")
+        elif op is Op.CALL:
+            callee, arg_slots = args
+            call_args = "".join(f", r{slot}" for slot in arg_slots)
+            if callee not in self.guarded_names:
+                self._line("rt.call_tick()")
+            self._line(f"r{dest} = {self.fn_globals[callee]}(rt, _lookup{call_args})")
+        elif op is Op.RAISE:
+            exc_kind, message = args
+            helper = "_raise_name" if exc_kind == "name" else "_raise_runtime"
+            self._line(f"r{dest} = {helper}({message!r})")
+        elif op is Op.IF:
+            cond, then_block, else_block = args
+            self._line(f"if r{cond} is True:")
+            self.indent += 1
+            self._emit_block(then_block)
+            self._line(f"r{dest} = r{then_block.result}")
+            self.indent -= 1
+            self._line(f"elif r{cond} is False:")
+            self.indent += 1
+            self._emit_block(else_block)
+            self._line(f"r{dest} = r{else_block.result}")
+            self.indent -= 1
+            self._line("else:")
+            self._line(f"    _bad_condition(r{cond})")
+        elif op is Op.REDUCE:
+            self._emit_reduce(dest, args)
+        else:  # pragma: no cover - exhaustive over Op
+            raise SRLRuntimeError(f"cannot compile IR opcode {op!r}")
+
+    def _emit_reduce(self, dest: int, args: tuple) -> None:
+        is_set, src, base, extra, app_block, acc_block, app_slots, acc_slots = args
+        rid = self._reduce_id
+        self._reduce_id += 1
+        counter = "set_reduce_iterations" if is_set else "list_reduce_iterations"
+        items = f"rt.ordered(r{src})" if is_set else f"r{src}.items"
+        self._line(f"_acc{rid} = r{base}")
+        self._line(f"_ext{rid} = r{extra}")
+        self._line(f"for _e{rid} in {items}:")
+        self.indent += 1
+        # The counter is bumped at the top of the body (before any work can
+        # raise), which is exactly the interpreter's abort semantics: the
+        # iteration being processed counts even when a resource limit stops
+        # it mid-body.  Incrementing the stats field directly keeps the loop
+        # a single static block — CPython caps statically nested blocks at
+        # 20, and nested reduces nest these loops.
+        self._line(f"_st.{counter} += 1")
+        self._line("rt.tick()")
+        self._line(f"r{app_slots[0]} = _e{rid}")
+        self._line(f"r{app_slots[1]} = _ext{rid}")
+        self._emit_block(app_block)
+        self._line(f"r{acc_slots[0]} = r{app_block.result}")
+        self._line(f"r{acc_slots[1]} = _acc{rid}")
+        self._emit_block(acc_block)
+        self._line(f"_acc{rid} = r{acc_block.result}")
+        self._line(f"rt.note_acc(_acc{rid})")
+        self.indent -= 1
+        self._line(f"r{dest} = _acc{rid}")
+
+
+class CompiledProgram:
+    """A program lowered to IR and compiled to Python closures.
+
+    Compilation happens once; every :meth:`run` / :meth:`call` then executes
+    the closures against a fresh :class:`_Runtime` and returns ``(value,
+    stats)``.  Thread a :class:`~repro.core.engine.Session` for the
+    high-level API.
+    """
+
+    def __init__(self, program: Program, main: Expr | None = None):
+        self.program = program
+        self.ir = lower_program(program, main=main)
+        self._namespace: dict[str, object] = {
+            "_Tuple": SRLTuple,
+            "_Set": SRLSet,
+            "_List": SRLList,
+            "_vk": _value_key,
+            "_veq": value_equal,
+            "_select": _select,
+            "_raise_runtime": _raise_runtime,
+            "_raise_name": _raise_name,
+            "_bad_condition": _bad_condition,
+            "_bad_source": _bad_source,
+        }
+        fn_globals = {name: f"_f{index}"
+                      for index, name in enumerate(self.ir.functions)}
+        guarded = frozenset(name for name, fn in self.ir.functions.items()
+                            if fn.guarded)
+        consts: list = []
+        sources: list[str] = []
+        for name, fn in self.ir.functions.items():
+            sources.append(_CodeGen(fn, fn_globals, consts, fn_globals[name],
+                                    guarded).generate())
+        if self.ir.main is not None:
+            sources.append(_CodeGen(self.ir.main, fn_globals, consts, "_main",
+                                    guarded).generate())
+        for index, value in enumerate(consts):
+            self._namespace[f"_K{index}"] = value
+        self.source = "\n\n".join(sources)
+        try:
+            exec(compile(self.source, f"<srl-compiled:{id(program):x}>", "exec"),
+                 self._namespace)
+        except SyntaxError as error:
+            # CPython caps statically nested blocks at 20; ~19+ nested
+            # reduces (each one `for` block, plus `if` arms) exceed it.
+            # Session falls back to the interpreter on this error.
+            raise SRLCompilationError(
+                f"program is too deeply nested for the compiled backend: {error}"
+            ) from error
+        self._functions = {name: self._namespace[fn_globals[name]]
+                           for name in self.ir.functions}
+        self._main = self._namespace.get("_main")
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, database: Database | Mapping[str, object] | None = None,
+            limits: EvaluationLimits | None = None,
+            atom_order: Sequence[int] | None = None,
+            stats: EvaluationStats | None = None) -> tuple[Value, EvaluationStats]:
+        """Run the compiled main expression; returns ``(value, stats)``.
+
+        A caller-supplied ``stats`` object is filled in place, so its
+        counters remain readable when the run aborts on a limit.
+        """
+        if self._main is None:
+            raise SRLRuntimeError("program has no main expression to evaluate")
+        if not isinstance(database, Database):
+            database = Database(database or {})
+        rt = _Runtime(limits if limits is not None else EvaluationLimits(),
+                      tuple(atom_order) if atom_order is not None else None,
+                      stats)
+        value = self._main(rt, _make_lookup(database))
+        return value, rt.stats
+
+    def call(self, name: str, *args: Value,
+             database: Database | Mapping[str, object] | None = None,
+             limits: EvaluationLimits | None = None,
+             atom_order: Sequence[int] | None = None,
+             stats: EvaluationStats | None = None) -> tuple[Value, EvaluationStats]:
+        """Invoke a named definition with already-evaluated values."""
+        definition = self.program.get(name)
+        if len(args) != len(definition.params):
+            raise SRLRuntimeError(
+                f"{definition.name} expects {len(definition.params)} arguments, "
+                f"got {len(args)}"
+            )
+        if not isinstance(database, Database):
+            database = Database(database or {})
+        rt = _Runtime(limits if limits is not None else EvaluationLimits(),
+                      tuple(atom_order) if atom_order is not None else None,
+                      stats)
+        if not self.ir.functions[name].guarded:
+            # Guarded functions self-tick after their re-entry guard passes
+            # (interpreter ordering); everything else is counted here.
+            rt.call_tick()
+        value = self._functions[name](rt, _make_lookup(database), *args)
+        return value, rt.stats
+
+
+def compile_program(program: Program, main: Expr | None = None) -> CompiledProgram:
+    """Lower and compile ``program`` (optionally overriding its main)."""
+    return CompiledProgram(program, main=main)
+
+
+def compile_expression(expr: Expr, program: Program | None = None) -> CompiledProgram:
+    """Compile a standalone expression (with optional auxiliary definitions)."""
+    return CompiledProgram(program if program is not None else Program(), main=expr)

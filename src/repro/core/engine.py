@@ -1,0 +1,401 @@
+"""The unified execution engine: one front door for running SRL programs.
+
+Every consumer of the runtime — the logic model checker, the paper's query
+programs, the Turing-machine compiler, the benchmarks and the examples —
+executes through this module instead of wiring up evaluators by hand.  A
+:class:`Session` owns a program, resource limits and an implementation
+order, and runs it on one of three interchangeable backends:
+
+``compiled``
+    The default.  The program is lowered once to the register IR
+    (:mod:`repro.core.ir`) and compiled to Python closures
+    (:mod:`repro.core.compiler`).  Fastest; ``steps`` counts reduce
+    iterations and calls rather than AST node visits.
+
+``interp``
+    The instrumented tree-walking :class:`~repro.core.evaluator.Evaluator`
+    — the reference operational semantics, with per-node step counting.
+
+``reference``
+    The interpreter running on the seed's uncached value algorithms
+    (:func:`repro.core.reference.legacy_mode`).  Exists purely as a
+    differential/benchmark baseline.
+
+All three agree on values and on the semantically determined counters
+(``inserts``, reduce iterations, ``function_calls``, ``new_values``, peak
+sizes); the differential suite in ``tests/integration`` pins this down.
+
+The module also hosts the small *relational kernels* (least fixed points,
+transitive closures, quantifier loops) that the logic layer's brute-force
+model checking shares with future batched/sharded execution paths — they
+live here so every fixed-point-shaped computation in the repo flows through
+one engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence, TypeVar
+
+from .ast import Expr, Program
+from .compiler import CompiledProgram
+from .environment import Database
+from .errors import SRLCompilationError, SRLRuntimeError
+from .evaluator import EvaluationLimits, EvaluationStats, Evaluator
+from .values import (
+    Atom,
+    SRLList,
+    SRLSet,
+    SRLTuple,
+    Value,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Session",
+    "run_program",
+    "run_expression",
+    "least_fixpoint",
+    "transitive_closure",
+    "exists_binding",
+    "forall_binding",
+    "count_bindings",
+    "database_from_json",
+]
+
+#: The engine's interchangeable execution backends.
+BACKENDS = ("compiled", "interp", "reference")
+
+
+class Session:
+    """A configured execution context for one program.
+
+    Parameters
+    ----------
+    program:
+        The program to execute (``None`` for standalone expressions passed
+        to :meth:`run` via ``main=``).
+    limits:
+        Resource budgets shared by every run of the session.
+    atom_order:
+        Optional permutation of atom ranks (the Section 7 implementation
+        order); can also be overridden per run.
+    backend:
+        One of :data:`BACKENDS`; defaults to ``"compiled"``.
+
+    The session compiles lazily on first use and re-compiles automatically
+    if the program's definitions are changed between runs.  ``stats`` always
+    reflects the most recent execution, including one aborted by a resource
+    limit (the counters then show how far it got).
+    """
+
+    def __init__(
+        self,
+        program: Program | None = None,
+        limits: EvaluationLimits | None = None,
+        atom_order: Sequence[int] | None = None,
+        backend: str = "compiled",
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}: expected one of {BACKENDS}"
+            )
+        self.program = program if program is not None else Program()
+        self.limits = limits if limits is not None else EvaluationLimits()
+        self.atom_order = tuple(atom_order) if atom_order is not None else None
+        self.backend = backend
+        self.stats = EvaluationStats()
+        self._compiled: CompiledProgram | None = None
+        self._compiled_key: tuple | None = None
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, database: Database | Mapping[str, object] | None = None,
+            main: Expr | None = None,
+            atom_order: Sequence[int] | None = None) -> Value:
+        """Run ``main`` (or the program's main expression) against the
+        database; returns the value and records stats on the session."""
+        value, self.stats = self._execute("run", database, main, atom_order)
+        return value
+
+    def call(self, name: str, *args: Value,
+             database: Database | Mapping[str, object] | None = None,
+             atom_order: Sequence[int] | None = None) -> Value:
+        """Invoke a named definition with already-evaluated values."""
+        value, self.stats = self._execute("call", database, None, atom_order,
+                                          name=name, args=args)
+        return value
+
+    def run_with_stats(
+        self, database: Database | Mapping[str, object] | None = None,
+        main: Expr | None = None,
+        atom_order: Sequence[int] | None = None,
+    ) -> tuple[Value, EvaluationStats]:
+        """Like :meth:`run`, returning ``(value, stats)``."""
+        value = self.run(database, main=main, atom_order=atom_order)
+        return value, self.stats
+
+    # ------------------------------------------------------------ internals
+
+    def _order(self, atom_order: Sequence[int] | None) -> tuple[int, ...] | None:
+        if atom_order is not None:
+            return tuple(atom_order)
+        return self.atom_order
+
+    def _compiled_for(self, main: Expr | None) -> CompiledProgram | None:
+        # The key holds the actual expression/definition objects (keeping
+        # them alive) and compares by identity, so a freed-and-reallocated
+        # expression can never collide with a stale cache entry.  ``None``
+        # is cached for programs the compiler rejects (reduce nesting
+        # beyond CPython's static-block limit): the caller falls back to
+        # the interpreter without retrying the compile every run.
+        definitions = self.program.definitions
+        key = (
+            main if main is not None else self.program.main,
+            tuple(definitions),
+            tuple(definitions.values()),
+        )
+        cached = self._compiled_key
+        fresh = (
+            cached is None
+            or key[0] is not cached[0]
+            or key[1] != cached[1]
+            or len(key[2]) != len(cached[2])
+            or any(new is not old for new, old in zip(key[2], cached[2]))
+        )
+        if fresh:
+            try:
+                self._compiled = CompiledProgram(self.program, main=main)
+            except SRLCompilationError:
+                self._compiled = None
+            self._compiled_key = key
+        return self._compiled
+
+    def _execute(self, mode, database, main, atom_order, name=None, args=()):
+        order = self._order(atom_order)
+        if self.backend == "compiled":
+            compiled = self._compiled_for(main)
+            if compiled is None:
+                # Uncompilable (too deeply nested): the interpreter is a
+                # strict superset semantically, so run there instead.
+                return self._run_interp(mode, database, main, order, name, args)
+            # Install the stats object up front so an aborted run still
+            # leaves its partial counters readable on the session.
+            self.stats = stats = EvaluationStats()
+            if mode == "run":
+                return compiled.run(database, limits=self.limits,
+                                    atom_order=order, stats=stats)
+            return compiled.call(name, *args, database=database,
+                                 limits=self.limits, atom_order=order,
+                                 stats=stats)
+        if self.backend == "reference":
+            from .reference import legacy_mode
+            with legacy_mode():
+                return self._run_interp(mode, database, main, order, name, args)
+        return self._run_interp(mode, database, main, order, name, args)
+
+    def _run_interp(self, mode, database, main, order, name, args):
+        evaluator = Evaluator(self.program, self.limits, atom_order=order)
+        self.stats = evaluator.stats  # observable even if the run aborts
+        if mode == "run":
+            value = evaluator.run(database, main=main)
+        else:
+            value = evaluator.call(name, *args, database=database)
+        return value, evaluator.stats
+
+
+def run_program(program: Program,
+                database: Database | Mapping[str, object] | None = None,
+                limits: EvaluationLimits | None = None,
+                atom_order: Sequence[int] | None = None,
+                backend: str = "interp") -> Value:
+    """Evaluate a program's main expression through the engine facade.
+
+    ``backend`` defaults to the interpreter for drop-in compatibility with
+    the historical :func:`repro.core.evaluator.run_program`; pass
+    ``backend="compiled"`` (or use a :class:`Session`) for the compiled
+    engine.
+    """
+    return Session(program, limits, atom_order, backend=backend).run(database)
+
+
+def run_expression(expr: Expr,
+                   database: Database | Mapping[str, object] | None = None,
+                   program: Program | None = None,
+                   limits: EvaluationLimits | None = None,
+                   atom_order: Sequence[int] | None = None,
+                   backend: str = "interp") -> Value:
+    """Evaluate a standalone expression (optionally with auxiliary
+    definitions available through ``program``) through the engine facade."""
+    return Session(program, limits, atom_order, backend=backend).run(
+        database, main=expr
+    )
+
+
+# ------------------------------------------------------------------ kernels
+#
+# Relational primitives shared by the logic layer's model checking.  They
+# are deliberately tiny and allocation-light: the model checker calls
+# exists/forall once per quantifier node per assignment.
+
+_T = TypeVar("_T")
+_Node = TypeVar("_Node")
+
+#: Sentinel distinguishing "variable was unbound" from "bound to 0".
+_UNBOUND = object()
+
+
+def least_fixpoint(step: Callable[[frozenset], frozenset],
+                   initial: frozenset = frozenset()) -> frozenset:
+    """Iterate ``step`` from ``initial`` until it stabilizes.
+
+    The operator is assumed inflationary/monotone (as the LFP stage
+    operators of the logic layer are), so the iteration terminates on any
+    finite domain.
+    """
+    current = initial
+    while True:
+        nxt = step(current)
+        if nxt == current:
+            return current
+        current = nxt
+
+
+def transitive_closure(successors: Mapping[_Node, Iterable[_Node]],
+                       deterministic: bool = False) -> set[tuple[_Node, _Node]]:
+    """The reflexive transitive closure of a successor relation.
+
+    ``deterministic`` keeps only out-degree-1 edges first (the DTC reading:
+    ``phi_d(x, x') = phi(x, x')`` and ``x'`` is the unique successor of
+    ``x``).  Closure is computed by a search from every node — the same
+    brute force the logic layer's data-complexity reading prescribes.
+    """
+    # Materialize once: target iterables may be one-shot iterators, and the
+    # search below visits each node's successors from many start points.
+    edges = {source: tuple(targets) for source, targets in successors.items()}
+    if deterministic:
+        edges = {source: (targets if len(targets) == 1 else ())
+                 for source, targets in edges.items()}
+    closure: set[tuple[_Node, _Node]] = set()
+    for start in edges:
+        reachable = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for successor in edges.get(node, ()):
+                if successor not in reachable:
+                    reachable.add(successor)
+                    frontier.append(successor)
+        closure.update((start, target) for target in reachable)
+    return closure
+
+
+def _restore(assignment: dict, variable, saved) -> None:
+    if saved is _UNBOUND:
+        assignment.pop(variable, None)
+    else:
+        assignment[variable] = saved
+
+
+def exists_binding(universe: Iterable[_T], assignment: dict, variable,
+                   evaluate: Callable[[object, dict], bool], body) -> bool:
+    """``∃ variable ∈ universe``: rebind in place, test, restore.
+
+    ``evaluate(body, assignment)`` decides each binding; passing the
+    evaluator and formula separately (rather than a thunk) keeps the hot
+    quantifier loop free of per-visit closure allocation, and the
+    mutate-and-restore protocol avoids copying the assignment per binding.
+    """
+    saved = assignment.get(variable, _UNBOUND)
+    try:
+        for value in universe:
+            assignment[variable] = value
+            if evaluate(body, assignment):
+                return True
+        return False
+    finally:
+        _restore(assignment, variable, saved)
+
+
+def forall_binding(universe: Iterable[_T], assignment: dict, variable,
+                   evaluate: Callable[[object, dict], bool], body) -> bool:
+    """``∀ variable ∈ universe`` under the mutate-and-restore protocol."""
+    saved = assignment.get(variable, _UNBOUND)
+    try:
+        for value in universe:
+            assignment[variable] = value
+            if not evaluate(body, assignment):
+                return False
+        return True
+    finally:
+        _restore(assignment, variable, saved)
+
+
+def count_bindings(universe: Iterable[_T], assignment: dict, variable,
+                   evaluate: Callable[[object, dict], bool], body) -> int:
+    """The number of bindings of ``variable`` satisfying the body."""
+    saved = assignment.get(variable, _UNBOUND)
+    witnesses = 0
+    try:
+        for value in universe:
+            assignment[variable] = value
+            if evaluate(body, assignment):
+                witnesses += 1
+    finally:
+        _restore(assignment, variable, saved)
+    return witnesses
+
+
+# ---------------------------------------------------------------- databases
+
+
+def database_from_json(data: Mapping[str, object]) -> Database:
+    """Build a :class:`Database` from JSON-shaped data (the CLI input
+    format).
+
+    Per value: ``true``/``false`` are booleans; a bare integer is an atom
+    rank; an *untagged* array is a **set** whose untagged array elements are
+    **tuples** (the common shape of relations: ``"EDGES": [[0, 1], [1, 2]]``).
+    Deeper or ambiguous nesting uses tagged objects::
+
+        {"atom": 3}  {"nat": 7}  {"set": [...]}  {"tuple": [...]}  {"list": [...]}
+    """
+    if not isinstance(data, Mapping):
+        raise SRLRuntimeError("database JSON must be an object of name -> value")
+    database = Database()
+    for name, value in data.items():
+        try:
+            database.bind(name, _json_value(value, depth=0))
+        except SRLRuntimeError:
+            raise
+        except (TypeError, ValueError) as error:
+            # Malformed tagged values (e.g. {"atom": "three"}, {"set": 5})
+            # surface as the library's own error so the CLI reports them
+            # cleanly instead of crashing with a raw traceback.
+            raise SRLRuntimeError(
+                f"cannot read an SRL value for {name!r}: {error}"
+            ) from error
+    return database
+
+
+def _json_value(obj, depth: int) -> Value:
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, int):
+        return Atom(obj)
+    if isinstance(obj, list):
+        if depth == 0:
+            return SRLSet(_json_value(item, depth + 1) for item in obj)
+        return SRLTuple(_json_value(item, depth + 1) for item in obj)
+    if isinstance(obj, Mapping):
+        if len(obj) == 1 or (len(obj) == 2 and "atom" in obj and "name" in obj):
+            if "atom" in obj:
+                return Atom(int(obj["atom"]), str(obj.get("name", "")))
+            if "nat" in obj:
+                return int(obj["nat"])
+            if "set" in obj:
+                return SRLSet(_json_value(item, 1) for item in obj["set"])
+            if "tuple" in obj:
+                return SRLTuple(_json_value(item, 1) for item in obj["tuple"])
+            if "list" in obj:
+                return SRLList(_json_value(item, 1) for item in obj["list"])
+    raise SRLRuntimeError(f"cannot read an SRL value from JSON fragment {obj!r}")

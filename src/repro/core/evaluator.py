@@ -72,11 +72,13 @@ from .values import (
     SRLTuple,
     Value,
     caches_enabled,
+    max_atom_rank,
+    value_equal,
     value_key,
     value_size,
 )
 
-__all__ = ["EvaluationLimits", "EvaluationStats", "Evaluator", "run_program", "run_expression"]
+__all__ = ["EvaluationLimits", "EvaluationStats", "Evaluator"]
 
 
 @dataclass
@@ -259,17 +261,7 @@ class Evaluator:
     def _eval_equal(self, expr: Equal, env: Environment) -> Value:
         left = self.evaluate(expr.left, env)
         right = self.evaluate(expr.right, env)
-        # Equality follows the canonical key, exactly like ``<=`` below and
-        # SRLSet's dedup: the kinds are distinct, so ``true = 1`` is false
-        # (the seed's Python ``==`` conflated them, making ``=`` disagree
-        # with both ``<=`` and ``insert``).  Same-type scalars and sets
-        # short-circuit through their (key-consistent) native equality;
-        # tuples/lists go through the cached keys so nested values compare
-        # kind-aware too.
-        left_type, right_type = type(left), type(right)
-        if left_type is right_type and left_type not in (SRLTuple, SRLList):
-            return left == right
-        return value_key(left) == value_key(right)
+        return value_equal(left, right)
 
     def _eval_lesseq(self, expr: LessEq, env: Environment) -> Value:
         left = self.evaluate(expr.left, env)
@@ -457,23 +449,7 @@ class Evaluator:
         Equivalent to the unbounded successor of Section 5: the fresh atom's
         rank is one more than the largest rank occurring anywhere in the set.
         """
-        max_rank = -1
-        stack: list[Value] = list(source.elements)
-        while stack:
-            value = stack.pop()
-            if isinstance(value, Atom):
-                max_rank = max(max_rank, value.rank)
-            elif isinstance(value, SRLTuple):
-                stack.extend(value)
-            elif isinstance(value, SRLSet):
-                stack.extend(value.elements)
-            elif isinstance(value, SRLList):
-                stack.extend(value.items)
-            elif isinstance(value, bool):
-                continue
-            elif isinstance(value, int):
-                max_rank = max(max_rank, value)
-        self._new_counter = max(self._new_counter, max_rank + 1)
+        self._new_counter = max(self._new_counter, max_atom_rank(source) + 1)
         fresh = Atom(self._new_counter)
         self._new_counter += 1
         return fresh
@@ -503,20 +479,5 @@ _DISPATCH = {
     ListReduce: Evaluator._evaluate_list_reduce,
 }
 
-
-def run_program(program: Program,
-                database: Database | Mapping[str, object] | None = None,
-                limits: EvaluationLimits | None = None,
-                atom_order: Sequence[int] | None = None) -> Value:
-    """Evaluate a program's main expression and return the value."""
-    return Evaluator(program, limits, atom_order).run(database)
-
-
-def run_expression(expr: Expr,
-                   database: Database | Mapping[str, object] | None = None,
-                   program: Program | None = None,
-                   limits: EvaluationLimits | None = None,
-                   atom_order: Sequence[int] | None = None) -> Value:
-    """Evaluate a standalone expression (optionally with auxiliary
-    definitions available through ``program``)."""
-    return Evaluator(program, limits, atom_order).run(database, main=expr)
+# The module-level run_program / run_expression facades live in
+# repro.core.engine (with backend selection); repro.core re-exports them.

@@ -49,9 +49,10 @@ from .ast import (
     Var,
     walk,
 )
+from .engine import Session
 from .environment import Database
 from .errors import SRLError
-from .evaluator import EvaluationLimits, Evaluator
+from .evaluator import EvaluationLimits
 from .values import Atom, SRLList, SRLSet, SRLTuple, Value
 
 __all__ = [
@@ -116,12 +117,16 @@ def probe_order_independence(program: Program,
         database = Database(database)
     domain_size = max(domain_size_of_database(database), 1)
 
-    baseline = Evaluator(program, limits).run(database, main=main)
+    # One compiled session serves every trial: the closures are
+    # atom_order-independent, so each permutation is just a different
+    # runtime scan order on the same compiled code.
+    session = Session(program, limits)
+    baseline = session.run(database, main=main)
     rng = random.Random(seed)
     for _ in range(trials):
         permutation = list(range(domain_size))
         rng.shuffle(permutation)
-        value = Evaluator(program, limits, atom_order=permutation).run(database, main=main)
+        value = session.run(database, main=main, atom_order=permutation)
         if value != baseline:
             return OrderReport(
                 independent=False,

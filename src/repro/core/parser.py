@@ -7,6 +7,7 @@ Grammar (informal)::
     definition ::= (define (NAME param*) expression)
     expression ::= true | false | emptyset | emptylist | NAME
                  | (atom INT) | (nat INT)
+                 | |quoted name|               ; verbatim symbol, \\ escapes
                  | (if expr expr expr)
                  | (tuple expr*)
                  | (sel INT expr)
@@ -21,6 +22,11 @@ Grammar (informal)::
 
 Comments start with ``;`` and run to the end of the line.  The last
 non-definition form of a program becomes its main expression.
+
+Symbols wrapped in ``|...|`` are taken verbatim (with ``\\`` escaping the
+next character), so names that would otherwise collide with the grammar —
+reserved words, integer-shaped names, names containing delimiters — can
+still be parsed; the pretty printer emits this quoting automatically.
 
 The pretty printer (:mod:`repro.core.pretty`) emits exactly this syntax, so
 ``parse_expression(pretty(e)) == e`` for every expression ``e``.
@@ -67,6 +73,9 @@ class _Token:
     text: str
     line: int
     column: int
+    #: True for ``|...|``-quoted symbols: their text is taken verbatim and
+    #: never interpreted as a keyword, literal or integer.
+    quoted: bool = False
 
 
 _RESERVED = {
@@ -102,9 +111,37 @@ def tokenize(text: str) -> list[_Token]:
             column += 1
             i += 1
             continue
+        if ch == "|":
+            # |...|-quoted symbol: taken verbatim (never a keyword or
+            # integer); backslash escapes the next character.  This is how
+            # the pretty printer round-trips names that would otherwise
+            # collide with the grammar.
+            start_line, start_column = line, column
+            i += 1
+            column += 1
+            parts: list[str] = []
+            while i < length and text[i] != "|":
+                if text[i] == "\\" and i + 1 < length:
+                    i += 1
+                    column += 1
+                if text[i] == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                parts.append(text[i])
+                i += 1
+            if i >= length:
+                raise SRLSyntaxError("unterminated |...| symbol",
+                                     start_line, start_column)
+            i += 1  # closing '|'
+            column += 1
+            tokens.append(_Token("".join(parts), start_line, start_column,
+                                 quoted=True))
+            continue
         start = i
         start_column = column
-        while i < length and text[i] not in " \t\r\n();":
+        while i < length and text[i] not in " \t\r\n();|":
             i += 1
             column += 1
         tokens.append(_Token(text[start:i], line, start_column))
@@ -140,11 +177,21 @@ class _Parser:
     # ---------------------------------------------------------------- sexpr
 
     def parse_sexpr(self):
-        """Parse one s-expression into nested Python lists of tokens."""
+        """Parse one s-expression into nested Python lists of tokens.
+
+        Only *unquoted* parentheses are structural: a ``|...|``-quoted
+        symbol whose text happens to be ``(`` or ``)`` is an ordinary
+        symbol token.
+        """
         token = self.advance()
+        if token.quoted:
+            return token
         if token.text == "(":
             items = []
-            while self.peek().text != ")":
+            while True:
+                nxt = self.peek()
+                if not nxt.quoted and nxt.text == ")":
+                    break
                 items.append(self.parse_sexpr())
             self.expect(")")
             return items
@@ -154,6 +201,13 @@ class _Parser:
 
 
 def _as_int(token: _Token, context: str) -> int:
+    if token.quoted:
+        # Quoted symbols are never literals, even when digit-shaped.
+        raise SRLSyntaxError(
+            f"expected an integer in {context}, found the quoted symbol "
+            f"'|{token.text}|'",
+            token.line, token.column,
+        )
     try:
         return int(token.text)
     except ValueError:
@@ -179,6 +233,8 @@ def _build_lambda(sexpr) -> Lambda:
 def _build_expression(sexpr) -> Expr:
     if isinstance(sexpr, _Token):
         text = sexpr.text
+        if sexpr.quoted:
+            return Var(text)
         if text == "true":
             return BoolConst(True)
         if text == "false":
@@ -201,6 +257,9 @@ def _build_expression(sexpr) -> Expr:
     if isinstance(head, _Token):
         keyword = head.text
         rest = sexpr[1:]
+        if head.quoted:
+            # A quoted head is always a call, even of a reserved-looking name.
+            return Call(keyword, tuple(_build_expression(arg) for arg in rest))
         if keyword == "atom":
             _require_arity(rest, 1, keyword, head)
             return AtomConst(Atom(_as_int(_symbol(rest[0], "atom"), "atom")))
@@ -314,6 +373,7 @@ def parse_program(text: str) -> Program:
             and sexpr
             and isinstance(sexpr[0], _Token)
             and sexpr[0].text == "define"
+            and not sexpr[0].quoted
         )
         if is_definition:
             program.define(_build_definition(sexpr))

@@ -1,8 +1,12 @@
 """Pretty-printer for SRL expressions and programs.
 
 The output is the same s-expression surface syntax the parser accepts, so
-``parse_expression(pretty(e))`` round-trips (tested property-based in
-``tests/core/test_parser.py``).
+``parse_expression(pretty(e))`` round-trips for *every* expression — names
+that would collide with the grammar (reserved words, integer-shaped names,
+names containing whitespace/delimiters, the empty name) are emitted in the
+parser's ``|...|`` verbatim-symbol quoting.  The round trip is pinned
+property-based in ``tests/core/test_roundtrip.py`` over the standard
+library, every ``queries/*`` program and adversarial generated names.
 """
 
 from __future__ import annotations
@@ -36,6 +40,28 @@ from .ast import (
 __all__ = ["pretty", "pretty_program"]
 
 
+def _needs_quoting(name: str) -> bool:
+    from .parser import _RESERVED
+
+    if not name:
+        return True
+    if name in _RESERVED:
+        return True
+    if name.lstrip("-").isdigit():
+        return True
+    return any(ch in " \t\r\n();|\\" for ch in name)
+
+
+def _sym(name: str) -> str:
+    """Render a variable / function / parameter name, quoting it with the
+    parser's ``|...|`` verbatim syntax when it would not survive re-parsing
+    as a bare symbol."""
+    if not _needs_quoting(name):
+        return name
+    escaped = name.replace("\\", "\\\\").replace("|", "\\|")
+    return f"|{escaped}|"
+
+
 def pretty(expr: Expr) -> str:
     """Render ``expr`` in the surface syntax."""
     if isinstance(expr, BoolConst):
@@ -45,7 +71,7 @@ def pretty(expr: Expr) -> str:
     if isinstance(expr, NatConst):
         return f"(nat {expr.value})"
     if isinstance(expr, Var):
-        return expr.name
+        return _sym(expr.name)
     if isinstance(expr, If):
         return (
             f"(if {pretty(expr.cond)} {pretty(expr.then_branch)} "
@@ -65,7 +91,8 @@ def pretty(expr: Expr) -> str:
     if isinstance(expr, Insert):
         return f"(insert {pretty(expr.element)} {pretty(expr.target)})"
     if isinstance(expr, Lambda):
-        return f"(lambda ({expr.params[0]} {expr.params[1]}) {pretty(expr.body)})"
+        return (f"(lambda ({_sym(expr.params[0])} {_sym(expr.params[1])}) "
+                f"{pretty(expr.body)})")
     if isinstance(expr, SetReduce):
         return (
             f"(set-reduce {pretty(expr.source)} {pretty(expr.app)} "
@@ -78,7 +105,8 @@ def pretty(expr: Expr) -> str:
         )
     if isinstance(expr, Call):
         inner = " ".join(pretty(arg) for arg in expr.args)
-        return f"({expr.name} {inner})" if inner else f"({expr.name})"
+        name = _sym(expr.name)
+        return f"({name} {inner})" if inner else f"({name})"
     if isinstance(expr, New):
         return f"(new {pretty(expr.source)})"
     if isinstance(expr, Choose):
@@ -93,8 +121,10 @@ def pretty(expr: Expr) -> str:
 
 
 def _pretty_definition(definition: FunctionDef) -> str:
-    params = " ".join(definition.params)
-    return f"(define ({definition.name} {params})\n  {pretty(definition.body)})"
+    params = " ".join(_sym(p) for p in definition.params)
+    name = _sym(definition.name)
+    signature = f"{name} {params}" if params else name
+    return f"(define ({signature})\n  {pretty(definition.body)})"
 
 
 def pretty_program(program: Program) -> str:

@@ -61,7 +61,9 @@ __all__ = [
     "SRLSet",
     "SRLList",
     "value_key",
+    "value_equal",
     "value_sort",
+    "max_atom_rank",
     "make_set",
     "make_tuple",
     "make_list",
@@ -569,6 +571,52 @@ def _value_key(value: "Value", atom_order: tuple[int, ...] | None):
     if isinstance(value, SRLList):
         return (5, len(value.items), tuple(_value_key(v, atom_order) for v in value.items))
     raise SRLRuntimeError(f"not an SRL value: {value!r}")
+
+
+def max_atom_rank(value: "Value") -> int:
+    """The largest atom rank (or natural) occurring anywhere in ``value``,
+    ``-1`` when none occurs.
+
+    This is the semantics of ``new``'s freshness scan (Section 5's
+    unbounded successor): the fresh atom's rank is one more than this.
+    Shared by the tree-walking evaluator and the compiled backend so the
+    two can never drift.
+    """
+    max_rank = -1
+    stack: list[Value] = [value]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, Atom):
+            if item.rank > max_rank:
+                max_rank = item.rank
+        elif isinstance(item, SRLTuple):
+            stack.extend(item)
+        elif isinstance(item, SRLSet):
+            stack.extend(item.elements)
+        elif isinstance(item, SRLList):
+            stack.extend(item.items)
+        elif isinstance(item, bool):
+            continue
+        elif isinstance(item, int):
+            if item > max_rank:
+                max_rank = item
+    return max_rank
+
+
+def value_equal(left: "Value", right: "Value") -> bool:
+    """SRL ``=``: kind-aware structural equality.
+
+    Follows the canonical key, exactly like ``<=`` and SRLSet's dedup: the
+    kinds are distinct, so ``true = 1`` is false (Python's ``==`` conflates
+    bool with int).  Same-type scalars and sets short-circuit through their
+    key-consistent native equality; tuples/lists go through the cached keys
+    so nested values compare kind-aware too.  Shared by the tree-walking
+    evaluator, the IR constant folder, and the compiled backend.
+    """
+    left_type, right_type = type(left), type(right)
+    if left_type is right_type and left_type not in (SRLTuple, SRLList):
+        return left == right
+    return value_key(left) == value_key(right)
 
 
 def value_sort(values: Iterable["Value"]) -> list["Value"]:

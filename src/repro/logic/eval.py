@@ -30,6 +30,13 @@ from __future__ import annotations
 from itertools import product
 from typing import Mapping
 
+from repro.core.engine import (
+    count_bindings,
+    exists_binding,
+    forall_binding,
+    least_fixpoint,
+    transitive_closure,
+)
 from repro.structures.structure import Structure
 
 from .formula import (
@@ -136,41 +143,18 @@ class ModelChecker:
             return (not self._eval(formula.antecedent, assignment)) or \
                 self._eval(formula.consequent, assignment)
         if isinstance(formula, Exists):
-            variable, body = formula.variable, formula.body
-            saved = assignment.get(variable, _UNBOUND)
-            try:
-                for value in self.structure.universe:
-                    assignment[variable] = value
-                    if self._eval(body, assignment):
-                        return True
-                return False
-            finally:
-                self._restore(assignment, variable, saved)
+            return exists_binding(self.structure.universe, assignment,
+                                  formula.variable, self._eval, formula.body)
         if isinstance(formula, Forall):
-            variable, body = formula.variable, formula.body
-            saved = assignment.get(variable, _UNBOUND)
-            try:
-                for value in self.structure.universe:
-                    assignment[variable] = value
-                    if not self._eval(body, assignment):
-                        return False
-                return True
-            finally:
-                self._restore(assignment, variable, saved)
+            return forall_binding(self.structure.universe, assignment,
+                                  formula.variable, self._eval, formula.body)
         if isinstance(formula, CountAtLeast):
             threshold = formula.threshold
             if threshold == "half":
                 threshold = (self.structure.size + 1) // 2
-            variable, body = formula.variable, formula.body
-            saved = assignment.get(variable, _UNBOUND)
-            witnesses = 0
-            try:
-                for value in self.structure.universe:
-                    assignment[variable] = value
-                    if self._eval(body, assignment):
-                        witnesses += 1
-            finally:
-                self._restore(assignment, variable, saved)
+            witnesses = count_bindings(self.structure.universe, assignment,
+                                       formula.variable, self._eval,
+                                       formula.body)
             return witnesses >= int(threshold)
         if isinstance(formula, LFPAtom):
             fixed_point = self._lfp(formula)
@@ -183,13 +167,6 @@ class ModelChecker:
             closure = self._tc(formula, deterministic=True)
             return self._closure_membership(formula, closure, assignment)
         raise TypeError(f"cannot evaluate formula node {type(formula).__name__}")
-
-    @staticmethod
-    def _restore(assignment: dict[str, int], variable: str, saved) -> None:
-        if saved is _UNBOUND:
-            assignment.pop(variable, None)
-        else:
-            assignment[variable] = saved
 
     # ------------------------------------------------------------- fixed points
 
@@ -218,29 +195,31 @@ class ModelChecker:
         arity = len(formula.variables)
         variables = formula.variables
         relation = formula.relation
+        body = formula.body
         rows = list(product(self.structure.universe, repeat=arity))
-        current: frozenset[tuple[int, ...]] = frozenset()
         # The stage relation is installed on this checker by mutate-and-
         # restore rather than on a fresh per-stage checker, so nested
         # fixed points share this checker's memo table (each stage has a
-        # distinct auxiliary snapshot, so entries never collide).
+        # distinct auxiliary snapshot, so entries never collide).  The
+        # stage-to-stage iteration itself is the engine's shared
+        # least-fixpoint kernel.
         saved = self.auxiliary.get(relation, _UNBOUND)
         assignment: dict[str, int] = {}
+
+        def stage_operator(current: frozenset) -> frozenset:
+            self.auxiliary[relation] = current
+            stage = set(current)
+            for row in rows:
+                if row in stage:
+                    continue
+                for variable, value in zip(variables, row):
+                    assignment[variable] = value
+                if self._eval(body, assignment):
+                    stage.add(row)
+            return frozenset(stage)
+
         try:
-            while True:
-                self.auxiliary[relation] = current
-                stage = set(current)
-                for row in rows:
-                    if row in stage:
-                        continue
-                    for variable, value in zip(variables, row):
-                        assignment[variable] = value
-                    if self._eval(formula.body, assignment):
-                        stage.add(row)
-                new = frozenset(stage)
-                if new == current:
-                    return current
-                current = new
+            return least_fixpoint(stage_operator)
         finally:
             if saved is _UNBOUND:
                 self.auxiliary.pop(relation, None)
@@ -281,27 +260,12 @@ class ModelChecker:
         return result
 
     def _compute_tc(self, formula: TCAtom | DTCAtom, deterministic: bool) -> set[tuple[tuple[int, ...], tuple[int, ...]]]:
+        # The quantifier sweep that builds the edge relation stays here (it
+        # needs the formula evaluator); the closure itself is the engine's
+        # shared kernel, which also applies the DTC unique-successor
+        # pruning (phi_d(x, x') = phi(x, x') and x' is x's only successor).
         successors = self._edge_relation(formula)
-        if deterministic:
-            # phi_d(x, x') = phi(x, x') and x' is the unique successor of x.
-            successors = {
-                source: (targets if len(targets) == 1 else set())
-                for source, targets in successors.items()
-            }
-        # Reflexive transitive closure via a breadth-first search from every
-        # k-tuple (fine at experiment sizes).
-        closure: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
-        for start in successors:
-            reachable = {start}
-            frontier = [start]
-            while frontier:
-                node = frontier.pop()
-                for successor in successors[node]:
-                    if successor not in reachable:
-                        reachable.add(successor)
-                        frontier.append(successor)
-            closure.update((start, target) for target in reachable)
-        return closure
+        return transitive_closure(successors, deterministic=deterministic)
 
     def _closure_membership(self, formula: TCAtom | DTCAtom,
                             closure: set[tuple[tuple[int, ...], tuple[int, ...]]],

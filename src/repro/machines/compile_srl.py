@@ -38,8 +38,8 @@ from repro.core import (
     Atom,
     Database,
     EvaluationLimits,
-    Evaluator,
     Program,
+    Session,
     make_set,
     make_tuple,
     with_standard_library,
@@ -291,21 +291,28 @@ class CompiledMachine:
         return database
 
     def run(self, input_string: str, tape_length: int | None = None,
-            limits: EvaluationLimits | None = None) -> bool:
+            limits: EvaluationLimits | None = None,
+            backend: str = "interp") -> bool:
         """Evaluate the compiled SRL program on ``input_string`` and return
         the acceptance verdict."""
-        evaluator = Evaluator(self.program, limits)
-        result = evaluator.run(self.database_for(input_string, tape_length))
+        session = Session(self.program, limits, backend=backend)
+        result = session.run(self.database_for(input_string, tape_length))
         assert isinstance(result, bool)
         return result
 
     def run_with_stats(self, input_string: str,
-                       limits: EvaluationLimits | None = None):
-        """Like :meth:`run` but also return the evaluator statistics (used by
-        the Proposition 6.2 benchmark to confirm the O(n^2) cost)."""
-        evaluator = Evaluator(self.program, limits)
-        accepted = evaluator.run(self.database_for(input_string))
-        return accepted, evaluator.stats
+                       limits: EvaluationLimits | None = None,
+                       backend: str = "interp"):
+        """Like :meth:`run` but also return the engine statistics (used by
+        the Proposition 6.2 benchmark to confirm the O(n^2) cost).
+
+        The default backend stays the interpreter because the benchmark's
+        step counts are defined in AST-node visits (Proposition 6.1's
+        ``n^{ad}`` measure); pass ``backend="compiled"`` for raw speed.
+        """
+        session = Session(self.program, limits, backend=backend)
+        accepted = session.run(self.database_for(input_string))
+        return accepted, session.stats
 
     def analysis(self, input_string: str = "0") -> ProgramAnalysis:
         """The Section 6 syntactic analysis of the compiled program."""

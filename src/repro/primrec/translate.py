@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import count as _count
 
-from repro.core import Atom, Database, EvaluationLimits, Evaluator, Program, make_set
+from repro.core import Atom, Database, EvaluationLimits, Program, Session, make_set
 from repro.core import builders as b
 from repro.core.values import SRLSet, Value
 
@@ -183,7 +183,7 @@ def run_translated(translated: TranslatedFunction, *arguments: int,
             f"{translated.entry_point} expects {translated.arity} arguments, "
             f"got {len(arguments)}"
         )
-    evaluator = Evaluator(translated.program, limits)
+    session = Session(translated.program, limits)
     values = [nat_to_set(argument) for argument in arguments]
-    result = evaluator.call(translated.entry_point, *values, database=Database())
+    result = session.call(translated.entry_point, *values, database=Database())
     return set_to_nat(result)

@@ -25,7 +25,7 @@ to get a program containing all the definitions (plus the standard library).
 
 from __future__ import annotations
 
-from repro.core import Atom, Database, Evaluator, Program, make_set, with_standard_library
+from repro.core import Atom, Database, Program, Session, make_set, with_standard_library
 from repro.core import builders as b
 from repro.core.values import SRLTuple, Value
 
@@ -276,17 +276,18 @@ def rank_of(value: Value) -> int:
 
 
 def evaluate_arithmetic(operation: str, *arguments: int, size: int = 16,
-                        evaluator: Evaluator | None = None):
+                        session: Session | None = None):
     """Run one of the arithmetic definitions on numeric arguments.
 
     Booleans come back as booleans; numbers as their rank.  ``size`` is the
-    domain size (results saturate at ``size - 1``).
+    domain size (results saturate at ``size - 1``).  Pass a ``session`` to
+    reuse one compiled program across many evaluations.
     """
-    if evaluator is None:
-        evaluator = Evaluator(arithmetic_program())
+    if session is None:
+        session = Session(arithmetic_program())
     database = arithmetic_database(size)
-    result = evaluator.call(operation, *(Atom(value) for value in arguments),
-                            database=database)
+    result = session.call(operation, *(Atom(value) for value in arguments),
+                          database=database)
     if isinstance(result, bool):
         return result
     return rank_of(result)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core import Atom, Database, Evaluator, Program, make_set, make_tuple
+from repro.core import Atom, Database, Program, Session, make_set, make_tuple
 from repro.core import builders as b
 
 from .arithmetic_basrl import arithmetic_program, rank_of
@@ -116,6 +116,6 @@ def im_program() -> Program:
 
 def run_iterated_product(perms: Sequence[Sequence[int]], i: int) -> int:
     """Evaluate the BASRL program and return where the product sends ``i``."""
-    evaluator = Evaluator(ip_program())
-    result = evaluator.call("ip", Atom(i), database=im_database(perms, i))
+    session = Session(ip_program())
+    result = session.call("ip", Atom(i), database=im_database(perms, i))
     return rank_of(result[1])  # type: ignore[index]

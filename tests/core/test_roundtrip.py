@@ -1,0 +1,134 @@
+"""Property tests: ``parse(pretty(program))`` reproduces the AST.
+
+The pretty printer documents this as an invariant; these tests pin it over
+the complete program corpora shipped with the repo (the Fact 2.4 standard
+library, every ``queries/*`` program, the compiled Turing-machine program)
+and over adversarially generated names, which exercise the ``|...|``
+verbatim-symbol quoting the printer emits for names that would not survive
+re-parsing as bare symbols (reserved words, integer-shaped names, names
+containing delimiters).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    parse_expression,
+    parse_program,
+    pretty,
+    pretty_program,
+    standard_library,
+)
+from repro.core import builders as b
+from repro.core.ast import Call, FunctionDef, Program, Var
+from repro.machines.compile_srl import compile_machine
+from repro.machines.programs import parity_machine
+from repro.queries import (
+    agap_program,
+    apath_program,
+    arithmetic_program,
+    cardinality_parity_program,
+    deterministic_reachability_program,
+    even_program,
+    im_program,
+    ip_program,
+    powerset_program,
+    reachability_program,
+)
+from repro.queries.powerset import doubling_list_program
+from repro.queries.relational import (
+    colleague_pairs_program,
+    departments_fully_senior_program,
+    employees_in_department_program,
+)
+
+
+def _assert_program_round_trips(program: Program) -> None:
+    text = pretty_program(program)
+    parsed = parse_program(text)
+    assert parsed.definitions == program.definitions
+    assert parsed.main == program.main
+    # The round trip is idempotent: printing the re-parsed program gives
+    # the same text again.
+    assert pretty_program(parsed) == text
+
+
+PROGRAM_CORPUS = {
+    "stdlib": standard_library,
+    "agap": agap_program,
+    "apath": apath_program,
+    "arithmetic": arithmetic_program,
+    "ip": ip_program,
+    "im": im_program,
+    "powerset": powerset_program,
+    "doubling_list": doubling_list_program,
+    "even": even_program,
+    "cardinality_parity": cardinality_parity_program,
+    "reachability_tc": reachability_program,
+    "reachability_dtc": deterministic_reachability_program,
+    "relational_department": lambda: employees_in_department_program(0),
+    "relational_senior": departments_fully_senior_program,
+    "relational_pairs": colleague_pairs_program,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAM_CORPUS))
+def test_corpus_program_round_trips(name):
+    _assert_program_round_trips(PROGRAM_CORPUS[name]())
+
+
+def test_compiled_turing_machine_round_trips():
+    _assert_program_round_trips(compile_machine(parity_machine()).program)
+
+
+# --------------------------------------------------------- adversarial names
+
+_names = st.text(
+    alphabet=st.characters(
+        codec="ascii", min_codepoint=32, max_codepoint=126
+    ).filter(lambda c: c != "\n"),
+    min_size=0, max_size=12,
+)
+
+
+@given(name=_names)
+def test_any_variable_name_round_trips(name):
+    expr = Var(name)
+    assert parse_expression(pretty(expr)) == expr
+
+
+@given(name=_names)
+def test_any_call_name_round_trips(name):
+    expr = Call(name, (Var("x"), b.true()))
+    assert parse_expression(pretty(expr)) == expr
+
+
+@given(name=_names, param=_names)
+def test_any_definition_name_round_trips(name, param):
+    program = Program()
+    program.define(FunctionDef(name=name, params=(param,), body=b.var(param)))
+    program.main = Call(name, (b.false(),))
+    _assert_program_round_trips(program)
+
+
+@given(p1=_names, p2=_names)
+def test_any_lambda_parameters_round_trip(p1, p2):
+    expr = b.set_reduce(
+        b.var("S"),
+        b.lam(p1, p2, b.eq(b.var(p1), b.var(p2))),
+        b.lam("a", "r", b.var("r")),
+        b.emptyset(),
+    )
+    assert parse_expression(pretty(expr)) == expr
+
+
+def test_reserved_and_integer_names_are_quoted():
+    assert pretty(Var("true")) == "|true|"
+    assert pretty(Var("42")) == "|42|"
+    assert pretty(Var("set-reduce")) == "|set-reduce|"
+    assert pretty(Call("atom", ())) == "(|atom|)"
+    assert pretty(Var("a b")) == "|a b|"
+    assert pretty(Var("a|b")) == "|a\\|b|"
+    assert parse_expression("|true|") == Var("true")
