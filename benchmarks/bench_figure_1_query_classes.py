@@ -19,10 +19,9 @@ witness computed by this library:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.complexity import figure1_lattice
-from repro.core import Atom, make_set, run_program
+from repro.core import run_program
 from repro.core.order import probe_order_independence
 from repro.logic.eval import evaluate
 from repro.logic.formula import count_at_least, rel

@@ -21,10 +21,17 @@ PR 2 extends the trajectory with the *compiled engine* datapoints: the E1
 (AGAP, SRL = P) and E3 (TC / DTC) workloads run on the compiled backend
 against the PR 1 interpreter, with a >= 2x acceptance bar.
 
+PR 3 adds the *P2 semi-naive* datapoints: the engine's delta-propagating
+fixed-point kernels against the naive re-derive-everything strategy the
+``reference`` backend preserves, on E3-scale TC / DTC / LFP workloads at
+n = 64, with a >= 3x acceptance bar.
+
 Results are merged into ``BENCH_perf.json`` at the repo root — the perf
 trajectory, one entry per measured workload, for later PRs to extend.
 Run with ``--smoke`` (CI) for smaller sizes and no speedup-ratio
-assertions.
+assertions; a smoke run writes its (shrunken-size) ratios to
+``BENCH_smoke.json`` instead, which ``benchmarks/check_trajectory.py``
+gates against the committed ``benchmarks/BENCH_baseline.json``.
 """
 
 from __future__ import annotations
@@ -45,19 +52,28 @@ from repro.queries import (
     agap_baseline,
     agap_database,
     agap_program,
+    apath_baseline,
     deterministic_reachability_program,
     graph_database,
     powerset_database,
     powerset_program,
     reachability_program,
 )
-from repro.structures import functional_graph, random_alternating_graph, random_graph
+from repro.structures import (
+    functional_graph,
+    layered_graph,
+    random_alternating_graph,
+    random_graph,
+)
 
 #: The acceptance bar of the PR 1 perf-overhaul issue (seed vs optimized).
 TARGET_SPEEDUP = 10.0
 
 #: The acceptance bar of the PR 2 engine issue (compiled vs interpreter).
 COMPILED_TARGET_SPEEDUP = 2.0
+
+#: The acceptance bar of the PR 3 semi-naive issue (semi-naive vs naive).
+SEMINAIVE_TARGET_SPEEDUP = 3.0
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS: dict[str, dict] = {}
@@ -73,7 +89,8 @@ def _best_of(callable_, repeats: int) -> float:
 
 
 def _record(name: str, seed_seconds: float, optimized_seconds: float,
-            params: dict, table) -> float:
+            params: dict, table, series: str = "P0", baseline: str = "seed",
+            target: float = TARGET_SPEEDUP) -> float:
     speedup = seed_seconds / optimized_seconds
     RESULTS[name] = {
         "seed_seconds": round(seed_seconds, 6),
@@ -81,10 +98,10 @@ def _record(name: str, seed_seconds: float, optimized_seconds: float,
         "speedup": round(speedup, 2),
         "params": params,
     }
-    table(f"P0: {name} (seed vs optimized)",
-          ["seed s", "optimized s", "speedup", "target"],
+    table(f"{series}: {name} ({baseline} vs optimized)",
+          [f"{baseline} s", "optimized s", "speedup", "target"],
           [[f"{seed_seconds:.4f}", f"{optimized_seconds:.4f}",
-            f"{speedup:.1f}x", f">= {TARGET_SPEEDUP:.0f}x"]])
+            f"{speedup:.1f}x", f">= {target:.0f}x"]])
     return speedup
 
 
@@ -92,21 +109,27 @@ def _record(name: str, seed_seconds: float, optimized_seconds: float,
 def _write_bench_json(request):
     """After the module's tests, merge the new trajectory points into
     ``BENCH_perf.json`` (existing entries for other workloads survive a
-    partial run).  Smoke runs measure shrunken sizes with no assertions,
-    so they never overwrite the vetted full-size points."""
+    partial run).  Smoke runs measure shrunken sizes with no assertions, so
+    they never overwrite the vetted full-size points — they write
+    ``BENCH_smoke.json`` instead, which the CI perf gate
+    (``benchmarks/check_trajectory.py``) compares against the committed
+    smoke baseline."""
     yield
-    if not RESULTS or request.config.getoption("--smoke"):
+    if not RESULTS:
         return
-    path = REPO_ROOT / "BENCH_perf.json"
+    smoke = bool(request.config.getoption("--smoke"))
+    path = REPO_ROOT / ("BENCH_smoke.json" if smoke else "BENCH_perf.json")
     payload = {
         "schema": "repro-perf-trajectory/v1",
-        "experiment": "P0 perf overhaul + P1 compiled engine",
+        "experiment": "P0 perf overhaul + P1 compiled engine + P2 semi-naive"
+                      + (" (smoke sizes)" if smoke else ""),
         "python": platform.python_version(),
         "target_speedup": TARGET_SPEEDUP,
         "compiled_target_speedup": COMPILED_TARGET_SPEEDUP,
+        "seminaive_target_speedup": SEMINAIVE_TARGET_SPEEDUP,
         "entries": {},
     }
-    if path.exists():
+    if not smoke and path.exists():
         try:
             payload["entries"] = json.loads(path.read_text()).get("entries", {})
         except (ValueError, OSError):
@@ -240,7 +263,9 @@ def _compiled_vs_interp(name: str, program, database, params: dict,
     interp_seconds = _best_of(lambda: interp.run(database), repeats=2)
     compiled_seconds = _best_of(lambda: compiled.run(database), repeats=3)
     params = dict(params, baseline="interp", target=COMPILED_TARGET_SPEEDUP)
-    speedup = _record(name, interp_seconds, compiled_seconds, params, table)
+    speedup = _record(name, interp_seconds, compiled_seconds, params, table,
+                      series="P1", baseline="interp",
+                      target=COMPILED_TARGET_SPEEDUP)
     if not smoke:
         assert speedup >= COMPILED_TARGET_SPEEDUP
 
@@ -272,3 +297,77 @@ def test_compiled_engine_dtc_e3(table, smoke):
     _compiled_vs_interp("compiled_vs_interp_dtc_e3",
                         deterministic_reachability_program(),
                         graph_database(graph), {"universe": size}, table, smoke)
+
+
+# --------------------------------- P2: semi-naive fixed points (PR 3)
+
+
+def _successor_map(structure) -> dict[int, list[int]]:
+    successors: dict[int, list[int]] = {v: [] for v in structure.universe}
+    for u, v in structure.relation("E"):
+        successors[u].append(v)
+    return successors
+
+
+def _seminaive_vs_naive(name: str, naive, seminaive, params: dict,
+                        table, smoke: bool) -> None:
+    """Time one fixed-point workload on the semi-naive kernels against the
+    naive (reference-backend) strategy, cross-check the relations agree,
+    and record the trajectory point."""
+    fast, slow = seminaive(), naive()
+    assert set(fast) == set(slow)
+    naive_seconds = _best_of(naive, repeats=2)
+    seminaive_seconds = _best_of(seminaive, repeats=3)
+    params = dict(params, baseline="naive", target=SEMINAIVE_TARGET_SPEEDUP)
+    speedup = _record(name, naive_seconds, seminaive_seconds, params, table,
+                      series="P2", baseline="naive",
+                      target=SEMINAIVE_TARGET_SPEEDUP)
+    if not smoke:
+        assert speedup >= SEMINAIVE_TARGET_SPEEDUP
+
+
+def test_seminaive_tc_e3(table, smoke):
+    """E3 (Corollary 4.2) at kernel scale: the reflexive transitive closure
+    of an n = 64 layered DAG (diameter 15 — every extra round multiplies
+    the naive strategy's re-derivation bill), semi-naive delta propagation
+    vs the naive re-derive-the-full-composition iteration — threaded
+    through the Session facade (compiled backend vs the reference oracle)."""
+    layers = 5 if smoke else 16
+    graph = layered_graph(layers, 4, seed=7)
+    successors = _successor_map(graph)
+    production, oracle = Session(), Session(backend="reference")
+    _seminaive_vs_naive(
+        "seminaive_vs_naive_tc_e3",
+        lambda: oracle.transitive_closure(successors),
+        lambda: production.transitive_closure(successors),
+        {"universe": graph.size}, table, smoke,
+    )
+
+
+def test_seminaive_dtc_e3(table, smoke):
+    """E3 (Corollary 4.4) at kernel scale: the deterministic closure of an
+    n = 64 functional graph (long out-degree-one chains are the naive
+    strategy's worst case: one full re-derivation per chain link)."""
+    size = 20 if smoke else 64
+    successors = _successor_map(functional_graph(size, seed=11))
+    production, oracle = Session(), Session(backend="reference")
+    _seminaive_vs_naive(
+        "seminaive_vs_naive_dtc_e3",
+        lambda: oracle.transitive_closure(successors, deterministic=True),
+        lambda: production.transitive_closure(successors, deterministic=True),
+        {"universe": size}, table, smoke,
+    )
+
+
+def test_seminaive_lfp_agap(table, smoke):
+    """The Lemma 3.6 LFP (APATH over an n = 64 alternating graph): the
+    delta-step derivation through the engine's least-fixpoint kernel,
+    semi-naive vs naive."""
+    size = 20 if smoke else 64
+    graph = random_alternating_graph(size, edge_probability=0.045, seed=13)
+    _seminaive_vs_naive(
+        "seminaive_vs_naive_lfp_agap",
+        lambda: apath_baseline(graph, seminaive=False),
+        lambda: apath_baseline(graph),
+        {"universe": size}, table, smoke,
+    )

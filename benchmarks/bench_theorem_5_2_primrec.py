@@ -27,7 +27,6 @@ from repro.primrec import (
     choose_number,
     decode_set,
     encode_element,
-    encode_set,
     insert_number,
     new_number,
     primrec_to_srl,
@@ -80,7 +79,7 @@ def test_godel_encoding_direction(table):
 def test_unbounded_growth_with_new(table):
     """Iterating succ via new reaches values beyond any fixed input domain —
     the growth plain SRL cannot exhibit (Proposition 3.8)."""
-    from repro.primrec.functions import Compose, Identity, PrimRec, Proj, Succ, Zero
+    from repro.primrec.functions import Compose, PrimRec, Proj, Succ, Zero
 
     # f(n) = n (built by recursion: f(0)=0, f(s+1)=succ(f(s))) — evaluating
     # its translation iterates `new` n times.

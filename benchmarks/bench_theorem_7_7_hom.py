@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import operator
 
-import pytest
 
 from repro.core import Atom, make_set, run_expression, standard_library
 from repro.core import builders as b

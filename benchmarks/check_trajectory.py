@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The CI perf-regression gate for the BENCH trajectory.
+
+Compares a measured trajectory file (by default the smoke run's
+``BENCH_smoke.json``, falling back to the vetted ``BENCH_perf.json``)
+against the committed baseline ``benchmarks/BENCH_baseline.json`` and
+**fails** — exit status 1, one line per offender — when
+
+* any entry's measured speedup drops below ``--min-ratio`` (default 0.5)
+  times its baseline speedup, or
+* an entry present in the baseline is missing from the measured file
+  (a silently shrunken benchmark suite must not pass the gate).
+
+Speedups are dimensionless ratios measured within a single process, so
+they transfer across machines far better than wall-clock times do; the
+0.5x tolerance absorbs the remaining shared-runner wobble while still
+catching a real regression (an optimization accidentally disabled shows
+up as a ~1.0x speedup, far below half of any committed bar).
+
+Run from anywhere::
+
+    python benchmarks/check_trajectory.py
+    python benchmarks/check_trajectory.py --measured BENCH_perf.json --min-ratio 0.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+
+
+def load_entries(path: Path) -> dict[str, dict]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"check_trajectory: cannot read {path}: {error}")
+    entries = payload.get("entries")
+    if not isinstance(entries, dict) or not entries:
+        raise SystemExit(f"check_trajectory: {path} has no trajectory entries")
+    return entries
+
+
+def default_measured() -> Path:
+    smoke = REPO_ROOT / "BENCH_smoke.json"
+    return smoke if smoke.exists() else REPO_ROOT / "BENCH_perf.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--measured", type=Path, default=None,
+        help="measured trajectory JSON (default: BENCH_smoke.json if it "
+             "exists, else BENCH_perf.json)")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline JSON (default: {DEFAULT_BASELINE})")
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.5,
+        help="fail when measured speedup < min_ratio * baseline speedup "
+             "(default: 0.5)")
+    args = parser.parse_args(argv)
+
+    measured_path = args.measured if args.measured is not None else default_measured()
+    measured = load_entries(measured_path)
+    baseline = load_entries(args.baseline)
+
+    failures: list[str] = []
+    width = max(len(name) for name in baseline)
+    print(f"perf gate: {measured_path.name} vs {args.baseline.name} "
+          f"(min ratio {args.min_ratio:g})")
+    for name, base_entry in sorted(baseline.items()):
+        base_speedup = float(base_entry["speedup"])
+        entry = measured.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from {measured_path.name}")
+            print(f"  {name:<{width}}  baseline {base_speedup:6.2f}x  "
+                  f"measured    MISSING")
+            continue
+        speedup = float(entry["speedup"])
+        floor = args.min_ratio * base_speedup
+        verdict = "ok" if speedup >= floor else f"REGRESSION (floor {floor:.2f}x)"
+        print(f"  {name:<{width}}  baseline {base_speedup:6.2f}x  "
+              f"measured {speedup:6.2f}x  {verdict}")
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x fell below "
+                f"{args.min_ratio:g} x baseline ({base_speedup:.2f}x)")
+    for name in sorted(set(measured) - set(baseline)):
+        print(f"  {name:<{width}}  (new entry, not yet in baseline — "
+              f"{float(measured[name]['speedup']):.2f}x)")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

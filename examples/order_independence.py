@@ -15,7 +15,7 @@ Run with:  python examples/order_independence.py
 
 import _bootstrap  # noqa: F401  (puts src/ on sys.path for checkout runs)
 
-from repro.core import Atom, make_set, run_program
+from repro.core import run_program
 from repro.core.order import certify_order_independence, probe_order_independence
 from repro.queries import even_database, even_program, even_via_counting
 from repro.queries.relational import build_company_data, company_database, first_employee_is_senior_program

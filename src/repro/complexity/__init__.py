@@ -15,6 +15,13 @@ from .classes import (
     figure1_lattice,
 )
 from .classify import Classification, classify_program
-from .hierarchy import HierarchyLevel, hierarchy_level, iterated_powerset_size, tower
+from .hierarchy import (
+    HierarchyLevel,
+    hierarchy_containments,
+    hierarchy_level,
+    iterated_powerset_size,
+    level_contained_in,
+    tower,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.core.engine import transitive_closure
+
 __all__ = [
     "ComplexityClass",
     "LOGSPACE",
@@ -106,6 +108,10 @@ class Figure1Lattice:
 
     classes: dict[str, QueryClass] = field(default_factory=dict)
     containments: list[Containment] = field(default_factory=list)
+    # (class count, containment count) -> closure; the lattice is append-only
+    # through the two add_* methods, so the counts identify the state.
+    _closure_cache: tuple[tuple[int, int], set[tuple[str, str]]] | None = \
+        field(default=None, repr=False, compare=False)
 
     def add_class(self, query_class: QueryClass) -> None:
         self.classes[query_class.key] = query_class
@@ -120,21 +126,25 @@ class Figure1Lattice:
         order = ["fo_lfp_unordered", "fo_lfp_count_unordered", "order_independent_p", "p"]
         return [self.classes[key] for key in order if key in self.classes]
 
+    def containment_closure(self) -> set[tuple[str, str]]:
+        """The reflexive-transitive containment relation over the recorded
+        edges, computed (once per lattice state) by the engine's shared
+        semi-naive closure kernel."""
+        state = (len(self.classes), len(self.containments))
+        if self._closure_cache is not None and self._closure_cache[0] == state:
+            return self._closure_cache[1]
+        successors: dict[str, list[str]] = {key: [] for key in self.classes}
+        for containment in self.containments:
+            successors[containment.lower].append(containment.upper)
+        closure = transitive_closure(successors)
+        self._closure_cache = (state, closure)
+        return closure
+
     def is_contained(self, lower: str, upper: str) -> bool:
         """Reflexive-transitive containment along the recorded edges."""
         if lower == upper:
             return True
-        frontier = [lower]
-        seen = {lower}
-        while frontier:
-            current = frontier.pop()
-            for containment in self.containments:
-                if containment.lower == current and containment.upper not in seen:
-                    if containment.upper == upper:
-                        return True
-                    seen.add(containment.upper)
-                    frontier.append(containment.upper)
-        return False
+        return (lower, upper) in self.containment_closure()
 
     def edges(self) -> Iterator[Containment]:
         return iter(self.containments)

@@ -14,7 +14,7 @@ from typing import Mapping, Optional
 
 from repro.core import Program
 from repro.core.analysis import ProgramAnalysis, analyze
-from repro.core.restrictions import BASRL, LRL, SRL, SRL_NEW, UNRESTRICTED_SRL, Restriction, strictest_restriction
+from repro.core.restrictions import BASRL, SRL, Restriction, strictest_restriction
 from repro.core.types import Type
 
 from .classes import ComplexityClass, LOGSPACE, PRIMREC, PTIME

@@ -15,7 +15,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["tower", "HierarchyLevel", "hierarchy_level", "iterated_powerset_size"]
+from repro.core.engine import transitive_closure
+
+__all__ = [
+    "tower",
+    "HierarchyLevel",
+    "hierarchy_level",
+    "hierarchy_containments",
+    "level_contained_in",
+    "iterated_powerset_size",
+]
 
 
 def tower(height: int, n: int) -> int:
@@ -52,6 +61,36 @@ def hierarchy_level(set_height: int) -> HierarchyLevel:
         f"DTIME(2_{set_height - 1}#n)" + (" = EXPTIME" if set_height == 2 else ""),
         "iterated powerset" if set_height > 2 else "powerset (Example 3.12)",
     )
+
+
+def hierarchy_containments(max_height: int) -> frozenset[tuple[int, int]]:
+    """The containment relation ``{(h, h') | SRL_h ⊆ SRL_{h'}}`` up to
+    ``max_height``.
+
+    Corollary 6.4 gives the proper chain ``SRL_1 ⊊ SRL_2 ⊊ ...`` (each
+    level adds one two to the tower), so the containments are the
+    reflexive-transitive closure of the successor edges ``h -> h + 1`` —
+    computed by the engine's shared closure kernel, like the Figure 1
+    lattice, rather than by an ad-hoc reachability loop.
+    """
+    if max_height < 1:
+        raise ValueError("the hierarchy starts at set-height 1")
+    successors = {h: ([h + 1] if h < max_height else [])
+                  for h in range(1, max_height + 1)}
+    return frozenset(transitive_closure(successors))
+
+
+def level_contained_in(lower: int, upper: int) -> bool:
+    """Whether ``SRL_lower ⊆ SRL_upper`` in the Corollary 6.4 hierarchy.
+
+    Because the hierarchy is a total chain, membership in the closure
+    reduces to ``lower <= upper`` — no need to materialize
+    :func:`hierarchy_containments` (which exists for callers that want the
+    relation itself).
+    """
+    if min(lower, upper) < 1:
+        raise ValueError("the hierarchy starts at set-height 1")
+    return lower <= upper
 
 
 def iterated_powerset_size(iterations: int, base_size: int) -> int:

@@ -60,9 +60,12 @@ from .errors import (
 from .compiler import CompiledProgram, compile_expression, compile_program
 from .engine import (
     BACKENDS,
+    IndexedRelation,
     Session,
+    least_fixpoint,
     run_expression,
     run_program,
+    transitive_closure,
 )
 from .evaluator import (
     EvaluationLimits,

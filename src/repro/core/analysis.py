@@ -26,7 +26,6 @@ from typing import Mapping, Optional
 
 from .ast import (
     Call,
-    Choose,
     ConsList,
     EmptyList,
     Expr,
@@ -34,14 +33,13 @@ from .ast import (
     NatConst,
     New,
     Program,
-    Rest,
     SetReduce,
     TupleExpr,
     walk,
 )
 from .errors import SRLError
 from .typecheck import TypeChecker, TypeReport
-from .types import NatType, SetType, Type, set_height, max_tuple_width
+from .types import NatType, SetType, Type, set_height
 
 __all__ = ["ProgramAnalysis", "expression_depth", "expression_width", "analyze"]
 

@@ -35,7 +35,7 @@ composition", Definition 2.1) plus a designated main expression.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Optional
+from typing import Iterator, Optional
 
 from .errors import SRLNameError
 from .types import Type

@@ -41,7 +41,7 @@ from .errors import (
     SRLRuntimeError,
 )
 from .evaluator import EvaluationLimits, EvaluationStats
-from .ir import Block, IRFunction, IRProgram, Instr, Op, lower_program
+from .ir import Block, IRFunction, Instr, Op, lower_program
 from .values import (
     Atom,
     SRLList,

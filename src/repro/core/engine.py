@@ -25,11 +25,18 @@ All three agree on values and on the semantically determined counters
 (``inserts``, reduce iterations, ``function_calls``, ``new_values``, peak
 sizes); the differential suite in ``tests/integration`` pins this down.
 
-The module also hosts the small *relational kernels* (least fixed points,
+The module also hosts the *relational kernels* (least fixed points,
 transitive closures, quantifier loops) that the logic layer's brute-force
 model checking shares with future batched/sharded execution paths — they
 live here so every fixed-point-shaped computation in the repo flows through
-one engine.
+one engine.  The fixed-point kernels come in two strategies (see
+:mod:`repro.core.relalg` and DESIGN.md, "Semi-naive evaluation"):
+*semi-naive* delta propagation, the production path, and *naive* full
+re-derivation, kept as the differential oracle.  :meth:`Session.least_fixpoint`
+and :meth:`Session.transitive_closure` pick the strategy from the session's
+backend — ``compiled`` and ``interp`` run semi-naive, ``reference`` runs
+naive — so consumers that hold a session inherit the right kernel for
+differential work automatically.
 """
 
 from __future__ import annotations
@@ -41,6 +48,13 @@ from .compiler import CompiledProgram
 from .environment import Database
 from .errors import SRLCompilationError, SRLRuntimeError
 from .evaluator import EvaluationLimits, EvaluationStats, Evaluator
+from .relalg import (
+    IndexedRelation,
+    naive_closure,
+    naive_fixpoint,
+    seminaive_closure,
+    seminaive_fixpoint,
+)
 from .values import (
     Atom,
     SRLList,
@@ -54,6 +68,7 @@ __all__ = [
     "Session",
     "run_program",
     "run_expression",
+    "IndexedRelation",
     "least_fixpoint",
     "transitive_closure",
     "exists_binding",
@@ -133,6 +148,30 @@ class Session:
         """Like :meth:`run`, returning ``(value, stats)``."""
         value = self.run(database, main=main, atom_order=atom_order)
         return value, self.stats
+
+    # ------------------------------------------------- relational kernels
+
+    @property
+    def seminaive(self) -> bool:
+        """Whether this session's fixed-point kernels propagate deltas.
+
+        ``compiled`` and ``interp`` run the semi-naive kernels; the
+        ``reference`` backend keeps the naive full-re-derivation strategy
+        as the differential oracle (DESIGN.md, "Semi-naive evaluation").
+        """
+        return self.backend != "reference"
+
+    def least_fixpoint(self, step=None, initial: frozenset = frozenset(), *,
+                       delta_step=None) -> frozenset:
+        """:func:`least_fixpoint` with the strategy picked by the backend."""
+        return least_fixpoint(step, initial, delta_step=delta_step,
+                              seminaive=self.seminaive)
+
+    def transitive_closure(self, successors: Mapping, deterministic: bool = False
+                           ) -> set[tuple]:
+        """:func:`transitive_closure` with the strategy picked by the backend."""
+        return transitive_closure(successors, deterministic=deterministic,
+                                  seminaive=self.seminaive)
 
     # ------------------------------------------------------------ internals
 
@@ -244,49 +283,60 @@ _Node = TypeVar("_Node")
 _UNBOUND = object()
 
 
-def least_fixpoint(step: Callable[[frozenset], frozenset],
-                   initial: frozenset = frozenset()) -> frozenset:
-    """Iterate ``step`` from ``initial`` until it stabilizes.
+def least_fixpoint(step: Callable[[frozenset], frozenset] | None = None,
+                   initial: frozenset = frozenset(), *,
+                   delta_step: Callable[[frozenset, set], Iterable] | None = None,
+                   seminaive: bool = True) -> frozenset:
+    """The least fixed point of an inflationary operator.
+
+    Two calling conventions, matching the two evaluation strategies of
+    :mod:`repro.core.relalg`:
+
+    * ``least_fixpoint(step, initial)`` — a black-box full-relation
+      operator, iterated naively until it stabilizes (the only option when
+      the caller cannot say which derivations touch new facts).
+    * ``least_fixpoint(initial=..., delta_step=...)`` — semi-naive:
+      ``delta_step(delta, total)`` returns the facts derivable with at
+      least one premise in ``delta``, and only deltas are propagated.
+      Pass ``seminaive=False`` to run the same ``delta_step`` naively
+      (every round re-derives from the entire relation) — the differential
+      oracle the ``reference`` backend uses.
 
     The operator is assumed inflationary/monotone (as the LFP stage
     operators of the logic layer are), so the iteration terminates on any
     finite domain.
     """
-    current = initial
-    while True:
-        nxt = step(current)
-        if nxt == current:
-            return current
-        current = nxt
+    if delta_step is not None:
+        if step is not None:
+            raise TypeError("pass either step or delta_step, not both")
+        if seminaive:
+            return seminaive_fixpoint(initial, delta_step)
+        # Naive evaluation of a delta-phrased operator: every round hands
+        # the *whole* accumulated relation back as the "delta".
+        return naive_fixpoint(
+            lambda current: current | frozenset(delta_step(current, set(current))),
+            frozenset(initial),
+        )
+    if step is None:
+        raise TypeError("least_fixpoint needs a step or a delta_step")
+    return naive_fixpoint(step, initial)
 
 
 def transitive_closure(successors: Mapping[_Node, Iterable[_Node]],
-                       deterministic: bool = False) -> set[tuple[_Node, _Node]]:
+                       deterministic: bool = False, *,
+                       seminaive: bool = True) -> set[tuple[_Node, _Node]]:
     """The reflexive transitive closure of a successor relation.
 
     ``deterministic`` keeps only out-degree-1 edges first (the DTC reading:
     ``phi_d(x, x') = phi(x, x')`` and ``x'`` is the unique successor of
-    ``x``).  Closure is computed by a search from every node — the same
-    brute force the logic layer's data-complexity reading prescribes.
+    ``x``).  The closure is computed by semi-naive delta propagation over
+    the successor index; ``seminaive=False`` selects the naive
+    re-derive-everything iteration (the ``reference`` oracle and the P2
+    benchmark baseline).
     """
-    # Materialize once: target iterables may be one-shot iterators, and the
-    # search below visits each node's successors from many start points.
-    edges = {source: tuple(targets) for source, targets in successors.items()}
-    if deterministic:
-        edges = {source: (targets if len(targets) == 1 else ())
-                 for source, targets in edges.items()}
-    closure: set[tuple[_Node, _Node]] = set()
-    for start in edges:
-        reachable = {start}
-        frontier = [start]
-        while frontier:
-            node = frontier.pop()
-            for successor in edges.get(node, ()):
-                if successor not in reachable:
-                    reachable.add(successor)
-                    frontier.append(successor)
-        closure.update((start, target) for target in reachable)
-    return closure
+    if seminaive:
+        return seminaive_closure(successors, deterministic=deterministic)
+    return naive_closure(successors, deterministic=deterministic)
 
 
 def _restore(assignment: dict, variable, saved) -> None:

@@ -34,7 +34,7 @@ Resource limits (steps / inserts / set sizes) can be configured through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
 from .ast import (

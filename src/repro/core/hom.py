@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from . import builders as b
-from .ast import Expr, Lambda
+from .ast import Expr
 
 __all__ = ["hom", "check_proper", "hom_expr", "count_hom", "ProperHomViolation"]
 

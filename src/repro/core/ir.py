@@ -51,7 +51,6 @@ from .ast import (
     EmptySet,
     Equal,
     Expr,
-    FunctionDef,
     If,
     Insert,
     Lambda,
@@ -67,7 +66,7 @@ from .ast import (
     Var,
     called_functions,
 )
-from .values import EMPTY_SET, SRLTuple, Value, value_equal
+from .values import EMPTY_SET, SRLTuple, value_equal
 
 __all__ = [
     "Op",

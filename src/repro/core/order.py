@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from .ast import (
     Call,
@@ -44,14 +44,11 @@ from .ast import (
     Program,
     Rest,
     SetReduce,
-    Select,
-    TupleExpr,
     Var,
     walk,
 )
 from .engine import Session
 from .environment import Database
-from .errors import SRLError
 from .evaluator import EvaluationLimits
 from .values import Atom, SRLList, SRLSet, SRLTuple, Value
 

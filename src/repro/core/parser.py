@@ -35,7 +35,6 @@ The pretty printer (:mod:`repro.core.pretty`) emits exactly this syntax, so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
 from .ast import (
     AtomConst,

@@ -29,7 +29,7 @@ from contextlib import contextmanager
 from typing import Iterable, Sequence
 
 from .errors import SRLRuntimeError
-from .values import Atom, SRLList, SRLSet, SRLTuple, Value, _set_caching, caches_enabled
+from .values import Atom, SRLList, SRLSet, SRLTuple, _set_caching, caches_enabled
 
 __all__ = [
     "value_key_reference",

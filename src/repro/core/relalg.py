@@ -1,0 +1,306 @@
+"""Semi-naive relational algebra: indexed relations and delta-driven fixed points.
+
+Every fixed-point-shaped computation in the repo — the logic layer's
+TC/DTC/LFP model checking, the AGAP baseline, the query-layer closures, the
+Figure 1 containment lattice — bottoms out in one of two evaluation
+strategies over a growing relation:
+
+*Naive evaluation* re-applies the derivation rules to the **entire**
+relation accumulated so far on every iteration, so a fact derived in round
+one is re-derived in every later round.  For a closure over ``d`` rounds
+this multiplies the total join work by ``d``.  The naive kernels are kept
+(``naive_fixpoint`` / ``naive_closure``) because they are the trivially
+correct reading of the paper's inflationary operators: the ``reference``
+backend runs them as the differential oracle, and the P2 benchmark uses
+them as the baseline.
+
+*Semi-naive evaluation* applies the rules only to the **delta** — the facts
+derived in the previous round — because any new fact must have at least one
+freshly derived premise.  The invariant that makes this sound for an
+inflationary rule set is::
+
+    total_{i+1} = total_i ∪ delta_step(delta_i, total_i)
+    delta_{i+1} = total_{i+1} \\ total_i
+
+i.e. every derivation with all premises in ``total_{i-1}`` was already
+performed in an earlier round, so restricting round ``i`` to derivations
+touching ``delta_i`` loses nothing.  Iteration stops when a round derives
+no new fact.
+
+:class:`IndexedRelation` supplies the data structure both strategies lean
+on: a set of same-arity tuples with lazily built, incrementally maintained
+per-column hash indexes (so joins probe a dict instead of scanning the
+relation) and a built-in delta set (the frontier accumulated since the last
+:meth:`~IndexedRelation.take_delta`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence, TypeVar
+
+__all__ = [
+    "IndexedRelation",
+    "naive_fixpoint",
+    "seminaive_fixpoint",
+    "naive_closure",
+    "seminaive_closure",
+]
+
+_Node = TypeVar("_Node", bound=Hashable)
+
+#: Shared empty result for index misses (never mutated).
+_NO_ROWS: frozenset = frozenset()
+
+
+class IndexedRelation:
+    """A relation — a set of same-arity tuples — with per-column hash
+    indexes and a delta (frontier) set for semi-naive iteration.
+
+    * ``rows`` is the total relation.  Membership, length and iteration all
+      read it directly.
+    * :meth:`index` builds (on first use) and thereafter incrementally
+      maintains ``{value -> set of rows with that value in the column}``.
+    * :meth:`add` reports whether the row was new, and every new row joins
+      the delta set until :meth:`take_delta` drains it — the loop shape of
+      semi-naive evaluation.
+    * :meth:`join` / :meth:`project` / :meth:`union` / :meth:`select` are
+      the bulk operators; ``join`` probes the right side's column index
+      instead of scanning it.
+    """
+
+    __slots__ = ("arity", "_rows", "_delta", "_indexes")
+
+    def __init__(self, rows: Iterable[Sequence] = (), arity: int | None = None):
+        self.arity = arity
+        self._rows: set[tuple] = set()
+        self._delta: set[tuple] = set()
+        self._indexes: dict[int, dict[Hashable, set[tuple]]] = {}
+        self.update(rows)
+
+    # ------------------------------------------------------------- reading
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IndexedRelation):
+            return self._rows == other._rows
+        if isinstance(other, (set, frozenset)):
+            return self._rows == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IndexedRelation(arity={self.arity}, rows={len(self._rows)}, "
+                f"delta={len(self._delta)}, indexed={sorted(self._indexes)})")
+
+    @property
+    def rows(self) -> set[tuple]:
+        """The total relation (treat as read-only; mutate via :meth:`add`)."""
+        return self._rows
+
+    # ------------------------------------------------------------- writing
+
+    def add(self, row: Sequence) -> bool:
+        """Insert a row; returns True iff it was not already present.  New
+        rows enter the delta set and every built column index."""
+        row = tuple(row)
+        if self.arity is None:
+            self.arity = len(row)
+        elif len(row) != self.arity:
+            raise ValueError(
+                f"arity mismatch: relation holds {self.arity}-tuples, got {row!r}"
+            )
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        self._delta.add(row)
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], set()).add(row)
+        return True
+
+    def update(self, rows: Iterable[Sequence]) -> int:
+        """Bulk :meth:`add`; returns how many rows were new."""
+        return sum(self.add(row) for row in rows)
+
+    # -------------------------------------------------------------- deltas
+
+    @property
+    def has_delta(self) -> bool:
+        return bool(self._delta)
+
+    def take_delta(self) -> frozenset[tuple]:
+        """The rows added since the last call, clearing the frontier."""
+        delta = frozenset(self._delta)
+        self._delta.clear()
+        return delta
+
+    # ------------------------------------------------------------- indexes
+
+    def index(self, column: int) -> dict[Hashable, set[tuple]]:
+        """The hash index on ``column`` (built lazily, maintained by
+        :meth:`add` once built)."""
+        index = self._indexes.get(column)
+        if index is None:
+            if self.arity is not None and not 0 <= column < self.arity:
+                raise IndexError(
+                    f"column {column} out of range for arity {self.arity}"
+                )
+            index = {}
+            for row in self._rows:
+                index.setdefault(row[column], set()).add(row)
+            self._indexes[column] = index
+        return index
+
+    def matching(self, column: int, value: Hashable) -> frozenset[tuple] | set[tuple]:
+        """The rows whose ``column`` holds ``value`` (empty set on a miss)."""
+        return self.index(column).get(value, _NO_ROWS)
+
+    # ------------------------------------------------------ bulk operators
+
+    def join(self, other: "IndexedRelation", left_column: int, right_column: int,
+             combine: Callable[[tuple, tuple], tuple] | None = None,
+             ) -> "IndexedRelation":
+        """Hash join: pairs of rows with ``left[left_column] ==
+        right[right_column]``, combined by ``combine`` (default: left row
+        followed by the right row minus its join column)."""
+        if combine is None:
+            def combine(left: tuple, right: tuple) -> tuple:
+                return left + right[:right_column] + right[right_column + 1:]
+        result = IndexedRelation()
+        right_index = other.index(right_column)
+        for left in self._rows:
+            for right in right_index.get(left[left_column], _NO_ROWS):
+                result.add(combine(left, right))
+        return result
+
+    def project(self, columns: Sequence[int]) -> "IndexedRelation":
+        """The projection onto the given columns (duplicates collapse)."""
+        columns = tuple(columns)
+        result = IndexedRelation(arity=len(columns))
+        for row in self._rows:
+            result.add(tuple(row[c] for c in columns))
+        return result
+
+    def union(self, other: Iterable[Sequence]) -> "IndexedRelation":
+        """A fresh relation holding both operands' rows."""
+        result = IndexedRelation(self._rows, arity=self.arity)
+        result.update(other)
+        return result
+
+    def select(self, predicate: Callable[[tuple], bool]) -> "IndexedRelation":
+        """The rows satisfying ``predicate``."""
+        result = IndexedRelation(arity=self.arity)
+        for row in self._rows:
+            if predicate(row):
+                result.add(row)
+        return result
+
+
+# -------------------------------------------------------------- fixed points
+
+
+def naive_fixpoint(step: Callable[[frozenset], frozenset],
+                   initial: frozenset = frozenset()) -> frozenset:
+    """Iterate ``step`` from ``initial`` until it stabilizes — the naive
+    strategy: each round recomputes the full image of the accumulated
+    relation and compares whole sets.
+
+    The operator is assumed inflationary/monotone (as the LFP stage
+    operators of the logic layer are), so the iteration terminates on any
+    finite domain.
+    """
+    current = frozenset(initial)
+    while True:
+        nxt = frozenset(step(current))
+        if nxt == current:
+            return current
+        current = nxt
+
+
+def seminaive_fixpoint(initial: Iterable,
+                       delta_step: Callable[[frozenset, set], Iterable]) -> frozenset:
+    """The least fixed point by delta propagation.
+
+    ``delta_step(delta, total)`` must return every fact derivable with at
+    least one premise in ``delta`` (returning already-known facts is
+    harmless — they are filtered here).  ``total`` is the live accumulated
+    set and must not be mutated by the callback.  The first round passes
+    ``delta = initial`` (so an empty ``initial`` still gets one round to
+    seed the iteration with premise-free derivations).
+    """
+    total = set(initial)
+    delta = frozenset(total)
+    while True:
+        derived = delta_step(delta, total)
+        delta = frozenset(row for row in derived if row not in total)
+        if not delta:
+            return frozenset(total)
+        total.update(delta)
+
+
+# ----------------------------------------------------------------- closures
+
+
+def _successor_edges(successors: Mapping[_Node, Iterable[_Node]],
+                     deterministic: bool) -> dict[_Node, tuple[_Node, ...]]:
+    """Materialize a successor mapping (target iterables may be one-shot
+    iterators), applying the DTC reading when ``deterministic``: only
+    out-degree-one vertices keep their edge."""
+    edges = {source: tuple(targets) for source, targets in successors.items()}
+    if deterministic:
+        edges = {source: (targets if len(targets) == 1 else ())
+                 for source, targets in edges.items()}
+    return edges
+
+
+def naive_closure(successors: Mapping[_Node, Iterable[_Node]],
+                  deterministic: bool = False) -> set[tuple[_Node, _Node]]:
+    """The reflexive transitive closure by naive fixed-point evaluation.
+
+    Starts from ``Id ∪ E`` and re-derives the full composition ``T ∘ E``
+    over the whole accumulated relation every round — the baseline the
+    ``reference`` backend and the P2 benchmark preserve.  Reflexive pairs
+    cover the mapping's keys (the closure's domain).
+    """
+    edges = _successor_edges(successors, deterministic)
+    initial = {(source, source) for source in edges}
+    initial.update(
+        (source, target) for source, targets in edges.items() for target in targets
+    )
+
+    def step(current: frozenset) -> frozenset:
+        nxt = set(current)
+        for source, middle in current:
+            for target in edges.get(middle, ()):
+                nxt.add((source, target))
+        return frozenset(nxt)
+
+    return set(naive_fixpoint(step, frozenset(initial)))
+
+
+def seminaive_closure(successors: Mapping[_Node, Iterable[_Node]],
+                      deterministic: bool = False) -> set[tuple[_Node, _Node]]:
+    """The reflexive transitive closure by semi-naive delta propagation.
+
+    Identical output to :func:`naive_closure`; each round composes only the
+    pairs derived in the previous round with the successor index, so every
+    closure pair is derived O(out-degree) times total instead of once per
+    round.
+    """
+    edges = _successor_edges(successors, deterministic)
+    closure: IndexedRelation = IndexedRelation(arity=2)
+    for source, targets in edges.items():
+        closure.add((source, source))
+        for target in targets:
+            closure.add((source, target))
+    while closure.has_delta:
+        for source, middle in closure.take_delta():
+            for target in edges.get(middle, ()):
+                closure.add((source, target))
+    return set(closure.rows)

@@ -31,7 +31,6 @@ from typing import Callable, Mapping, Optional
 
 from .ast import (
     Call,
-    Choose,
     ConsList,
     EmptyList,
     Expr,
@@ -39,9 +38,7 @@ from .ast import (
     ListReduce,
     New,
     Program,
-    Rest,
     SetReduce,
-    TupleExpr,
     walk,
 )
 from .errors import RestrictionViolation, SRLError

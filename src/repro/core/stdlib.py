@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from . import builders as b
-from .ast import Expr, FunctionDef, Lambda, Program
+from .ast import Expr, FunctionDef, Program
 
 __all__ = [
     "standard_library",

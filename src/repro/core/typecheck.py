@@ -17,7 +17,7 @@ reads a program's complexity "off its face".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping
 
 from .ast import (
     AtomConst,

@@ -23,7 +23,7 @@ matches any type).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from .errors import SRLTypeError

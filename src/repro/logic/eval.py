@@ -6,8 +6,8 @@ checked in polynomial time for a fixed formula, LFP by fixed-point
 iteration, TC/DTC by closure computation over k-tuples, and the counting
 quantifier by counting witnesses.
 
-Two things keep the brute force affordable (see DESIGN.md, "Caching
-architecture"):
+Three things keep the brute force affordable (see DESIGN.md, "Caching
+architecture" and "Semi-naive evaluation"):
 
 * **Memoized fixed points.**  The TC/DTC closure and the LFP fixed point of
   a given operator depend only on the formula and on the auxiliary-relation
@@ -18,6 +18,14 @@ architecture"):
   recomputes the same closure ``n^k`` times.  Pass ``memoize=False`` to get
   the seed's recompute-every-time behaviour (benchmarks use it as the
   baseline).
+
+* **Semi-naive fixed points.**  Each closure/fixed point is itself computed
+  by delta propagation through the engine's relational kernels: TC/DTC
+  pairs are extended only from the previous round's frontier against the
+  successor index, LFP stages re-examine only the not-yet-derived rows, and
+  the DTC unique-successor check cuts each source's target sweep off at the
+  second witness.  ``seminaive=False`` keeps the naive re-derive-everything
+  strategy (the differential oracle the ``reference`` backend preserves).
 
 * **Mutate-and-restore quantifiers.**  ``Exists`` / ``Forall`` /
   ``CountAtLeast`` rebind their variable in place on a single assignment
@@ -79,14 +87,20 @@ class ModelChecker:
     ``memoize`` controls the fixed-point/closure cache described in the
     module docstring; leave it on except when measuring the uncached
     baseline.
+
+    ``seminaive`` selects the fixed-point strategy: delta propagation
+    through the engine's semi-naive kernels (the default), or the naive
+    re-derive-everything iteration (the differential oracle and the P2
+    benchmark baseline).  The two are observationally identical.
     """
 
     def __init__(self, structure: Structure,
                  auxiliary: Mapping[str, frozenset[tuple[int, ...]]] | None = None,
-                 memoize: bool = True):
+                 memoize: bool = True, seminaive: bool = True):
         self.structure = structure
         self.auxiliary = dict(auxiliary or {})
         self.memoize = memoize
+        self.seminaive = seminaive
         # Maps (kind, formula, auxiliary snapshot) -> computed closure /
         # fixed point.  Keying on the formula object itself (formulas are
         # frozen, hashable dataclasses) pins it alive, so the entry can
@@ -206,6 +220,25 @@ class ModelChecker:
         saved = self.auxiliary.get(relation, _UNBOUND)
         assignment: dict[str, int] = {}
 
+        try:
+            if self.seminaive:
+                return self._lfp_stages_seminaive(rows, variables, relation, body,
+                                                  assignment)
+            return self._lfp_stages_naive(rows, variables, relation, body,
+                                          assignment)
+        finally:
+            if saved is _UNBOUND:
+                self.auxiliary.pop(relation, None)
+            else:
+                self.auxiliary[relation] = saved
+            for variable in variables:
+                assignment.pop(variable, None)
+
+    def _lfp_stages_naive(self, rows, variables, relation, body,
+                          assignment) -> frozenset[tuple[int, ...]]:
+        """Naive stage iteration: every stage sweeps the full row space and
+        whole stage relations are compared for stability (the oracle)."""
+
         def stage_operator(current: frozenset) -> frozenset:
             self.auxiliary[relation] = current
             stage = set(current)
@@ -218,34 +251,68 @@ class ModelChecker:
                     stage.add(row)
             return frozenset(stage)
 
-        try:
-            return least_fixpoint(stage_operator)
-        finally:
-            if saved is _UNBOUND:
-                self.auxiliary.pop(relation, None)
-            else:
-                self.auxiliary[relation] = saved
-            for variable in variables:
-                assignment.pop(variable, None)
+        return least_fixpoint(stage_operator, seminaive=False)
 
-    def _edge_relation(self, formula: TCAtom | DTCAtom) -> dict[tuple[int, ...], set[tuple[int, ...]]]:
+    def _lfp_stages_seminaive(self, rows, variables, relation, body,
+                              assignment) -> frozenset[tuple[int, ...]]:
+        """Semi-naive stage iteration: rows leave the candidate pool the
+        stage they are derived, so stage ``i`` re-examines only the rows
+        still outside the fixed point (never re-deriving, re-hashing or even
+        revisiting the rows already in it), and the iteration stops on an
+        empty delta rather than a whole-relation comparison.  The body still
+        sees the Jacobi-style previous-stage relation, so the result is
+        identical to the naive iteration for every (even non-monotone)
+        body.
+        """
+        remaining = list(rows)
+
+        def delta_step(_delta: frozenset, total: set) -> list[tuple[int, ...]]:
+            self.auxiliary[relation] = frozenset(total)
+            derived: list[tuple[int, ...]] = []
+            survivors: list[tuple[int, ...]] = []
+            for row in remaining:
+                for variable, value in zip(variables, row):
+                    assignment[variable] = value
+                if self._eval(body, assignment):
+                    derived.append(row)
+                else:
+                    survivors.append(row)
+            remaining[:] = survivors
+            return derived
+
+        return least_fixpoint(delta_step=delta_step)
+
+    def _edge_relation(self, formula: TCAtom | DTCAtom, deterministic: bool = False
+                       ) -> dict[tuple[int, ...], tuple[tuple[int, ...], ...]]:
+        """The successor relation ``{x̄ -> [ȳ : phi(x̄, ȳ)]}`` — the per-source
+        column index the closure kernel joins against.
+
+        With ``deterministic`` (and the semi-naive strategy) the DTC
+        unique-successor condition is checked *incrementally*: a source's
+        target sweep stops at the second witness, since an out-degree ≥ 2
+        source contributes no deterministic edge no matter what the rest of
+        the row space says.  The naive oracle keeps the full n^k sweep.
+        """
         arity = len(formula.source_variables)
         source_variables = formula.source_variables
         target_variables = formula.target_variables
         body = formula.body
         tuples = list(product(self.structure.universe, repeat=arity))
-        successors: dict[tuple[int, ...], set[tuple[int, ...]]] = {}
+        short_circuit = deterministic and self.seminaive
+        successors: dict[tuple[int, ...], tuple[tuple[int, ...], ...]] = {}
         assignment: dict[str, int] = {}
         for source in tuples:
             for variable, value in zip(source_variables, source):
                 assignment[variable] = value
-            targets: set[tuple[int, ...]] = set()
+            targets: list[tuple[int, ...]] = []
             for target in tuples:
                 for variable, value in zip(target_variables, target):
                     assignment[variable] = value
                 if self._eval(body, assignment):
-                    targets.add(target)
-            successors[source] = targets
+                    targets.append(target)
+                    if short_circuit and len(targets) > 1:
+                        break
+            successors[source] = tuple(targets)
         return successors
 
     def _tc(self, formula: TCAtom | DTCAtom, deterministic: bool) -> set[tuple[tuple[int, ...], tuple[int, ...]]]:
@@ -264,8 +331,9 @@ class ModelChecker:
         # needs the formula evaluator); the closure itself is the engine's
         # shared kernel, which also applies the DTC unique-successor
         # pruning (phi_d(x, x') = phi(x, x') and x' is x's only successor).
-        successors = self._edge_relation(formula)
-        return transitive_closure(successors, deterministic=deterministic)
+        successors = self._edge_relation(formula, deterministic)
+        return transitive_closure(successors, deterministic=deterministic,
+                                  seminaive=self.seminaive)
 
     def _closure_membership(self, formula: TCAtom | DTCAtom,
                             closure: set[tuple[tuple[int, ...], tuple[int, ...]]],
@@ -283,15 +351,17 @@ def evaluate(formula: Formula, structure: Structure,
 
 def define_relation(formula: Formula, structure: Structure,
                     variables: tuple[str, ...],
-                    memoize: bool = True) -> frozenset[tuple[int, ...]]:
+                    memoize: bool = True,
+                    seminaive: bool = True) -> frozenset[tuple[int, ...]]:
     """The relation ``{(v1..vk) | structure |= formula[v̄]}`` defined by a
     formula with the given free variables.
 
     One checker is reused across all ``n^k`` rows, so any TC/DTC/LFP
     sub-formula is closed over once (when ``memoize``) instead of once per
-    row, and the row assignment is rebound in place.
+    row, and the row assignment is rebound in place.  ``seminaive`` picks
+    the fixed-point strategy (see :class:`ModelChecker`).
     """
-    checker = ModelChecker(structure, memoize=memoize)
+    checker = ModelChecker(structure, memoize=memoize, seminaive=seminaive)
     rows = set()
     assignment: dict[str, int] = {}
     for row in product(structure.universe, repeat=len(variables)):

@@ -27,10 +27,8 @@ from .formula import (
     exists,
     forall,
     implies,
-    neg,
     or_,
     rel,
-    var,
 )
 
 __all__ = [

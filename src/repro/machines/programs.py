@@ -7,7 +7,7 @@ DTIME(n) is expressible by an SRL expression of width 2 and depth 3.
 
 from __future__ import annotations
 
-from .tm import BLANK, LEFT, LogspaceMachine, RIGHT, STAY, TuringMachine
+from .tm import BLANK, LogspaceMachine, RIGHT, STAY, TuringMachine
 
 __all__ = [
     "parity_machine",

@@ -14,8 +14,8 @@ compiler can translate them into SRL programs symbol by symbol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 __all__ = ["BLANK", "LEFT", "RIGHT", "STAY", "RunResult", "TuringMachine",
            "LogspaceRunResult", "LogspaceMachine"]

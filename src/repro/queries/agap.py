@@ -19,8 +19,9 @@ database encoding of an alternating-graph structure.
 
 from __future__ import annotations
 
-from repro.core import Atom, Database, Program, make_set, make_tuple, with_standard_library
+from repro.core import Atom, Database, IndexedRelation, Program, make_set, make_tuple, with_standard_library
 from repro.core import builders as b
+from repro.core.engine import least_fixpoint
 from repro.core.stdlib import forall_expr, forsome_expr, product_expr
 from repro.structures.structure import Structure
 
@@ -30,31 +31,40 @@ __all__ = ["apath_baseline", "agap_baseline", "agap_database", "apath_program", 
 # ---------------------------------------------------------------- baseline
 
 
-def apath_baseline(structure: Structure) -> frozenset[tuple[int, int]]:
-    """The APATH relation by direct fixed-point iteration (the reference
-    implementation the SRL program is checked against)."""
-    edges = structure.relation("E")
-    universal = {row[0] for row in structure.relation("A")}
-    successors: dict[int, set[int]] = {v: set() for v in structure.universe}
-    for u, v in edges:
-        successors[u].add(v)
+def apath_baseline(structure: Structure,
+                   seminaive: bool = True) -> frozenset[tuple[int, int]]:
+    """The APATH relation (the reference implementation the SRL program is
+    checked against), computed through the engine's fixed-point kernel.
 
-    apath: set[tuple[int, int]] = {(v, v) for v in structure.universe}
-    changed = True
-    while changed:
-        changed = False
-        for x in structure.universe:
-            for y in structure.universe:
-                if (x, y) in apath or not successors[x]:
-                    continue
-                if x in universal:
-                    holds = all((z, y) in apath for z in successors[x])
-                else:
-                    holds = any((z, y) in apath for z in successors[x])
-                if holds:
-                    apath.add((x, y))
-                    changed = True
-    return frozenset(apath)
+    The derivation is phrased as a delta step over the edge relation's
+    per-column indexes: a freshly derived ``APATH(z, y)`` can only enable
+    ``APATH(x, y)`` for the *predecessors* ``x`` of ``z``, so each round
+    probes the target-column index of ``E`` with the previous round's delta
+    instead of re-sweeping every ``(x, y)`` pair.  ``seminaive=False`` runs
+    the same step naively (the whole relation is the delta every round).
+    """
+    edges = IndexedRelation(structure.relation("E"), arity=2)
+    universal = {row[0] for row in structure.relation("A")}
+    predecessors = edges.index(1)  # target -> edge rows into it
+    successors = edges.index(0)    # source -> edge rows out of it
+
+    def holds(x: int, y: int, apath) -> bool:
+        if x in universal:
+            return all((edge[1], y) in apath for edge in successors[x])
+        return True  # the triggering edge is the existential witness
+
+    def delta_step(delta: frozenset, apath: set) -> set[tuple[int, int]]:
+        derived: set[tuple[int, int]] = set()
+        for z, y in delta:
+            for edge in predecessors.get(z, ()):
+                x = edge[0]
+                if (x, y) not in apath and holds(x, y, apath):
+                    derived.add((x, y))
+        return derived
+
+    initial = frozenset((v, v) for v in structure.universe)
+    return least_fixpoint(initial=initial, delta_step=delta_step,
+                          seminaive=seminaive)
 
 
 def agap_baseline(structure: Structure, source: int | None = None,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.core import Atom, Database, Program, make_set, make_tuple, with_standard_library
 from repro.core import builders as b
+from repro.core.engine import transitive_closure
 from repro.core.stdlib import forall_expr, join_expr, select_expr
 from repro.structures.structure import Structure
 
@@ -38,26 +39,16 @@ __all__ = [
 
 
 def transitive_closure_baseline(structure: Structure,
-                                deterministic: bool = False) -> frozenset[tuple[int, int]]:
+                                deterministic: bool = False,
+                                seminaive: bool = True) -> frozenset[tuple[int, int]]:
     """The reflexive transitive closure of the edge relation (restricted to
-    out-degree-one vertices when ``deterministic``)."""
-    successors: dict[int, set[int]] = {v: set() for v in structure.universe}
+    out-degree-one vertices when ``deterministic``), via the engine's
+    shared closure kernel (``seminaive=False`` for the naive oracle)."""
+    successors: dict[int, list[int]] = {v: [] for v in structure.universe}
     for u, v in structure.relation("E"):
-        successors[u].add(v)
-    if deterministic:
-        successors = {u: (vs if len(vs) == 1 else set()) for u, vs in successors.items()}
-    closure: set[tuple[int, int]] = set()
-    for start in structure.universe:
-        seen = {start}
-        frontier = [start]
-        while frontier:
-            node = frontier.pop()
-            for nxt in successors[node]:
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        closure.update((start, v) for v in seen)
-    return frozenset(closure)
+        successors[u].append(v)
+    return frozenset(transitive_closure(successors, deterministic=deterministic,
+                                        seminaive=seminaive))
 
 
 def reachable_baseline(structure: Structure, source: int | None = None,

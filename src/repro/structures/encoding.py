@@ -9,7 +9,6 @@ checked bit-for-bit in tests.
 
 from __future__ import annotations
 
-from itertools import product
 from typing import Iterable, Sequence
 
 from .structure import Structure

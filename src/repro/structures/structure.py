@@ -9,7 +9,7 @@ performs that conversion; :func:`from_database` goes the other way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core import Atom, Database, make_set, make_tuple
 from repro.core.values import SRLSet, SRLTuple, Value

@@ -10,7 +10,7 @@ to the ordered universe.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterator
 
 __all__ = ["Vocabulary", "GRAPH_VOCABULARY", "ALTERNATING_GRAPH_VOCABULARY"]
 

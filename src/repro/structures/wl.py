@@ -206,14 +206,10 @@ def find_isomorphism(left: ColoredGraph, right: ColoredGraph) -> Optional[list[i
     left_colors = color_refinement(
         ColoredGraph(left.size, left.adjacency, list(left.colors))
     )
-    right_colors = color_refinement(
-        ColoredGraph(right.size, right.adjacency, list(right.colors))
-    )
     # A valid mapping can only send a vertex to one with an identical initial
-    # colour; refined colours must match as multisets for an isomorphism to
-    # exist at all, but individual refined colours are graph-local, so we key
-    # candidates on (initial colour, degree) and use refined colours only for
-    # candidate ordering.
+    # colour.  Individual refined colours are graph-local, so candidates are
+    # keyed on (initial colour, degree) and the left graph's refined colours
+    # serve only to order the search.
     if Counter(left.colors) != Counter(right.colors):
         return None
 

@@ -11,8 +11,10 @@ from repro.complexity import (
     PTIME,
     classify_program,
     figure1_lattice,
+    hierarchy_containments,
     hierarchy_level,
     iterated_powerset_size,
+    level_contained_in,
     tower,
 )
 from repro.core.typecheck import database_types
@@ -56,6 +58,33 @@ class TestFigure1:
         lattice = figure1_lattice()
         with pytest.raises(KeyError):
             lattice.add_containment(Containment("p", "nonsense", True, "", ""))
+
+    def test_containment_closure_is_the_chain(self):
+        lattice = figure1_lattice()
+        closure = lattice.containment_closure()
+        keys = list(lattice.classes)
+        # Reflexive on every registered class, upward along the chain only.
+        expected = {(k, k) for k in keys} | {
+            (keys[i], keys[j]) for i in range(len(keys))
+            for j in range(i + 1, len(keys))
+        }
+        assert closure == expected
+
+
+class TestHierarchyContainments:
+    def test_chain_closure(self):
+        assert hierarchy_containments(3) == {
+            (1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3),
+        }
+
+    def test_level_contained_in(self):
+        assert level_contained_in(1, 4)
+        assert level_contained_in(2, 2)
+        assert not level_contained_in(4, 1)
+        with pytest.raises(ValueError):
+            level_contained_in(0, 1)
+        with pytest.raises(ValueError):
+            hierarchy_containments(0)
 
 
 class TestHierarchy:

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ATOM, Program, analyze, parse_expression, parse_program, set_of, tuple_of
-from repro.core import builders as b
 from repro.core.analysis import expression_depth, expression_width
 from repro.core.errors import SRLError
 

@@ -1,0 +1,165 @@
+"""Direct unit tests for the engine's quantifier binding kernels and the
+CLI's JSON database reader.
+
+The binding kernels promise *mutate-and-restore*: the quantified variable
+is rebound in place on the caller's assignment dict and restored afterwards
+— including when evaluation raises — and a variable that was unbound going
+in is unbound (not bound-to-garbage) coming out.  These invariants carry
+the whole logic layer's correctness and had no direct tests before.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import (
+    count_bindings,
+    database_from_json,
+    exists_binding,
+    forall_binding,
+)
+from repro.core.errors import SRLRuntimeError
+from repro.core.values import Atom, SRLList, SRLSet, SRLTuple
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def _raise_at(trigger):
+    def evaluate(body, assignment):
+        if assignment["x"] == trigger:
+            raise Boom(trigger)
+        return body(assignment) if callable(body) else bool(body)
+    return evaluate
+
+
+class TestBindingKernels:
+    def test_exists_finds_a_witness_and_restores(self):
+        assignment = {"x": 99, "other": 7}
+        found = exists_binding(range(5), assignment, "x",
+                               lambda body, a: a["x"] == 3, None)
+        assert found
+        assert assignment == {"x": 99, "other": 7}
+
+    def test_exists_restores_an_unbound_variable(self):
+        assignment = {"other": 7}
+        assert not exists_binding(range(3), assignment, "x",
+                                  lambda body, a: False, None)
+        assert assignment == {"other": 7}   # no leftover binding
+
+    def test_forall_short_circuits_and_restores(self):
+        assignment = {"x": "before"}
+        seen = []
+
+        def evaluate(body, a):
+            seen.append(a["x"])
+            return a["x"] < 2
+
+        assert not forall_binding(range(5), assignment, "x", evaluate, None)
+        assert seen == [0, 1, 2]            # stopped at the counterexample
+        assert assignment == {"x": "before"}
+
+    def test_count_counts_witnesses_and_restores(self):
+        assignment = {}
+        count = count_bindings(range(10), assignment, "x",
+                               lambda body, a: a["x"] % 3 == 0, None)
+        assert count == 4                    # 0, 3, 6, 9
+        assert assignment == {}
+
+    # ``body`` keeps each kernel iterating up to the raising binding:
+    # exists must keep missing, forall must keep holding.
+    @pytest.mark.parametrize("kernel,body", [
+        (exists_binding, False), (forall_binding, True), (count_bindings, False),
+    ])
+    def test_restore_on_exception_with_prior_binding(self, kernel, body):
+        assignment = {"x": "saved", "y": 1}
+        with pytest.raises(Boom):
+            kernel(range(5), assignment, "x", _raise_at(2), body)
+        assert assignment == {"x": "saved", "y": 1}
+
+    @pytest.mark.parametrize("kernel,body", [
+        (exists_binding, False), (forall_binding, True), (count_bindings, False),
+    ])
+    def test_restore_on_exception_without_prior_binding(self, kernel, body):
+        assignment = {"y": 1}
+        with pytest.raises(Boom):
+            kernel(range(5), assignment, "x", _raise_at(0), body)
+        assert assignment == {"y": 1}        # "x" did not leak
+
+    def test_rebinding_is_in_place(self):
+        # The kernels must not copy the dict per binding: the evaluator sees
+        # the *same* mapping object on every probe.
+        assignment = {}
+        seen_ids = set()
+
+        def evaluate(body, a):
+            seen_ids.add(id(a))
+            return False
+
+        exists_binding(range(4), assignment, "x", evaluate, None)
+        assert seen_ids == {id(assignment)}
+
+
+class TestDatabaseFromJson:
+    def test_untagged_depths(self):
+        # Depth 0 arrays are sets, depth >= 1 arrays are tuples — the common
+        # relation shape {"EDGES": [[0, 1], [1, 2]]}.
+        database = database_from_json({
+            "EDGES": [[0, 1], [1, 2]],
+            "FLAG": True,
+            "POINT": 3,
+        })
+        assert database.lookup("EDGES") == SRLSet([
+            SRLTuple([Atom(0), Atom(1)]), SRLTuple([Atom(1), Atom(2)]),
+        ])
+        assert database.lookup("FLAG") is True
+        assert database.lookup("POINT") == Atom(3)
+
+    def test_untagged_deep_nesting_stays_tuples(self):
+        database = database_from_json({"NESTED": [[[0, 1], 2]]})
+        assert database.lookup("NESTED") == SRLSet([
+            SRLTuple([SRLTuple([Atom(0), Atom(1)]), Atom(2)]),
+        ])
+
+    def test_tagged_values(self):
+        database = database_from_json({
+            "A": {"atom": 3},
+            "NAMED": {"atom": 4, "name": "seven"},
+            "N": {"nat": 7},
+            "S": {"set": [{"set": [1]}, 2]},
+            "T": {"tuple": [1, {"list": [2]}]},
+        })
+        assert database.lookup("A") == Atom(3)
+        named = database.lookup("NAMED")
+        assert named == Atom(4) and named.name == "seven"
+        assert database.lookup("N") == 7
+        assert database.lookup("S") == SRLSet([SRLSet([Atom(1)]), Atom(2)])
+        assert database.lookup("T") == SRLTuple([Atom(1), SRLList([Atom(2)])])
+
+    def test_top_level_must_be_an_object(self):
+        with pytest.raises(SRLRuntimeError, match="must be an object"):
+            database_from_json([1, 2, 3])
+
+    def test_unknown_tag_is_reported(self):
+        with pytest.raises(SRLRuntimeError, match="cannot read an SRL value"):
+            database_from_json({"x": {"unknown": 1}})
+
+    def test_multi_key_object_is_rejected(self):
+        # Two tags in one object is ambiguous (only atom+name is allowed).
+        with pytest.raises(SRLRuntimeError):
+            database_from_json({"x": {"set": [], "list": []}})
+
+    @pytest.mark.parametrize("bad", [
+        {"atom": "three"},           # non-numeric atom rank
+        {"nat": "seven"},            # non-numeric natural
+        {"set": 5},                  # tagged set over a non-array
+        {"tuple": 5},                # tagged tuple over a non-array
+    ])
+    def test_malformed_tagged_values_surface_as_srl_errors(self, bad):
+        with pytest.raises(SRLRuntimeError, match="'x'"):
+            database_from_json({"x": bad})
+
+    def test_fractional_number_is_rejected(self):
+        with pytest.raises(SRLRuntimeError):
+            database_from_json({"x": 1.5})

@@ -7,7 +7,6 @@ from hypothesis import given, strategies as st
 
 from repro.core import (
     Atom,
-    Database,
     EvaluationLimits,
     Evaluator,
     Program,
@@ -21,7 +20,6 @@ from repro.core import (
     run_expression,
     run_program,
 )
-from repro.core import builders as b
 from repro.core.errors import SRLNameError
 
 

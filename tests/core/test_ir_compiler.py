@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import (
     Atom,
-    Database,
     EvaluationLimits,
     Session,
     compile_program,

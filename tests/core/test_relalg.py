@@ -1,0 +1,203 @@
+"""Unit tests for the semi-naive relational-algebra layer
+(:mod:`repro.core.relalg`): the :class:`IndexedRelation` data structure, the
+bulk operators, and the naive/semi-naive fixed-point and closure kernels
+(including their dispatch through the engine and the Session facade).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import Session, least_fixpoint, transitive_closure
+from repro.core.relalg import (
+    IndexedRelation,
+    naive_closure,
+    naive_fixpoint,
+    seminaive_closure,
+    seminaive_fixpoint,
+)
+
+
+def random_successors(size: int, out_degree: float, seed: int) -> dict[int, list[int]]:
+    rng = random.Random(seed)
+    probability = out_degree / size
+    return {
+        u: [v for v in range(size) if rng.random() < probability]
+        for u in range(size)
+    }
+
+
+def dfs_closure(successors, deterministic=False):
+    """An independent oracle: per-start depth-first search (the pre-semi-naive
+    implementation of the closure kernel)."""
+    edges = {u: tuple(vs) for u, vs in successors.items()}
+    if deterministic:
+        edges = {u: (vs if len(vs) == 1 else ()) for u, vs in edges.items()}
+    closure = set()
+    for start in edges:
+        reachable = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in edges.get(node, ()):
+                if nxt not in reachable:
+                    reachable.add(nxt)
+                    frontier.append(nxt)
+        closure.update((start, target) for target in reachable)
+    return closure
+
+
+class TestIndexedRelation:
+    def test_add_deduplicates_and_reports_newness(self):
+        relation = IndexedRelation()
+        assert relation.add((1, 2))
+        assert not relation.add((1, 2))
+        assert relation.add((2, 3))
+        assert len(relation) == 2
+        assert (1, 2) in relation and (9, 9) not in relation
+        assert set(relation) == {(1, 2), (2, 3)}
+
+    def test_arity_is_inferred_and_enforced(self):
+        relation = IndexedRelation([(1, 2, 3)])
+        assert relation.arity == 3
+        with pytest.raises(ValueError):
+            relation.add((1, 2))
+        with pytest.raises(IndexError):
+            IndexedRelation([(1, 2)]).index(5)
+
+    def test_rows_normalise_to_tuples(self):
+        relation = IndexedRelation([[1, 2]])
+        assert (1, 2) in relation
+        assert not relation.add([1, 2])
+
+    def test_index_is_built_lazily_and_maintained_incrementally(self):
+        relation = IndexedRelation([(1, 10), (2, 10), (1, 20)])
+        by_target = relation.index(1)
+        assert by_target[10] == {(1, 10), (2, 10)}
+        # Adds after the index is built must land in it.
+        relation.add((3, 10))
+        assert relation.matching(1, 10) == {(1, 10), (2, 10), (3, 10)}
+        assert relation.matching(1, 99) == frozenset()
+        # The lazily built index over a different column sees everything.
+        assert relation.index(0)[1] == {(1, 10), (1, 20)}
+
+    def test_delta_tracking(self):
+        relation = IndexedRelation([(0, 1)])
+        assert relation.has_delta
+        assert relation.take_delta() == {(0, 1)}
+        assert not relation.has_delta
+        relation.add((0, 1))          # duplicate: not a new delta row
+        assert not relation.has_delta
+        relation.update([(1, 2), (2, 3)])
+        assert relation.take_delta() == {(1, 2), (2, 3)}
+
+    def test_join_probes_the_column_index(self):
+        edges = IndexedRelation([(0, 1), (1, 2), (1, 3)])
+        paths = edges.join(edges, left_column=1, right_column=0)
+        assert set(paths) == {(0, 1, 2), (0, 1, 3)}
+        composed = edges.join(
+            edges, left_column=1, right_column=0,
+            combine=lambda left, right: (left[0], right[1]),
+        )
+        assert set(composed) == {(0, 2), (0, 3)}
+
+    def test_project_union_select(self):
+        relation = IndexedRelation([(0, 1), (0, 2), (1, 2)])
+        assert set(relation.project([0])) == {(0,), (1,)}
+        assert set(relation.project([1, 0])) == {(1, 0), (2, 0), (2, 1)}
+        assert set(relation.union([(7, 7)])) == {(0, 1), (0, 2), (1, 2), (7, 7)}
+        assert set(relation.select(lambda row: row[0] == 0)) == {(0, 1), (0, 2)}
+
+    def test_equality_against_sets_and_relations(self):
+        assert IndexedRelation([(1, 2)]) == {(1, 2)}
+        assert IndexedRelation([(1, 2)]) == IndexedRelation([(1, 2)])
+        assert IndexedRelation([(1, 2)]) != {(2, 1)}
+
+
+class TestFixpointKernels:
+    def test_naive_fixpoint_iterates_to_stability(self):
+        double = lambda current: frozenset(current | {max(current) * 2}
+                                           if max(current) < 8 else current)
+        assert naive_fixpoint(double, frozenset({1})) == {1, 2, 4, 8}
+
+    def test_seminaive_first_round_runs_on_empty_initial(self):
+        # Premise-free derivations must fire even when initial is empty.
+        def delta_step(delta, total):
+            return {(0,)} if not total else {(len(total),)} if len(total) < 3 else set()
+        assert seminaive_fixpoint((), delta_step) == {(0,), (1,), (2,)}
+
+    def test_seminaive_filters_known_facts(self):
+        calls = []
+
+        def delta_step(delta, total):
+            calls.append(sorted(delta))
+            return {(0,), (1,)}   # returns already-known facts every round
+
+        result = seminaive_fixpoint({(0,)}, delta_step)
+        assert result == {(0,), (1,)}
+        # Round 1: delta = initial; round 2: delta = {(1,)}; round 3: empty delta
+        # is never produced because known facts are filtered -> loop stops.
+        assert calls == [[(0,)], [(1,)]]
+
+    def test_engine_least_fixpoint_signatures(self):
+        step = lambda current: frozenset(current | {1})
+        assert least_fixpoint(step, frozenset()) == {1}
+        grow = lambda delta, total: {value + 1 for value in delta if value < 4}
+        assert least_fixpoint(initial={0}, delta_step=grow) == {0, 1, 2, 3, 4}
+        assert least_fixpoint(initial={0}, delta_step=grow,
+                              seminaive=False) == {0, 1, 2, 3, 4}
+        with pytest.raises(TypeError):
+            least_fixpoint(step, delta_step=grow)
+        with pytest.raises(TypeError):
+            least_fixpoint()
+
+
+class TestClosureKernels:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("deterministic", [False, True])
+    def test_differential_naive_seminaive_dfs(self, seed, deterministic):
+        successors = random_successors(14, out_degree=1.5, seed=seed)
+        expected = dfs_closure(successors, deterministic)
+        assert naive_closure(successors, deterministic) == expected
+        assert seminaive_closure(successors, deterministic) == expected
+
+    def test_closure_domain_is_the_mapping_keys(self):
+        # 5 is a target but not a key: reachable, but no reflexive pair.
+        closure = seminaive_closure({0: [5]})
+        assert closure == {(0, 0), (0, 5)}
+        assert naive_closure({0: [5]}) == closure
+
+    def test_deterministic_prunes_branching_sources(self):
+        successors = {0: [1, 2], 1: [3], 2: [], 3: []}
+        assert transitive_closure(successors, deterministic=True) == {
+            (0, 0), (1, 1), (1, 3), (2, 2), (3, 3),
+        }
+
+    def test_one_shot_target_iterators_are_materialized(self):
+        successors = {0: iter([1]), 1: iter(())}
+        assert transitive_closure(successors) == {(0, 0), (0, 1), (1, 1)}
+
+
+class TestSessionKernelDispatch:
+    def test_backends_share_the_kernels(self):
+        successors = random_successors(10, out_degree=1.2, seed=3)
+        expected = dfs_closure(successors)
+        results = {
+            backend: Session(backend=backend).transitive_closure(successors)
+            for backend in ("compiled", "interp", "reference")
+        }
+        assert all(result == expected for result in results.values())
+
+    def test_reference_backend_is_naive(self):
+        assert not Session(backend="reference").seminaive
+        assert Session(backend="compiled").seminaive
+        assert Session(backend="interp").seminaive
+
+    def test_session_least_fixpoint(self):
+        grow = lambda delta, total: {value + 1 for value in delta if value < 3}
+        for backend in ("compiled", "reference"):
+            session = Session(backend=backend)
+            assert session.least_fixpoint(initial={0}, delta_step=grow) == \
+                {0, 1, 2, 3}

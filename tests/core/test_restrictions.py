@@ -10,10 +10,8 @@ from repro.core import (
     Program,
     RestrictionViolation,
     parse_expression,
-    parse_program,
     set_of,
     standard_library,
-    tuple_of,
 )
 from repro.core.restrictions import (
     ALL_RESTRICTIONS,

@@ -11,7 +11,6 @@ from repro.core import (
     Atom,
     Program,
     SetType,
-    TupleType,
     TypeChecker,
     make_set,
     make_tuple,

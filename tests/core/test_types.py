@@ -10,7 +10,6 @@ from repro.core.types import (
     BOOL,
     NAT,
     SetType,
-    TupleType,
     TypeVar,
     apply_substitution,
     fresh_type_var,

@@ -10,7 +10,6 @@ from repro.logic.formula import (
     ZERO,
     and_,
     aux,
-    const,
     count_at_least,
     eq,
     exists,
@@ -24,7 +23,7 @@ from repro.logic.formula import (
 )
 from repro.logic.games import counting_ef_equivalent, ef_equivalent, is_partial_isomorphism
 from repro.logic.interpretation import Interpretation, identity_interpretation
-from repro.logic.queries import agap_formula, apath_lfp, gap_formula, reachability_dtc, reachability_tc
+from repro.logic.queries import agap_formula, gap_formula, reachability_dtc, reachability_tc
 from repro.queries.agap import agap_baseline
 from repro.queries.transitive_closure import (
     deterministic_reachable_baseline,
@@ -34,7 +33,6 @@ from repro.structures import (
     GRAPH_VOCABULARY,
     Structure,
     Vocabulary,
-    alternating_graph_structure,
     functional_graph,
     graph_structure,
     path_graph,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import SRL, EvaluationLimits
+from repro.core import SRL
 from repro.core.typecheck import database_types
 from repro.machines import (
     BLANK,
