@@ -26,6 +26,12 @@ fixed-point kernels against the naive re-derive-everything strategy the
 ``reference`` backend preserves, on E3-scale TC / DTC / LFP workloads at
 n = 64, with a >= 3x acceptance bar.
 
+PR 4 adds the *P3 relational-planner* datapoints: the logic layer's
+set-at-a-time plan backend (formula -> relational-algebra plan, see
+``repro.logic.compile``) against the tuple-at-a-time enumeration oracle,
+on the Figure-1 query suite (TC / DTC / APATH from the
+``CANONICAL_QUERIES`` registry) at n = 64, with a >= 3x acceptance bar.
+
 Results are merged into ``BENCH_perf.json`` at the repo root — the perf
 trajectory, one entry per measured workload, for later PRs to extend.
 Run with ``--smoke`` (CI) for smaller sizes and no speedup-ratio
@@ -48,6 +54,7 @@ from repro.core.reference import legacy_mode, value_sort_reference
 from repro.core.values import make_set, make_tuple, Atom, value_sort
 from repro.logic.eval import define_relation
 from repro.logic.formula import LFPAtom, TCAtom, and_, aux, eq, exists, or_, rel, var
+from repro.logic.queries import CANONICAL_QUERIES
 from repro.queries import (
     agap_baseline,
     agap_database,
@@ -74,6 +81,9 @@ COMPILED_TARGET_SPEEDUP = 2.0
 
 #: The acceptance bar of the PR 3 semi-naive issue (semi-naive vs naive).
 SEMINAIVE_TARGET_SPEEDUP = 3.0
+
+#: The acceptance bar of the PR 4 relational-planner issue (plan vs tuple).
+PLAN_TARGET_SPEEDUP = 3.0
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS: dict[str, dict] = {}
@@ -122,11 +132,13 @@ def _write_bench_json(request):
     payload = {
         "schema": "repro-perf-trajectory/v1",
         "experiment": "P0 perf overhaul + P1 compiled engine + P2 semi-naive"
+                      " + P3 relational planner"
                       + (" (smoke sizes)" if smoke else ""),
         "python": platform.python_version(),
         "target_speedup": TARGET_SPEEDUP,
         "compiled_target_speedup": COMPILED_TARGET_SPEEDUP,
         "seminaive_target_speedup": SEMINAIVE_TARGET_SPEEDUP,
+        "plan_target_speedup": PLAN_TARGET_SPEEDUP,
         "entries": {},
     }
     if not smoke and path.exists():
@@ -371,3 +383,62 @@ def test_seminaive_lfp_agap(table, smoke):
         lambda: apath_baseline(graph),
         {"universe": size}, table, smoke,
     )
+
+
+# ----------------------------- P3: the logic relational planner (PR 4)
+
+
+def _plan_vs_tuple(name: str, query_name: str, structure, table,
+                   smoke: bool) -> None:
+    """Time one Figure-1 query through ``define_relation`` on the plan
+    backend against the tuple-at-a-time oracle, cross-check the defined
+    relations, and record the trajectory point."""
+    query = CANONICAL_QUERIES[query_name]
+    formula = query.formula()
+
+    def tuple_backend():
+        return define_relation(formula, structure, query.variables,
+                               backend="tuple")
+
+    def plan_backend():
+        return define_relation(formula, structure, query.variables,
+                               backend="plan")
+
+    assert plan_backend() == tuple_backend()
+    tuple_seconds = _best_of(tuple_backend, repeats=1 if smoke else 2)
+    plan_seconds = _best_of(plan_backend, repeats=3)
+    params = {"universe": structure.size, "query": query_name,
+              "baseline": "tuple", "target": PLAN_TARGET_SPEEDUP}
+    speedup = _record(name, tuple_seconds, plan_seconds, params, table,
+                      series="P3", baseline="tuple",
+                      target=PLAN_TARGET_SPEEDUP)
+    if not smoke:
+        assert speedup >= PLAN_TARGET_SPEEDUP
+
+
+def test_plan_tc_e9(table, smoke):
+    """Figure 1 / Fact 4.1: all-pairs TC reachability over the n = 64
+    layered DAG of the P2 benchmark.  The oracle pays n^2 body evaluations
+    to build the edge relation and n^2 more to sweep the defined rows; the
+    plan scans E once and feeds the same closure kernel directly."""
+    graph = layered_graph(5 if smoke else 16, 4, seed=7)
+    _plan_vs_tuple("plan_vs_tuple_tc_e9", "tc", graph, table, smoke)
+
+
+def test_plan_dtc_e9(table, smoke):
+    """Figure 1 / Fact 4.3: all-pairs DTC over an n = 64 functional graph
+    (every vertex out-degree one — the pure closure workload)."""
+    size = 20 if smoke else 64
+    graph = functional_graph(size, seed=11)
+    _plan_vs_tuple("plan_vs_tuple_dtc_e9", "dtc", graph, table, smoke)
+
+
+def test_plan_apath_lfp_e9(table, smoke):
+    """Figure 1 / Definition 3.4: the full APATH relation as an LFP over an
+    n = 64 alternating graph.  Tuple-at-a-time, every fixed-point stage
+    re-evaluates the quantifier-heavy body per candidate row (O(n) per
+    quantifier); the plan executes each stage as joins, complements and
+    projections over whole relations."""
+    size = 20 if smoke else 64
+    graph = random_alternating_graph(size, edge_probability=0.045, seed=13)
+    _plan_vs_tuple("plan_vs_tuple_apath_e9", "apath", graph, table, smoke)

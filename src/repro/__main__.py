@@ -1,9 +1,11 @@
-"""``python -m repro`` — run an SRL source file through the full pipeline.
+"""``python -m repro`` — run an SRL source file, or a logic query, through
+the full pipeline.
 
-The CLI drives the same :class:`~repro.core.engine.Session` facade the rest
-of the repo uses: parse the program, type-check it, classify it against the
-paper's syntactic restrictions, execute it on the selected backend, and
-print the result together with the engine's :class:`EvaluationStats`.
+The default form drives the same :class:`~repro.core.engine.Session`
+facade the rest of the repo uses: parse the program, type-check it,
+classify it against the paper's syntactic restrictions, execute it on the
+selected backend, and print the result together with the engine's
+:class:`EvaluationStats`.
 
 Usage::
 
@@ -16,6 +18,18 @@ is a *set* whose untagged array elements are *tuples* (so a binary relation
 is just ``"EDGES": [[0, 1], [1, 2]]``), and deeper nesting uses the tagged
 forms ``{"atom": r}``, ``{"nat": n}``, ``{"set": [...]}``,
 ``{"tuple": [...]}`` and ``{"list": [...]}``.
+
+The ``logic`` subcommand evaluates one of the canonical FO(+TC/DTC/LFP)
+queries of :data:`repro.logic.queries.CANONICAL_QUERIES` over a
+JSON-encoded finite structure and prints the defined relation::
+
+    python -m repro logic tc --structure graph.json [--backend plan|tuple]
+                             [--explain] [--list]
+
+The structure file uses the same JSON shape as the database file (the
+relation names become the structure's relations; a set ``"D"`` of atoms,
+when present, fixes the universe size — exactly what
+:func:`repro.structures.structure.from_database` reads).
 """
 
 from __future__ import annotations
@@ -44,6 +58,10 @@ def _build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Parse, type-check, restriction-check and run an SRL program.",
+        epilog="Subcommand: 'python -m repro logic <query> --structure s.json' "
+               "evaluates a canonical FO(+TC/DTC/LFP) query over a JSON "
+               "structure (see 'python -m repro logic --help'); a program "
+               "file literally named 'logic' can be run as './logic'.",
     )
     parser.add_argument("program", type=Path,
                         help="SRL source file (s-expression syntax)")
@@ -62,7 +80,85 @@ def _build_argument_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_logic_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro logic",
+        description="Evaluate a canonical FO(+TC/DTC/LFP) query over a "
+                    "JSON-encoded finite structure.",
+    )
+    parser.add_argument("query", nargs="?", default=None,
+                        help="query name from repro.logic.queries."
+                             "CANONICAL_QUERIES (see --list)")
+    parser.add_argument("--structure", type=Path, default=None,
+                        help="JSON structure file (database shape: relation "
+                             "name -> array of tuples, optional domain 'D')")
+    parser.add_argument("--backend", choices=("plan", "tuple"), default="plan",
+                        help="logic evaluation strategy (default: plan — the "
+                             "set-at-a-time relational planner; tuple is the "
+                             "enumeration oracle)")
+    parser.add_argument("--explain", action="store_true",
+                        help="also print the formula and its compiled plan")
+    parser.add_argument("--list", action="store_true",
+                        help="list the available queries and exit")
+    return parser
+
+
+def logic_main(argv: list[str]) -> int:
+    from repro.logic.compile import PlanCompilationError, explain
+    from repro.logic.eval import define_relation
+    from repro.logic.queries import CANONICAL_QUERIES
+    from repro.structures.structure import from_database
+
+    args = _build_logic_argument_parser().parse_args(argv)
+
+    if args.list:
+        width = max(len(name) for name in CANONICAL_QUERIES)
+        for name, query in sorted(CANONICAL_QUERIES.items()):
+            layout = ", ".join(query.variables) if query.variables else "sentence"
+            print(f"{name:<{width}}  ({layout})  {query.description}")
+        return 0
+
+    if args.query is None:
+        print("error: a query name is required (try --list)", file=sys.stderr)
+        return 2
+    query = CANONICAL_QUERIES.get(args.query)
+    if query is None:
+        print(f"error: unknown query {args.query!r}; known: "
+              f"{', '.join(sorted(CANONICAL_QUERIES))}", file=sys.stderr)
+        return 2
+    if args.structure is None:
+        print("error: --structure structure.json is required", file=sys.stderr)
+        return 2
+
+    try:
+        structure = from_database(
+            database_from_json(json.loads(args.structure.read_text()))
+        )
+        formula = query.formula()
+        if args.explain:
+            print(explain(formula, query.variables))
+        relation = define_relation(formula, structure, query.variables,
+                                   backend=args.backend)
+    except (SRLError, PlanCompilationError, OSError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    print(f"query:       {args.query} over n = {structure.size} "
+          f"({args.backend} backend)")
+    if not query.variables:
+        print(f"result:      {() in relation}")
+        return 0
+    print(f"columns:     ({', '.join(query.variables)})")
+    print(f"rows:        {len(relation)}")
+    for row in sorted(relation):
+        print("  " + " ".join(str(value) for value in row))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "logic":
+        return logic_main(argv[1:])
     args = _build_argument_parser().parse_args(argv)
 
     try:

@@ -15,7 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.core.engine import transitive_closure
+from repro.logic.eval import define_relation
+from repro.logic.queries import CANONICAL_QUERIES
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
 
 __all__ = [
     "ComplexityClass",
@@ -128,15 +131,24 @@ class Figure1Lattice:
 
     def containment_closure(self) -> set[tuple[str, str]]:
         """The reflexive-transitive containment relation over the recorded
-        edges, computed (once per lattice state) by the engine's shared
-        semi-naive closure kernel."""
+        edges, computed (once per lattice state) through the logic layer's
+        plan backend: the lattice is encoded as a finite structure (one
+        universe element per class, ``E`` the recorded edges) and the
+        Fact 4.1 TC formula is compiled and executed set-at-a-time."""
         state = (len(self.classes), len(self.containments))
         if self._closure_cache is not None and self._closure_cache[0] == state:
             return self._closure_cache[1]
-        successors: dict[str, list[str]] = {key: [] for key in self.classes}
-        for containment in self.containments:
-            successors[containment.lower].append(containment.upper)
-        closure = transitive_closure(successors)
+        keys = list(self.classes)
+        index = {key: position for position, key in enumerate(keys)}
+        structure = Structure(
+            Vocabulary.of(E=2), len(keys),
+            {"E": frozenset((index[c.lower], index[c.upper])
+                            for c in self.containments)},
+        )
+        query = CANONICAL_QUERIES["tc"]
+        pairs = define_relation(query.formula(), structure, query.variables,
+                                backend="plan")
+        closure = {(keys[lower], keys[upper]) for lower, upper in pairs}
         self._closure_cache = (state, closure)
         return closure
 

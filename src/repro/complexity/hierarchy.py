@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.engine import transitive_closure
+from repro.logic.eval import define_relation
+from repro.logic.queries import CANONICAL_QUERIES
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
 
 __all__ = [
     "tower",
@@ -70,14 +73,21 @@ def hierarchy_containments(max_height: int) -> frozenset[tuple[int, int]]:
     Corollary 6.4 gives the proper chain ``SRL_1 ⊊ SRL_2 ⊊ ...`` (each
     level adds one two to the tower), so the containments are the
     reflexive-transitive closure of the successor edges ``h -> h + 1`` —
-    computed by the engine's shared closure kernel, like the Figure 1
-    lattice, rather than by an ad-hoc reachability loop.
+    computed, like the Figure 1 lattice, through the logic layer's plan
+    backend: the chain becomes a path-graph structure (level ``h`` is
+    universe element ``h - 1``) and the Fact 4.1 TC formula runs
+    set-at-a-time over it.
     """
     if max_height < 1:
         raise ValueError("the hierarchy starts at set-height 1")
-    successors = {h: ([h + 1] if h < max_height else [])
-                  for h in range(1, max_height + 1)}
-    return frozenset(transitive_closure(successors))
+    structure = Structure(
+        Vocabulary.of(E=2), max_height,
+        {"E": frozenset((h - 1, h) for h in range(1, max_height))},
+    )
+    query = CANONICAL_QUERIES["tc"]
+    pairs = define_relation(query.formula(), structure, query.variables,
+                            backend="plan")
+    return frozenset((lower + 1, upper + 1) for lower, upper in pairs)
 
 
 def level_contained_in(lower: int, upper: int) -> bool:

@@ -121,6 +121,11 @@ class Session:
         self.stats = EvaluationStats()
         self._compiled: CompiledProgram | None = None
         self._compiled_key: tuple | None = None
+        # One-slot cache for evaluate_formula: (structure, checker).  Reusing
+        # the checker keeps its per-(formula, auxiliary) relation memo warm
+        # across calls, so querying many assignments against one structure
+        # executes each compiled plan once, not once per call.
+        self._logic_checker: tuple | None = None
 
     # ------------------------------------------------------------------ API
 
@@ -172,6 +177,51 @@ class Session:
         """:func:`transitive_closure` with the strategy picked by the backend."""
         return transitive_closure(successors, deterministic=deterministic,
                                   seminaive=self.seminaive)
+
+    # --------------------------------------------------------- logic facade
+
+    @property
+    def logic_backend(self) -> str:
+        """The logic layer's evaluation strategy for this session.
+
+        The production backends (``compiled``, ``interp``) evaluate
+        formulas set-at-a-time through the relational-plan pipeline
+        (:mod:`repro.logic.plan`); the ``reference`` backend keeps the
+        tuple-at-a-time enumeration as the differential oracle — the same
+        production/oracle split as :attr:`seminaive`.
+        """
+        return "tuple" if self.backend == "reference" else "plan"
+
+    def define_relation(self, formula, structure, variables,
+                        memoize: bool = True) -> frozenset:
+        """:func:`repro.logic.eval.define_relation` with the logic backend
+        and fixed-point strategy picked by this session's backend."""
+        from repro.logic.eval import define_relation
+        return define_relation(formula, structure, tuple(variables),
+                               memoize=memoize, seminaive=self.seminaive,
+                               backend=self.logic_backend)
+
+    def evaluate_formula(self, formula, structure, assignment=None) -> bool:
+        """:func:`repro.logic.eval.evaluate` with the logic backend and
+        fixed-point strategy picked by this session's backend.
+
+        The checker (and therefore its memoized defined relations / fixed
+        points) is reused across calls against the same structure, so a
+        loop over assignments pays for each formula's plan execution or
+        closure once.  Like :class:`~repro.logic.eval.ModelChecker` itself,
+        this treats the structure as immutable while in use: mutate a
+        structure's relations and the memo goes stale — build a fresh
+        ``Structure`` (they are cheap) or a fresh checker instead."""
+        from repro.logic.eval import ModelChecker
+        cached = self._logic_checker
+        if cached is not None and cached[0] is structure \
+                and cached[1] == self.logic_backend:
+            checker = cached[2]
+        else:
+            checker = ModelChecker(structure, seminaive=self.seminaive,
+                                   backend=self.logic_backend)
+            self._logic_checker = (structure, self.logic_backend, checker)
+        return checker.evaluate(formula, assignment)
 
     # ------------------------------------------------------------ internals
 

@@ -193,6 +193,56 @@ class IndexedRelation:
         result.update(other)
         return result
 
+    def difference(self, other: "IndexedRelation | Iterable[Sequence]",
+                   ) -> "IndexedRelation":
+        """The rows of this relation absent from ``other`` (the antijoin on
+        all columns / relational set difference).
+
+        Like every bulk operator, the result is a *fresh* relation whose
+        delta is its full row set — it enters a semi-naive loop as an
+        untaken frontier.
+        """
+        if isinstance(other, IndexedRelation):
+            excluded = other._rows
+        else:
+            excluded = {tuple(row) for row in other}
+        result = IndexedRelation(arity=self.arity)
+        for row in self._rows:
+            if row not in excluded:
+                result.add(row)
+        return result
+
+    def product(self, other: "IndexedRelation") -> "IndexedRelation":
+        """The cross product: every row of ``self`` concatenated with every
+        row of ``other`` (the active-domain product the logic planner uses
+        to widen a relation with unconstrained columns)."""
+        arity = (self.arity + other.arity
+                 if self.arity is not None and other.arity is not None else None)
+        result = IndexedRelation(arity=arity)
+        for left in self._rows:
+            for right in other._rows:
+                result.add(left + right)
+        return result
+
+    def rename(self, permutation: Sequence[int]) -> "IndexedRelation":
+        """The relation with its columns permuted: output column ``i`` reads
+        input column ``permutation[i]``.
+
+        Unlike :meth:`project`, the permutation must mention every column
+        exactly once, so no rows can collapse — this is the pure
+        rename/column-reorder operator of the plan IR.
+        """
+        permutation = tuple(permutation)
+        if self.arity is not None and sorted(permutation) != list(range(self.arity)):
+            raise ValueError(
+                f"rename expects a permutation of range({self.arity}), "
+                f"got {permutation}"
+            )
+        result = IndexedRelation(arity=len(permutation))
+        for row in self._rows:
+            result.add(tuple(row[c] for c in permutation))
+        return result
+
     def select(self, predicate: Callable[[tuple], bool]) -> "IndexedRelation":
         """The rows satisfying ``predicate``."""
         result = IndexedRelation(arity=self.arity)

@@ -2,7 +2,12 @@
 
 * :mod:`repro.logic.formula` — terms and formulas (FO, LFP, TC, DTC,
   counting quantifiers);
-* :mod:`repro.logic.eval` — model checking by enumeration;
+* :mod:`repro.logic.plan` / :mod:`repro.logic.compile` — the relational-plan
+  IR and the formula → plan lowering pass (set-at-a-time evaluation, the
+  FO = relational-algebra correspondence);
+* :mod:`repro.logic.eval` — model checking: the ``plan`` backend executes
+  compiled plans, the ``tuple`` backend enumerates (the differential
+  oracle);
 * :mod:`repro.logic.queries` — the canonical formulas of the paper (APATH's
   monotone operator, AGAP, TC/DTC reachability);
 * :mod:`repro.logic.interpretation` — first-order interpretations
@@ -11,7 +16,8 @@
   for the Section 7 inexpressibility demonstrations.
 """
 
-from .eval import ModelChecker, define_relation, evaluate
+from .compile import PlanCompilationError, compile_formula, explain
+from .eval import LOGIC_BACKENDS, ModelChecker, define_relation, evaluate
 from .formula import (
     And,
     AuxAtom,
@@ -47,10 +53,12 @@ from .formula import (
     leq,
     neg,
     or_,
+    pretty,
     rel,
     var,
     walk_formula,
 )
+from .plan import ExecutionContext, Plan
 from .games import counting_ef_equivalent, ef_equivalent, is_partial_isomorphism
 from .interpretation import Interpretation, identity_interpretation
 from .queries import agap_formula, apath_lfp, gap_formula, reachability_dtc, reachability_tc

@@ -1,0 +1,336 @@
+"""Lowering FO(+TC/DTC/LFP/count) formulas to relational plans.
+
+This is the logic layer's analogue of the PR 2 AST → IR compiler: a
+structure-independent pass from :mod:`repro.logic.formula` trees to the
+:mod:`repro.logic.plan` IR, driven by free-variable analysis.
+
+**Column-layout convention.**  The plan compiled for a formula has one
+column per *free* variable, in lexicographically sorted order.  Every
+combinator re-establishes this invariant (``_canonical``), so conjunction
+is always a natural join on the shared names and disjunction a union of
+layout-aligned operands.  Atoms start from positional columns (``$i``)
+and take on variable names through select/project/rename
+(:func:`_apply_terms`), which also handles constant arguments and
+repeated variables.
+
+**Negation via the active domain.**  ``Not`` first *pushes* through the
+connectives and quantifiers (De Morgan, ``¬∃ = ∀¬``, comparison operators
+flip), so complements are taken as low as possible; only a negated atom
+pays for a :class:`~repro.logic.plan.DomainProduct` complement, and then
+only over the atom's own free variables.  ``Forall x φ`` lowers as the
+complement of ``∃x ¬φ`` — the classic reduction — with the pushed
+negation keeping the intermediate products small.
+
+**Fixed points.**  LFP/TC/DTC bodies must close over their bound
+variables (the tuple evaluator enforces the same by evaluating bodies
+under a fresh assignment); the compiled bodies become
+:class:`~repro.logic.plan.Fixpoint` / :class:`~repro.logic.plan.Closure`
+nodes that iterate through the engine's semi-naive kernels, and the atom's
+argument terms apply to the resulting relation like an ordinary scan.
+
+Compilation is memoized per formula object (formulas are frozen, hashable
+dataclasses), so repeated evaluation — e.g. a model checker answering many
+assignments — pays for lowering once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from .formula import (
+    And,
+    AuxAtom,
+    ConstTerm,
+    CountAtLeast,
+    DTCAtom,
+    EqAtom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    LeqAtom,
+    LFPAtom,
+    Not,
+    Or,
+    RelAtom,
+    TCAtom,
+    Term,
+    TrueFormula,
+    VarTerm,
+    free_variables_of,
+    pretty,
+)
+from .plan import (
+    AuxScan,
+    Closure,
+    Col,
+    Comparison,
+    Const,
+    CountSelect,
+    Difference,
+    DomainProduct,
+    Empty,
+    Fixpoint,
+    Join,
+    Plan,
+    Product,
+    Project,
+    RelationScan,
+    Rename,
+    Select,
+    Union,
+    _positional,
+)
+
+__all__ = ["PlanCompilationError", "compile_formula", "explain"]
+
+
+class PlanCompilationError(Exception):
+    """A formula cannot be lowered to a relational plan."""
+
+
+def _fail(message: str, formula: Formula) -> None:
+    raise PlanCompilationError(f"{message}\n{pretty(formula, indent=1)}")
+
+
+# ----------------------------------------------------------- layout helpers
+
+
+def _canonical(plan: Plan) -> Plan:
+    """Re-establish the sorted-column invariant."""
+    target = tuple(sorted(plan.columns))
+    if target != plan.columns:
+        plan = Project(plan, target)
+    return plan
+
+
+def _extend(plan: Plan, target: Sequence[str]) -> Plan:
+    """Widen ``plan`` to exactly the ``target`` layout: missing columns are
+    padded with the active-domain product, then the columns are reordered.
+    ``target`` must cover every existing column."""
+    target = tuple(target)
+    missing = tuple(c for c in target if c not in plan.columns)
+    if missing:
+        plan = Product(plan, DomainProduct(missing))
+    if plan.columns != target:
+        plan = Project(plan, target)
+    return plan
+
+
+def _apply_terms(plan: Plan, terms: tuple[Term, ...], source: Formula) -> Plan:
+    """Apply an atom's argument terms to a relation with positional columns:
+    select on constant arguments and repeated variables, project to one
+    column per distinct variable, and rename to the variable names (in the
+    canonical sorted order)."""
+    comparisons: list[Comparison] = []
+    first_occurrence: dict[str, int] = {}
+    for index, term in enumerate(terms):
+        if isinstance(term, ConstTerm):
+            comparisons.append(Comparison("eq", Col(index), Const(term.which)))
+        elif isinstance(term, VarTerm):
+            seen = first_occurrence.get(term.name)
+            if seen is None:
+                first_occurrence[term.name] = index
+            else:
+                comparisons.append(Comparison("eq", Col(index), Col(seen)))
+        else:
+            _fail(f"not a term: {term!r}, in", source)
+    if comparisons:
+        plan = Select(plan, tuple(comparisons))
+    names = tuple(sorted(first_occurrence))
+    plan = Project(plan, tuple(plan.columns[first_occurrence[name]]
+                               for name in names))
+    return Rename(plan, names)
+
+
+def _comparison_atom(formula: EqAtom | LeqAtom, op: str) -> Plan:
+    """An equality/order atom as a selection over the domain product of its
+    variables (``op`` is pre-negated by the caller when lowering ``Not``)."""
+    terms = (formula.left, formula.right)
+    names = tuple(sorted({t.name for t in terms if isinstance(t, VarTerm)}))
+
+    def ref(term: Term) -> Col | Const:
+        if isinstance(term, VarTerm):
+            return Col(names.index(term.name))
+        if isinstance(term, ConstTerm):
+            return Const(term.which)
+        _fail(f"not a term: {term!r}, in", formula)
+
+    comparison = Comparison(op, ref(formula.left), ref(formula.right))
+    return Select(DomainProduct(names), (comparison,))
+
+
+# ------------------------------------------------------------------ lowering
+
+
+# Bounded so a long-lived process generating formulas dynamically cannot
+# grow the cache without limit; far larger than any one formula's node
+# count, so compilation of a formula in active use stays a single pass.
+@lru_cache(maxsize=4096)
+def _lower(formula: Formula) -> Plan:
+    if isinstance(formula, TrueFormula):
+        return DomainProduct(())
+    if isinstance(formula, FalseFormula):
+        return Empty(())
+    if isinstance(formula, RelAtom):
+        scan = RelationScan(formula.name, _positional(len(formula.terms)))
+        return _apply_terms(scan, formula.terms, formula)
+    if isinstance(formula, AuxAtom):
+        scan = AuxScan(formula.name, _positional(len(formula.terms)))
+        return _apply_terms(scan, formula.terms, formula)
+    if isinstance(formula, EqAtom):
+        return _comparison_atom(formula, "eq")
+    if isinstance(formula, LeqAtom):
+        return _comparison_atom(formula, "leq")
+    if isinstance(formula, Not):
+        return _lower_negation(formula.body)
+    if isinstance(formula, And):
+        if not formula.conjuncts:
+            return DomainProduct(())
+        plan = _lower(formula.conjuncts[0])
+        for conjunct in formula.conjuncts[1:]:
+            plan = Join(plan, _lower(conjunct))
+        return _canonical(plan)
+    if isinstance(formula, Or):
+        if not formula.disjuncts:
+            return Empty(())
+        plans = [_lower(disjunct) for disjunct in formula.disjuncts]
+        target = tuple(sorted(set().union(*(p.columns for p in plans))))
+        aligned = tuple(_extend(p, target) for p in plans)
+        return aligned[0] if len(aligned) == 1 else Union(aligned)
+    if isinstance(formula, Implies):
+        return _lower(Or((Not(formula.antecedent), formula.consequent)))
+    if isinstance(formula, Exists):
+        body = _lower(formula.body)
+        widened = tuple(sorted(set(body.columns) | {formula.variable}))
+        kept = tuple(c for c in widened if c != formula.variable)
+        return Project(_extend(body, widened), kept)
+    if isinstance(formula, Forall):
+        # ∀x φ = complement of ∃x ¬φ, with the negation pushed into φ.
+        negated = _lower(Not(formula.body))
+        widened = tuple(sorted(set(negated.columns) | {formula.variable}))
+        kept = tuple(c for c in widened if c != formula.variable)
+        witnesses = Project(_extend(negated, widened), kept)
+        return Difference(DomainProduct(kept), witnesses)
+    if isinstance(formula, CountAtLeast):
+        if not (isinstance(formula.threshold, int)
+                or formula.threshold == "half"):
+            _fail(f"counting threshold must be an int or 'half', "
+                  f"got {formula.threshold!r}, in", formula)
+        body = _lower(formula.body)
+        widened = tuple(sorted(set(body.columns) | {formula.variable}))
+        return CountSelect(_extend(body, widened), formula.variable,
+                           formula.threshold)
+    if isinstance(formula, LFPAtom):
+        return _lower_lfp(formula)
+    if isinstance(formula, (TCAtom, DTCAtom)):
+        return _lower_closure(formula)
+    raise PlanCompilationError(
+        f"cannot compile formula node {type(formula).__name__}"
+    )
+
+
+def _lower_negation(body: Formula) -> Plan:
+    """Lower ``Not(body)``, pushing the negation as deep as it goes; only a
+    negated *atom* takes an active-domain complement, over its own free
+    variables."""
+    if isinstance(body, TrueFormula):
+        return Empty(())
+    if isinstance(body, FalseFormula):
+        return DomainProduct(())
+    if isinstance(body, Not):
+        return _lower(body.body)
+    if isinstance(body, And):
+        return _lower(Or(tuple(Not(part) for part in body.conjuncts)))
+    if isinstance(body, Or):
+        return _lower(And(tuple(Not(part) for part in body.disjuncts)))
+    if isinstance(body, Implies):
+        return _lower(And((body.antecedent, Not(body.consequent))))
+    if isinstance(body, Exists):
+        return _lower(Forall(body.variable, Not(body.body)))
+    if isinstance(body, Forall):
+        return _lower(Exists(body.variable, Not(body.body)))
+    if isinstance(body, EqAtom):
+        return _comparison_atom(body, "ne")
+    if isinstance(body, LeqAtom):
+        return _comparison_atom(body, "gt")
+    plan = _lower(body)
+    return Difference(DomainProduct(plan.columns), plan)
+
+
+def _lower_lfp(formula: LFPAtom) -> Plan:
+    variables = formula.variables
+    if len(set(variables)) != len(variables):
+        _fail("duplicate fixed-point variables in", formula)
+    if len(formula.terms) != len(variables):
+        _fail(f"LFP applies {len(variables)} fixed-point variables to "
+              f"{len(formula.terms)} argument terms, in", formula)
+    stray = free_variables_of(formula.body) - set(variables)
+    if stray:
+        _fail(f"the LFP body's free variables {sorted(stray)} are not among "
+              f"the fixed-point variables {list(variables)}, in", formula)
+    body = _extend(_lower(formula.body), variables)
+    fixpoint = Fixpoint(formula.relation, variables, body)
+    return _apply_terms(fixpoint, formula.terms, formula)
+
+
+def _lower_closure(formula: TCAtom | DTCAtom) -> Plan:
+    source_variables = formula.source_variables
+    target_variables = formula.target_variables
+    k = len(source_variables)
+    if len(target_variables) != k:
+        _fail("TC/DTC source and target variable tuples differ in length, in",
+              formula)
+    bound = source_variables + target_variables
+    if len(set(bound)) != 2 * k:
+        _fail("duplicate TC/DTC bound variables in", formula)
+    if len(formula.source_terms) != k or len(formula.target_terms) != k:
+        _fail(f"TC/DTC argument tuples must both have {k} terms, in", formula)
+    stray = free_variables_of(formula.body) - set(bound)
+    if stray:
+        _fail(f"the TC/DTC body's free variables {sorted(stray)} are not "
+              f"among the bound variables {list(bound)}, in", formula)
+    edges = _extend(_lower(formula.body), bound)
+    closure = Closure(edges, k, isinstance(formula, DTCAtom))
+    return _apply_terms(closure, formula.source_terms + formula.target_terms,
+                        formula)
+
+
+# ----------------------------------------------------------------- frontend
+
+
+def compile_formula(formula: Formula,
+                    variables: Sequence[str] | None = None) -> Plan:
+    """Compile a formula to a relational plan.
+
+    Without ``variables`` the plan's columns are the formula's free
+    variables in sorted order.  With ``variables`` the plan is widened and
+    reordered to exactly that layout (so ``define_relation`` gets its rows
+    in the caller's column order); every free variable of the formula must
+    appear in it.
+    """
+    plan = _lower(formula)
+    if variables is not None:
+        variables = tuple(variables)
+        if len(set(variables)) != len(variables):
+            _fail(f"duplicate columns in the requested layout {variables}, "
+                  f"for", formula)
+        unbound = [c for c in plan.columns if c not in variables]
+        if unbound:
+            _fail(f"free variables {unbound} are missing from the requested "
+                  f"column layout {list(variables)}, for", formula)
+        plan = _extend(plan, variables)
+    return plan
+
+
+def explain(formula: Formula, variables: Sequence[str] | None = None) -> str:
+    """The formula (pretty-printed) next to its compiled plan tree — the
+    human-readable face of the planner, used by the CLI's ``--explain``."""
+    plan = compile_formula(formula, variables)
+    return (
+        "formula:\n" + pretty(formula, indent=1)
+        + "\nplan:\n"
+        + "\n".join("  " + line for line in plan.explain().splitlines())
+    )

@@ -47,6 +47,9 @@ from repro.core.engine import (
 )
 from repro.structures.structure import Structure
 
+from .compile import compile_formula
+from .plan import ExecutionContext
+
 from .formula import (
     And,
     AuxAtom,
@@ -70,8 +73,14 @@ from .formula import (
     VarTerm,
 )
 
-__all__ = ["ModelChecker", "evaluate", "define_relation"]
+__all__ = ["LOGIC_BACKENDS", "ModelChecker", "evaluate", "define_relation"]
 
+
+#: The logic layer's interchangeable evaluation strategies: ``plan``
+#: compiles formulas to set-at-a-time relational-algebra plans
+#: (:mod:`repro.logic.compile`); ``tuple`` is the tuple-at-a-time
+#: enumeration below, kept as the differential oracle.
+LOGIC_BACKENDS = ("plan", "tuple")
 
 #: Sentinel distinguishing "variable was unbound" from "bound to 0".
 _UNBOUND = object()
@@ -92,17 +101,34 @@ class ModelChecker:
     through the engine's semi-naive kernels (the default), or the naive
     re-derive-everything iteration (the differential oracle and the P2
     benchmark baseline).  The two are observationally identical.
+
+    ``backend`` selects the evaluation strategy (:data:`LOGIC_BACKENDS`):
+    ``"tuple"`` (the default here — the recursive enumeration this class
+    has always implemented, kept as the differential oracle) or
+    ``"plan"``, which compiles each formula once to a set-at-a-time
+    relational-algebra plan (:mod:`repro.logic.compile`), executes it
+    over the whole structure, and answers every assignment with a row
+    lookup.  The Session facade picks ``plan`` for its production
+    backends (see :meth:`repro.core.engine.Session.logic_backend`).
     """
 
     def __init__(self, structure: Structure,
                  auxiliary: Mapping[str, frozenset[tuple[int, ...]]] | None = None,
-                 memoize: bool = True, seminaive: bool = True):
+                 memoize: bool = True, seminaive: bool = True,
+                 backend: str = "tuple"):
+        if backend not in LOGIC_BACKENDS:
+            raise ValueError(
+                f"unknown logic backend {backend!r}: expected one of "
+                f"{LOGIC_BACKENDS}"
+            )
         self.structure = structure
         self.auxiliary = dict(auxiliary or {})
         self.memoize = memoize
         self.seminaive = seminaive
+        self.backend = backend
         # Maps (kind, formula, auxiliary snapshot) -> computed closure /
-        # fixed point.  Keying on the formula object itself (formulas are
+        # fixed point (or, for the plan backend, the formula's defined
+        # relation).  Keying on the formula object itself (formulas are
         # frozen, hashable dataclasses) pins it alive, so the entry can
         # never be confused with a different formula.
         self._fixpoint_cache: dict = {}
@@ -128,7 +154,34 @@ class ModelChecker:
         # Copy so the quantifiers' in-place rebinding never leaks into the
         # caller's mapping.
         assignment = dict(assignment or {})
+        if self.backend == "plan":
+            return self._eval_plan(formula, assignment)
         return self._eval(formula, assignment)
+
+    def _eval_plan(self, formula: Formula, assignment: dict[str, int]) -> bool:
+        """Set-at-a-time evaluation: compile once (memoized per formula),
+        execute the plan into the formula's defined relation over its free
+        variables, and decide the assignment by a row lookup.  The relation
+        depends only on the formula and the auxiliary snapshot, so it is
+        cached exactly like the tuple backend's fixed points."""
+        plan = compile_formula(formula)
+        rows = None
+        if self.memoize:
+            key = ("plan", formula, self._aux_snapshot())
+            rows = self._fixpoint_cache.get(key)
+        if rows is None:
+            context = ExecutionContext(self.structure, dict(self.auxiliary),
+                                       self.seminaive)
+            rows = frozenset(plan.execute(context).rows)
+            if self.memoize:
+                self._fixpoint_cache[key] = rows
+        values = []
+        for column in plan.columns:
+            value = assignment.get(column, _UNBOUND)
+            if value is _UNBOUND:
+                raise KeyError(f"unassigned first-order variable: {column}")
+            values.append(value)
+        return tuple(values) in rows
 
     def _eval(self, formula: Formula, assignment: dict[str, int]) -> bool:
         if isinstance(formula, TrueFormula):
@@ -344,23 +397,39 @@ class ModelChecker:
 
 
 def evaluate(formula: Formula, structure: Structure,
-             assignment: Mapping[str, int] | None = None) -> bool:
+             assignment: Mapping[str, int] | None = None,
+             backend: str = "tuple") -> bool:
     """Convenience wrapper around :class:`ModelChecker`."""
-    return ModelChecker(structure).evaluate(formula, assignment)
+    return ModelChecker(structure, backend=backend).evaluate(formula, assignment)
 
 
 def define_relation(formula: Formula, structure: Structure,
                     variables: tuple[str, ...],
                     memoize: bool = True,
-                    seminaive: bool = True) -> frozenset[tuple[int, ...]]:
+                    seminaive: bool = True,
+                    backend: str = "tuple") -> frozenset[tuple[int, ...]]:
     """The relation ``{(v1..vk) | structure |= formula[v̄]}`` defined by a
     formula with the given free variables.
 
-    One checker is reused across all ``n^k`` rows, so any TC/DTC/LFP
-    sub-formula is closed over once (when ``memoize``) instead of once per
-    row, and the row assignment is rebound in place.  ``seminaive`` picks
-    the fixed-point strategy (see :class:`ModelChecker`).
+    With ``backend="plan"`` the formula is compiled once to a relational
+    plan laid out over exactly ``variables`` (columns the formula leaves
+    unconstrained range over the whole domain) and executed set-at-a-time
+    — no per-row enumeration at all.
+
+    With the default ``backend="tuple"`` (the oracle), one checker is
+    reused across all ``n^k`` rows, so any TC/DTC/LFP sub-formula is
+    closed over once (when ``memoize``) instead of once per row, and the
+    row assignment is rebound in place.  ``seminaive`` picks the
+    fixed-point strategy either way (see :class:`ModelChecker`).
     """
+    if backend not in LOGIC_BACKENDS:
+        raise ValueError(
+            f"unknown logic backend {backend!r}: expected one of {LOGIC_BACKENDS}"
+        )
+    if backend == "plan":
+        plan = compile_formula(formula, tuple(variables))
+        relation = plan.execute(ExecutionContext(structure, {}, seminaive))
+        return frozenset(relation.rows)
     checker = ModelChecker(structure, memoize=memoize, seminaive=seminaive)
     rows = set()
     assignment: dict[str, int] = {}

@@ -25,6 +25,7 @@ __all__ = [
     "LFPAtom", "TCAtom", "DTCAtom",
     "var", "const", "rel", "aux", "eq", "leq", "neg", "and_", "or_", "implies",
     "exists", "forall", "count_at_least", "free_variables_of", "walk_formula",
+    "pretty",
 ]
 
 
@@ -310,6 +311,56 @@ def forall(variables: str | Sequence[str], body: Formula) -> Formula:
 
 def count_at_least(threshold: int | str, variable: str, body: Formula) -> CountAtLeast:
     return CountAtLeast(threshold, variable, body)
+
+
+def pretty(formula: Formula, indent: int = 0) -> str:
+    """A multi-line, indented rendering of a formula.
+
+    Atoms print on one line (their ``__str__``); every compound node opens
+    an indented block, one child per line, so deeply nested formulas stay
+    legible.  The plan compiler quotes this form in error messages and the
+    plan ``explain()`` output quotes it for fixed-point bodies.
+    """
+    pad = "  " * indent
+
+    def block(head: str, *parts: Formula) -> str:
+        body = "\n".join(pretty(part, indent + 1) for part in parts)
+        return f"{pad}{head}\n{body}"
+
+    if isinstance(formula, Not):
+        return block("not", formula.body)
+    if isinstance(formula, And):
+        if not formula.conjuncts:
+            return f"{pad}and()"
+        return block("and", *formula.conjuncts)
+    if isinstance(formula, Or):
+        if not formula.disjuncts:
+            return f"{pad}or()"
+        return block("or", *formula.disjuncts)
+    if isinstance(formula, Implies):
+        return block("implies", formula.antecedent, formula.consequent)
+    if isinstance(formula, Exists):
+        return block(f"exists {formula.variable}.", formula.body)
+    if isinstance(formula, Forall):
+        return block(f"forall {formula.variable}.", formula.body)
+    if isinstance(formula, CountAtLeast):
+        return block(f"exists>={formula.threshold} {formula.variable}.",
+                     formula.body)
+    if isinstance(formula, LFPAtom):
+        head = (f"LFP[{formula.relation}({', '.join(formula.variables)})]"
+                f"({', '.join(map(str, formula.terms))}) where body =")
+        return block(head, formula.body)
+    if isinstance(formula, (TCAtom, DTCAtom)):
+        operator = "DTC" if isinstance(formula, DTCAtom) else "TC"
+        head = (
+            f"{operator}[({', '.join(formula.source_variables)}) -> "
+            f"({', '.join(formula.target_variables)})]"
+            f"({', '.join(map(str, formula.source_terms))}; "
+            f"{', '.join(map(str, formula.target_terms))}) where body ="
+        )
+        return block(head, formula.body)
+    # Atoms and constants: the single-line __str__ form.
+    return f"{pad}{formula}"
 
 
 def walk_formula(formula: Formula) -> Iterator[Formula]:

@@ -1,0 +1,597 @@
+"""The relational-plan IR: set-at-a-time evaluation for the logic layer.
+
+The classic FO = relational-algebra correspondence (the descriptive-
+complexity bridge the paper's Figure 1 rests on) says every first-order
+formula — and, with fixed-point nodes, every FO(+TC/DTC/LFP) formula —
+denotes a relational-algebra expression over the input structure.  This
+module is the *plan* side of that correspondence: a small tree IR of
+relational operators, each node knowing its output **column layout** (a
+tuple of variable names) and how to :meth:`~Plan.execute` itself into an
+:class:`~repro.core.relalg.IndexedRelation` over the structure's ordered
+universe.
+
+The nodes:
+
+===================  =======================================================
+:class:`RelationScan`  an input relation of the structure
+:class:`AuxScan`       an auxiliary (fixed-point stage) relation
+:class:`DomainProduct` the full active-domain product ``universe^k``
+:class:`Empty`         the empty relation (``false``)
+:class:`Select`        rows satisfying constant/column comparisons
+:class:`Project`       column subset (with reorder; duplicates collapse)
+:class:`Rename`        pure column relabeling, no row change
+:class:`Join`          natural join on the shared column names
+:class:`Product`       cross product against disjoint columns
+:class:`Union`         set union of layout-aligned operands
+:class:`Difference`    set difference / antijoin on all columns
+:class:`CountSelect`   grouped counting (the ``exists>=t`` quantifier)
+:class:`Fixpoint`      LFP via the engine's semi-naive fixed-point kernel
+:class:`Closure`       TC/DTC via the engine's semi-naive closure kernel
+===================  =======================================================
+
+Negation and universal quantification compile (in
+:mod:`repro.logic.compile`) to :class:`Difference` against a
+:class:`DomainProduct` — the active-domain complement rule — and the two
+fixed-point nodes reuse the PR 3 delta-propagating kernels through
+:func:`repro.core.engine.least_fixpoint` / ``transitive_closure``, so the
+whole logic layer now bottoms out in the same relational machinery as the
+query baselines.
+
+Every node renders itself through :meth:`Plan.explain` — an indented tree
+of one-line labels — which the compiler's ``explain()`` helper pairs with
+the formula pretty-printer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product as cartesian
+from typing import Iterable, Mapping
+
+from repro.core.engine import least_fixpoint, transitive_closure
+from repro.core.relalg import IndexedRelation
+from repro.structures.structure import Structure
+
+__all__ = [
+    "ExecutionContext",
+    "Col",
+    "Const",
+    "Comparison",
+    "Plan",
+    "RelationScan",
+    "AuxScan",
+    "DomainProduct",
+    "Empty",
+    "Select",
+    "Project",
+    "Rename",
+    "Join",
+    "Product",
+    "Union",
+    "Difference",
+    "CountSelect",
+    "Fixpoint",
+    "Closure",
+]
+
+
+# ----------------------------------------------------------------- context
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Everything a plan needs at run time: the structure (universe and
+    input relations), the auxiliary relations in scope (fixed-point stages
+    and caller-supplied interpretations), and the fixed-point strategy."""
+
+    structure: Structure
+    auxiliary: Mapping[str, frozenset] = field(default_factory=dict)
+    seminaive: bool = True
+
+    def with_auxiliary(self, name: str, rows: frozenset) -> "ExecutionContext":
+        """A child context with one auxiliary relation rebound (the per-stage
+        view a :class:`Fixpoint` body executes under)."""
+        overlay = dict(self.auxiliary)
+        overlay[name] = rows
+        return ExecutionContext(self.structure, overlay, self.seminaive)
+
+
+# ------------------------------------------------------------- comparisons
+
+
+@dataclass(frozen=True)
+class Col:
+    """A reference to a column of the node's input, by position."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Const:
+    """One of the two constant symbols: ``"zero"`` or ``"max"`` (n-1)."""
+
+    which: str
+
+
+_OPERATORS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "leq": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+}
+
+_OPERATOR_SYMBOLS = {"eq": "=", "ne": "!=", "leq": "<=", "gt": ">"}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A selection predicate ``left op right`` over columns and constants.
+
+    Comparisons are data, not closures, so plans stay hashable, printable
+    and structure-independent (``max`` resolves against the executing
+    structure's size).
+    """
+
+    op: str  # "eq" | "ne" | "leq" | "gt"
+    left: Col | Const
+    right: Col | Const
+
+    def evaluate(self, row: tuple, size: int) -> bool:
+        return _OPERATORS[self.op](self._value(self.left, row, size),
+                                   self._value(self.right, row, size))
+
+    @staticmethod
+    def _value(ref: Col | Const, row: tuple, size: int) -> int:
+        if isinstance(ref, Col):
+            return row[ref.index]
+        return 0 if ref.which == "zero" else size - 1
+
+    def describe(self, columns: tuple[str, ...]) -> str:
+        def name(ref: Col | Const) -> str:
+            if isinstance(ref, Col):
+                return columns[ref.index]
+            return "0" if ref.which == "zero" else "max"
+
+        return f"{name(self.left)} {_OPERATOR_SYMBOLS[self.op]} {name(self.right)}"
+
+
+# ------------------------------------------------------------------- nodes
+
+
+class Plan:
+    """Base class of plan nodes.
+
+    Every node exposes ``columns`` (its output layout: one variable name
+    per column), ``children()`` (sub-plans, for traversal),
+    :meth:`execute` and a one-line :meth:`label` that :meth:`explain`
+    assembles into an indented tree.
+    """
+
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def explain(self) -> str:
+        """The plan as an indented tree, one node per line."""
+        lines: list[str] = []
+
+        def walk(node: "Plan", depth: int) -> None:
+            lines.append("  " * depth + node.label())
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
+    def _layout(self) -> str:
+        return f"({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class RelationScan(Plan):
+    """Scan an input relation of the structure."""
+
+    name: str
+    columns: tuple[str, ...]
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        rows = context.structure.relation(self.name)
+        return _scan(rows, len(self.columns))
+
+    def label(self) -> str:
+        return f"Scan {self.name} -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class AuxScan(Plan):
+    """Scan an auxiliary relation (a fixed-point stage, or a caller-supplied
+    interpretation); unknown names read as empty, like the tuple evaluator.
+
+    Caller-supplied auxiliary rows are filtered to the structure's
+    universe: the tuple evaluator only ever *tests* in-universe tuples, so
+    out-of-range rows are unobservable there and must stay unobservable
+    set-at-a-time (they would otherwise leak through joins, counts and the
+    closure's successor map)."""
+
+    name: str
+    columns: tuple[str, ...]
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        rows = context.auxiliary.get(self.name, frozenset())
+        arity = len(self.columns)
+        size = context.structure.size
+        return IndexedRelation(
+            (row for row in rows
+             if len(row) == arity and all(0 <= value < size for value in row)),
+            arity=arity,
+        )
+
+    def label(self) -> str:
+        return f"ScanAux {self.name} -> {self._layout()}"
+
+
+def _scan(rows: Iterable[tuple], arity: int) -> IndexedRelation:
+    # An atom whose term count disagrees with the stored arity holds of no
+    # tuple (the tuple evaluator's membership test is silently false), so
+    # mismatched rows are filtered rather than raised on.
+    return IndexedRelation((row for row in rows if len(row) == arity),
+                           arity=arity)
+
+
+@dataclass(frozen=True)
+class DomainProduct(Plan):
+    """The full active-domain product ``universe^k`` — the complement space
+    for negation/universal quantification and the padding for columns a
+    sub-formula leaves unconstrained.  Zero columns give the unit relation
+    ``{()}`` (the relational encoding of *true*)."""
+
+    columns: tuple[str, ...]
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        universe = context.structure.universe
+        return IndexedRelation(cartesian(universe, repeat=len(self.columns)),
+                               arity=len(self.columns))
+
+    def label(self) -> str:
+        return f"Domain^{len(self.columns)} -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class Empty(Plan):
+    """The empty relation (the relational encoding of *false*)."""
+
+    columns: tuple[str, ...]
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        return IndexedRelation(arity=len(self.columns))
+
+    def label(self) -> str:
+        return f"Empty -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    """The rows of the child satisfying every comparison."""
+
+    child: Plan
+    comparisons: tuple[Comparison, ...]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        size = context.structure.size
+        comparisons = self.comparisons
+        return self.child.execute(context).select(
+            lambda row: all(c.evaluate(row, size) for c in comparisons)
+        )
+
+    def label(self) -> str:
+        conditions = " and ".join(c.describe(self.child.columns)
+                                  for c in self.comparisons)
+        return f"Select [{conditions}] -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """The projection onto the named columns (which also reorders;
+    duplicate result rows collapse, giving ``exists`` its semantics)."""
+
+    child: Plan
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        source = self.child.columns
+        indices = tuple(source.index(name) for name in self.columns)
+        relation = self.child.execute(context)
+        if len(indices) == len(source):
+            # A pure column permutation (the layout-canonicalisation case):
+            # no rows can collapse, so take the validated rename fast path.
+            return relation.rename(indices)
+        return relation.project(indices)
+
+    def label(self) -> str:
+        return f"Project -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class Rename(Plan):
+    """Pure column relabeling: same rows, new names (how an atom's
+    positional columns take on the atom's variable names)."""
+
+    child: Plan
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        return self.child.execute(context)
+
+    def label(self) -> str:
+        return f"Rename -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """The natural join on the shared column names (a cross product when
+    none are shared) — conjunction, set-at-a-time."""
+
+    left: Plan
+    right: Plan
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        left = self.left.columns
+        return left + tuple(c for c in self.right.columns if c not in left)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        left_columns, right_columns = self.left.columns, self.right.columns
+        shared = tuple(c for c in right_columns if c in left_columns)
+        left_relation = self.left.execute(context)
+        right_relation = self.right.execute(context)
+        if not shared:
+            return left_relation.product(right_relation)
+        left_key = tuple(left_columns.index(c) for c in shared)
+        right_key = tuple(right_columns.index(c) for c in shared)
+        keep = tuple(i for i, c in enumerate(right_columns)
+                     if c not in left_columns)
+        index: dict[tuple, list[tuple]] = {}
+        for row in right_relation.rows:
+            key = tuple(row[i] for i in right_key)
+            index.setdefault(key, []).append(tuple(row[i] for i in keep))
+        result = IndexedRelation(arity=len(self.columns))
+        for row in left_relation.rows:
+            key = tuple(row[i] for i in left_key)
+            for suffix in index.get(key, ()):
+                result.add(row + suffix)
+        return result
+
+    def label(self) -> str:
+        shared = [c for c in self.right.columns if c in self.left.columns]
+        on = ", ".join(shared) if shared else "nothing: cross"
+        return f"Join on [{on}] -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class Product(Plan):
+    """The cross product of two plans with disjoint columns (how a plan is
+    widened with unconstrained domain columns)."""
+
+    left: Plan
+    right: Plan
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.left.columns + self.right.columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        return self.left.execute(context).product(self.right.execute(context))
+
+    def label(self) -> str:
+        return f"Product -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class Union(Plan):
+    """Set union of layout-aligned operands — disjunction."""
+
+    operands: tuple[Plan, ...]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.operands[0].columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return self.operands
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        result = IndexedRelation(arity=len(self.columns))
+        for operand in self.operands:
+            result.update(operand.execute(context).rows)
+        return result
+
+    def label(self) -> str:
+        return f"Union of {len(self.operands)} -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class Difference(Plan):
+    """Left rows absent from right (layouts aligned by the compiler) — the
+    active-domain complement when the left side is a :class:`DomainProduct`."""
+
+    left: Plan
+    right: Plan
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.left.columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        return self.left.execute(context).difference(self.right.execute(context))
+
+    def label(self) -> str:
+        return f"Difference -> {self._layout()}"
+
+
+@dataclass(frozen=True)
+class CountSelect(Plan):
+    """The counting quantifier ``(exists >= threshold variable) child``:
+    group the child's rows by every column but ``variable`` and keep the
+    groups with at least ``threshold`` witnesses.
+
+    ``threshold`` is an integer or ``"half"`` (``ceil(n / 2)``, resolved
+    against the executing structure).  A threshold of zero or less is
+    vacuously true: the result is the full domain product over the
+    remaining columns, witnesses or not.
+    """
+
+    child: Plan
+    variable: str
+    threshold: int | str
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(c for c in self.child.columns if c != self.variable)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        size = context.structure.size
+        threshold = self.threshold
+        if threshold == "half":
+            threshold = (size + 1) // 2
+        threshold = int(threshold)
+        if threshold <= 0:
+            return DomainProduct(self.columns).execute(context)
+        group_indices = tuple(i for i, c in enumerate(self.child.columns)
+                              if c != self.variable)
+        counts: dict[tuple, int] = {}
+        for row in self.child.execute(context).rows:
+            group = tuple(row[i] for i in group_indices)
+            counts[group] = counts.get(group, 0) + 1
+        return IndexedRelation(
+            (group for group, count in counts.items() if count >= threshold),
+            arity=len(self.columns),
+        )
+
+    def label(self) -> str:
+        return (f"Count group by {self._layout()} "
+                f"having >= {self.threshold} {self.variable}")
+
+
+def _positional(count: int) -> tuple[str, ...]:
+    """Fresh positional column names (``$0``, ``$1``, ...) for nodes whose
+    output columns are not yet tied to formula variables — the ``$`` prefix
+    cannot collide with user variable names coming out of the parser-facing
+    helpers."""
+    return tuple(f"${i}" for i in range(count))
+
+
+@dataclass(frozen=True)
+class Fixpoint(Plan):
+    """The least fixed point of the body plan, iterated through the
+    engine's fixed-point kernel.
+
+    Each round executes ``body`` (whose columns are exactly ``variables``,
+    in order) under a context binding the auxiliary ``relation`` to the
+    rows accumulated so far; the kernel keeps only the new rows and stops
+    on an empty delta (semi-naive) or a stable relation (naive, when the
+    context says so).  Rows once derived stay — the inflationary reading
+    the tuple evaluator's stage iteration implements — so the two backends
+    agree even on non-monotone bodies.
+    """
+
+    relation: str
+    variables: tuple[str, ...]
+    body: Plan
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return _positional(len(self.variables))
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.body,)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        body = self.body
+        relation = self.relation
+
+        def delta_step(_delta: frozenset, total: set) -> frozenset:
+            stage = context.with_auxiliary(relation, frozenset(total))
+            return body.execute(stage).rows
+
+        rows = least_fixpoint(initial=frozenset(), delta_step=delta_step,
+                              seminaive=context.seminaive)
+        return IndexedRelation(rows, arity=len(self.variables))
+
+    def label(self) -> str:
+        return (f"Fixpoint {self.relation}({', '.join(self.variables)}) "
+                f"-> {self._layout()}")
+
+
+@dataclass(frozen=True)
+class Closure(Plan):
+    """The reflexive transitive closure of the k-tuple edge relation the
+    body plan computes (its columns: k source then k target columns),
+    through the engine's closure kernel.
+
+    ``deterministic`` applies the DTC reading — an edge counts only when
+    its source has a unique successor.  The closure's domain is the full
+    ``universe^k`` (every k-tuple is reflexively related to itself), like
+    the tuple evaluator's edge sweep.
+    """
+
+    body: Plan
+    k: int
+    deterministic: bool
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return _positional(2 * self.k)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.body,)
+
+    def execute(self, context: ExecutionContext) -> IndexedRelation:
+        k = self.k
+        edges = self.body.execute(context)
+        successors: dict[tuple, list[tuple]] = {
+            source: [] for source in cartesian(context.structure.universe,
+                                               repeat=k)
+        }
+        for row in edges.rows:
+            successors[row[:k]].append(row[k:])
+        closure = transitive_closure(successors,
+                                     deterministic=self.deterministic,
+                                     seminaive=context.seminaive)
+        return IndexedRelation((source + target for source, target in closure),
+                               arity=2 * k)
+
+    def label(self) -> str:
+        operator = "DTC" if self.deterministic else "TC"
+        return f"Closure[{operator}, k={self.k}] -> {self._layout()}"

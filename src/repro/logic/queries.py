@@ -14,6 +14,9 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
 from .formula import (
     DTCAtom,
     Formula,
@@ -23,12 +26,14 @@ from .formula import (
     ZERO,
     and_,
     aux,
+    count_at_least,
     eq,
     exists,
     forall,
     implies,
     or_,
     rel,
+    var,
 )
 
 __all__ = [
@@ -37,6 +42,8 @@ __all__ = [
     "reachability_tc",
     "reachability_dtc",
     "gap_formula",
+    "NamedQuery",
+    "CANONICAL_QUERIES",
 ]
 
 
@@ -85,3 +92,76 @@ def gap_formula() -> Formula:
         exists("z", and_(rel("E", "x", "z"), aux("R", "z", "y"))),
     )
     return LFPAtom("R", ("x", "y"), body, (ZERO, MAX))
+
+
+# ------------------------------------------------------------ the registry
+
+
+@dataclass(frozen=True)
+class NamedQuery:
+    """A canonical query addressable by name (the CLI's ``logic``
+    subcommand and the Figure-1 benchmark suite draw from this registry).
+
+    ``variables`` is the free-variable column layout of the relation the
+    query defines; an empty tuple means a sentence (the defined relation
+    is the unit ``{()}`` or empty — i.e. ``True``/``False``).
+    """
+
+    name: str
+    description: str
+    variables: tuple[str, ...]
+    formula: Callable[[], Formula]
+
+
+#: The Figure-1 query suite, one entry per operator family of the paper:
+#: evaluate any of these on either logic backend with
+#: ``define_relation(query.formula(), structure, query.variables,
+#: backend=...)``.
+CANONICAL_QUERIES: dict[str, NamedQuery] = {
+    query.name: query
+    for query in (
+        NamedQuery(
+            "tc", "all-pairs reachability: TC[(x,y) := E(x,y)](u, v) (Fact 4.1)",
+            ("u", "v"),
+            lambda: TCAtom(("x",), ("y",), rel("E", "x", "y"),
+                           (var("u"),), (var("v"),)),
+        ),
+        NamedQuery(
+            "dtc", "all-pairs deterministic reachability (Fact 4.3)",
+            ("u", "v"),
+            lambda: DTCAtom(("x",), ("y",), rel("E", "x", "y"),
+                            (var("u"),), (var("v"),)),
+        ),
+        NamedQuery(
+            "apath", "the APATH relation as an LFP (Definition 3.4)",
+            ("u", "v"),
+            lambda: apath_lfp(var("u"), var("v")),
+        ),
+        NamedQuery(
+            "agap", "the AGAP sentence: APATH(0, max) (Definition 3.4)",
+            (),
+            agap_formula,
+        ),
+        NamedQuery(
+            "gap", "the GAP sentence via LFP: reach(0, max)",
+            (),
+            gap_formula,
+        ),
+        NamedQuery(
+            "reach", "the GAP sentence via TC: TC[E](0, max) (Fact 4.1)",
+            (),
+            reachability_tc,
+        ),
+        NamedQuery(
+            "dreach", "deterministic GAP via DTC: DTC[E](0, max) (Fact 4.3)",
+            (),
+            reachability_dtc,
+        ),
+        NamedQuery(
+            "half-out", "vertices with outgoing edges to at least half the "
+                        "universe (Section 7 counting)",
+            ("u",),
+            lambda: count_at_least("half", "y", rel("E", "u", "y")),
+        ),
+    )
+}

@@ -14,7 +14,15 @@
   the Fact 2.4 relational operators.
 """
 
-from .agap import agap_baseline, agap_database, agap_program, apath_baseline, apath_program
+from .agap import (
+    agap_baseline,
+    agap_database,
+    agap_plan,
+    agap_program,
+    apath_baseline,
+    apath_plan,
+    apath_program,
+)
 from .arithmetic_basrl import (
     arithmetic_database,
     arithmetic_program,
@@ -60,6 +68,7 @@ from .transitive_closure import (
     reachable_baseline,
     tc_program,
     transitive_closure_baseline,
+    transitive_closure_plan,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -115,6 +115,54 @@ class TestIndexedRelation:
         assert IndexedRelation([(1, 2)]) == IndexedRelation([(1, 2)])
         assert IndexedRelation([(1, 2)]) != {(2, 1)}
 
+    def test_difference(self):
+        relation = IndexedRelation([(0, 1), (0, 2), (1, 2)])
+        assert set(relation.difference(IndexedRelation([(0, 2)]))) == {(0, 1), (1, 2)}
+        # Plain iterables (and list-shaped rows) work too.
+        assert set(relation.difference([[0, 1], (1, 2)])) == {(0, 2)}
+        empty = relation.difference(relation)
+        assert len(empty) == 0 and empty.arity == 2
+
+    def test_difference_result_is_a_fresh_frontier(self):
+        relation = IndexedRelation([(0, 1), (1, 2)])
+        relation.take_delta()
+        result = relation.difference([(1, 2)])
+        # Delta-set semantics: the result's rows are all untaken frontier.
+        assert result.has_delta
+        assert result.take_delta() == {(0, 1)}
+        # The operand's drained delta is untouched.
+        assert not relation.has_delta
+
+    def test_product(self):
+        left = IndexedRelation([(0,), (1,)])
+        right = IndexedRelation([(7, 8)])
+        product = left.product(right)
+        assert product.arity == 3
+        assert set(product) == {(0, 7, 8), (1, 7, 8)}
+        # Zero-arity relations are the product's identity: {()} x R = R.
+        unit = IndexedRelation([()])
+        assert set(unit.product(right)) == set(right)
+        assert set(right.product(unit)) == set(right)
+        # An empty factor annihilates.
+        assert len(left.product(IndexedRelation(arity=2))) == 0
+
+    def test_rename_permutes_columns(self):
+        relation = IndexedRelation([(0, 1, 2), (3, 4, 5)])
+        swapped = relation.rename((2, 0, 1))
+        assert set(swapped) == {(2, 0, 1), (5, 3, 4)}
+        assert swapped.arity == 3
+        # The identity permutation copies.
+        assert set(relation.rename((0, 1, 2))) == set(relation)
+
+    def test_rename_rejects_non_permutations(self):
+        relation = IndexedRelation([(0, 1)])
+        with pytest.raises(ValueError):
+            relation.rename((0, 0))      # collapses a column
+        with pytest.raises(ValueError):
+            relation.rename((0,))        # drops a column
+        with pytest.raises(ValueError):
+            relation.rename((0, 2))      # out of range
+
 
 class TestFixpointKernels:
     def test_naive_fixpoint_iterates_to_stability(self):
