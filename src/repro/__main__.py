@@ -96,8 +96,18 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
                         help="logic evaluation strategy (default: plan — the "
                              "set-at-a-time relational planner; tuple is the "
                              "enumeration oracle)")
+    parser.add_argument("--no-optimize", action="store_true",
+                        help="execute the raw compiled plan, skipping the "
+                             "rewrite pipeline of repro.logic.optimize (the "
+                             "plan optimizer's differential oracle)")
     parser.add_argument("--explain", action="store_true",
-                        help="also print the formula and its compiled plan")
+                        help="also print the formula and its compiled plan "
+                             "(with the optimizer on: the logical plan next "
+                             "to the optimized plan, annotated with "
+                             "estimated cardinalities)")
+    parser.add_argument("--stats", action="store_true",
+                        help="also print the plan execution counters (rows "
+                             "materialized, index probes, fixpoint rounds)")
     parser.add_argument("--list", action="store_true",
                         help="list the available queries and exit")
     return parser
@@ -106,6 +116,8 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
 def logic_main(argv: list[str]) -> int:
     from repro.logic.compile import PlanCompilationError, explain
     from repro.logic.eval import define_relation
+    from repro.logic.optimize import explain_optimized
+    from repro.logic.plan import PlanStats
     from repro.logic.queries import CANONICAL_QUERIES
     from repro.structures.structure import from_database
 
@@ -130,21 +142,38 @@ def logic_main(argv: list[str]) -> int:
         print("error: --structure structure.json is required", file=sys.stderr)
         return 2
 
+    optimize = not args.no_optimize
+    # The counters are plan-execution counters; the tuple oracle never
+    # touches them, so --stats would print misleading zeros there.
+    stats = PlanStats() if args.stats and args.backend == "plan" else None
+    if args.stats and stats is None:
+        print("warning: --stats counts plan executions; the tuple backend "
+              "records nothing", file=sys.stderr)
     try:
         structure = from_database(
             database_from_json(json.loads(args.structure.read_text()))
         )
         formula = query.formula()
         if args.explain:
-            print(explain(formula, query.variables))
+            if args.backend == "plan" and optimize:
+                print(explain_optimized(formula, structure, query.variables))
+            else:
+                print(explain(formula, query.variables))
         relation = define_relation(formula, structure, query.variables,
-                                   backend=args.backend)
+                                   backend=args.backend, optimize=optimize,
+                                   stats=stats)
     except (SRLError, PlanCompilationError, OSError, KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
+    strategy = args.backend if args.backend == "tuple" else \
+        ("plan" if optimize else "plan, unoptimized")
     print(f"query:       {args.query} over n = {structure.size} "
-          f"({args.backend} backend)")
+          f"({strategy} backend)")
+    if stats is not None:
+        print("stats:       " + ", ".join(
+            f"{key}={count}" for key, count in stats.as_dict().items()
+        ))
     if not query.variables:
         print(f"result:      {() in relation}")
         return 0

@@ -192,6 +192,14 @@ class Session:
         """
         return "tuple" if self.backend == "reference" else "plan"
 
+    @property
+    def logic_optimize(self) -> bool:
+        """Whether this session's plan-backend formulas run through the
+        plan optimizer (:mod:`repro.logic.optimize`).  The production
+        backends optimize; ``reference`` evaluates tuple-at-a-time anyway,
+        and stays the differential oracle."""
+        return self.backend != "reference"
+
     def define_relation(self, formula, structure, variables,
                         memoize: bool = True) -> frozenset:
         """:func:`repro.logic.eval.define_relation` with the logic backend
@@ -199,7 +207,8 @@ class Session:
         from repro.logic.eval import define_relation
         return define_relation(formula, structure, tuple(variables),
                                memoize=memoize, seminaive=self.seminaive,
-                               backend=self.logic_backend)
+                               backend=self.logic_backend,
+                               optimize=self.logic_optimize)
 
     def evaluate_formula(self, formula, structure, assignment=None) -> bool:
         """:func:`repro.logic.eval.evaluate` with the logic backend and
@@ -219,7 +228,8 @@ class Session:
             checker = cached[2]
         else:
             checker = ModelChecker(structure, seminaive=self.seminaive,
-                                   backend=self.logic_backend)
+                                   backend=self.logic_backend,
+                                   optimize=self.logic_optimize)
             self._logic_checker = (structure, self.logic_backend, checker)
         return checker.evaluate(formula, assignment)
 

@@ -59,13 +59,16 @@ class IndexedRelation:
     * ``rows`` is the total relation.  Membership, length and iteration all
       read it directly.
     * :meth:`index` builds (on first use) and thereafter incrementally
-      maintains ``{value -> set of rows with that value in the column}``.
+      maintains ``{value -> set of rows with that value in the column}``;
+      :meth:`index_on` is the composite-key variant over several columns.
+      Both persist on the relation, so a relation reused across joins (or
+      across fixed-point rounds) pays for each index once.
     * :meth:`add` reports whether the row was new, and every new row joins
       the delta set until :meth:`take_delta` drains it — the loop shape of
       semi-naive evaluation.
-    * :meth:`join` / :meth:`project` / :meth:`union` / :meth:`select` are
-      the bulk operators; ``join`` probes the right side's column index
-      instead of scanning it.
+    * :meth:`join` / :meth:`project` / :meth:`union` / :meth:`select` /
+      :meth:`semijoin` / :meth:`antijoin` are the bulk operators; ``join``
+      probes the right side's column index instead of scanning it.
     """
 
     __slots__ = ("arity", "_rows", "_delta", "_indexes")
@@ -74,8 +77,27 @@ class IndexedRelation:
         self.arity = arity
         self._rows: set[tuple] = set()
         self._delta: set[tuple] = set()
-        self._indexes: dict[int, dict[Hashable, set[tuple]]] = {}
+        # Keyed by a column number (single-column index) or a tuple of
+        # column numbers (composite-key index); both kinds are maintained
+        # incrementally by :meth:`add` once built.
+        self._indexes: dict[int | tuple[int, ...], dict[Hashable, set[tuple]]] = {}
         self.update(rows)
+
+    @classmethod
+    def adopt(cls, rows: set[tuple], arity: int | None = None
+              ) -> "IndexedRelation":
+        """Wrap an already-deduplicated ``set`` of same-arity tuples
+        *without copying or per-row bookkeeping* — the bulk-kernel fast
+        path (set-native joins and differences build a plain set, then
+        adopt it).  The relation takes ownership of ``rows``; the delta
+        set starts empty, so adopted relations are results, not semi-naive
+        frontiers."""
+        relation = cls.__new__(cls)
+        relation.arity = arity
+        relation._rows = rows
+        relation._delta = set()
+        relation._indexes = {}
+        return relation
 
     # ------------------------------------------------------------- reading
 
@@ -121,7 +143,11 @@ class IndexedRelation:
         self._rows.add(row)
         self._delta.add(row)
         for column, index in self._indexes.items():
-            index.setdefault(row[column], set()).add(row)
+            if type(column) is tuple:
+                key: Hashable = tuple(row[c] for c in column)
+            else:
+                key = row[column]
+            index.setdefault(key, set()).add(row)
         return True
 
     def update(self, rows: Iterable[Sequence]) -> int:
@@ -157,9 +183,38 @@ class IndexedRelation:
             self._indexes[column] = index
         return index
 
-    def matching(self, column: int, value: Hashable) -> frozenset[tuple] | set[tuple]:
-        """The rows whose ``column`` holds ``value`` (empty set on a miss)."""
-        return self.index(column).get(value, _NO_ROWS)
+    def index_on(self, columns: Sequence[int]) -> dict[Hashable, set[tuple]]:
+        """The composite-key hash index on ``columns`` — ``{(row[c0], c1,
+        ...) -> set of rows}`` — built lazily and maintained by :meth:`add`
+        once built, so a relation joined repeatedly on the same key tuple
+        (or reused across fixed-point rounds) indexes itself exactly once."""
+        key = tuple(columns)
+        index = self._indexes.get(key)
+        if index is None:
+            if self.arity is not None:
+                for column in key:
+                    if not 0 <= column < self.arity:
+                        raise IndexError(
+                            f"column {column} out of range for arity {self.arity}"
+                        )
+            index = {}
+            for row in self._rows:
+                index.setdefault(tuple(row[c] for c in key), set()).add(row)
+            self._indexes[key] = index
+        return index
+
+    def matching(self, column: int, value: Hashable) -> frozenset[tuple]:
+        """The rows whose ``column`` holds ``value`` (empty on a miss).
+
+        Always a :class:`frozenset` — hits are snapshotted so a caller can
+        never mutate the live index through the return value (misses used
+        to share an immutable empty set while hits leaked the internal
+        bucket; both are immutable now).
+        """
+        rows = self.index(column).get(value)
+        if rows is None:
+            return _NO_ROWS
+        return frozenset(rows)
 
     # ------------------------------------------------------ bulk operators
 
@@ -223,6 +278,37 @@ class IndexedRelation:
             for right in other._rows:
                 result.add(left + right)
         return result
+
+    def semijoin(self, other: "IndexedRelation",
+                 key_columns: Sequence[int]) -> "IndexedRelation":
+        """The rows of this relation whose ``key_columns`` projection is a
+        row of ``other`` (``other`` is probed as a whole-row key set: its
+        full column tuple is the join key, so no index build is needed).
+        With an empty/identity key covering every column this degenerates
+        to set intersection, taken natively."""
+        keys = other._rows
+        key = tuple(key_columns)
+        if self.arity is not None and key == tuple(range(self.arity)):
+            return IndexedRelation.adopt(self._rows & keys, arity=self.arity)
+        return IndexedRelation.adopt(
+            {row for row in self._rows
+             if tuple(row[c] for c in key) in keys},
+            arity=self.arity)
+
+    def antijoin(self, other: "IndexedRelation",
+                 key_columns: Sequence[int]) -> "IndexedRelation":
+        """The rows of this relation whose ``key_columns`` projection is
+        *not* a row of ``other`` — negation as an antijoin, probing the
+        excluded relation instead of materializing its active-domain
+        complement."""
+        keys = other._rows
+        key = tuple(key_columns)
+        if self.arity is not None and key == tuple(range(self.arity)):
+            return IndexedRelation.adopt(self._rows - keys, arity=self.arity)
+        return IndexedRelation.adopt(
+            {row for row in self._rows
+             if tuple(row[c] for c in key) not in keys},
+            arity=self.arity)
 
     def rename(self, permutation: Sequence[int]) -> "IndexedRelation":
         """The relation with its columns permuted: output column ``i`` reads
@@ -341,16 +427,24 @@ def seminaive_closure(successors: Mapping[_Node, Iterable[_Node]],
     Identical output to :func:`naive_closure`; each round composes only the
     pairs derived in the previous round with the successor index, so every
     closure pair is derived O(out-degree) times total instead of once per
-    round.
+    round.  The frontier is kept in plain native sets (the loop is the
+    hottest kernel in the repo; per-pair index bookkeeping would double
+    its constant factor).
     """
     edges = _successor_edges(successors, deterministic)
-    closure: IndexedRelation = IndexedRelation(arity=2)
+    closure: set[tuple[_Node, _Node]] = set()
     for source, targets in edges.items():
         closure.add((source, source))
         for target in targets:
             closure.add((source, target))
-    while closure.has_delta:
-        for source, middle in closure.take_delta():
+    frontier: list[tuple[_Node, _Node]] = list(closure)
+    while frontier:
+        derived: list[tuple[_Node, _Node]] = []
+        for source, middle in frontier:
             for target in edges.get(middle, ()):
-                closure.add((source, target))
-    return set(closure.rows)
+                pair = (source, target)
+                if pair not in closure:
+                    closure.add(pair)
+                    derived.append(pair)
+        frontier = derived
+    return closure

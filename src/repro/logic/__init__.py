@@ -5,6 +5,9 @@
 * :mod:`repro.logic.plan` / :mod:`repro.logic.compile` — the relational-plan
   IR and the formula → plan lowering pass (set-at-a-time evaluation, the
   FO = relational-algebra correspondence);
+* :mod:`repro.logic.optimize` — the plan optimizer: selection pushdown,
+  dead-column pruning, cost-based join reordering, semi-naive delta
+  rewriting of fixed points, common-subplan sharing;
 * :mod:`repro.logic.eval` — model checking: the ``plan`` backend executes
   compiled plans, the ``tuple`` backend enumerates (the differential
   oracle);
@@ -58,7 +61,13 @@ from .formula import (
     var,
     walk_formula,
 )
-from .plan import ExecutionContext, Plan
+from .optimize import (
+    CostModel,
+    explain_optimized,
+    optimize_formula,
+    optimize_plan,
+)
+from .plan import ExecutionContext, Plan, PlanStats
 from .games import counting_ef_equivalent, ef_equivalent, is_partial_isomorphism
 from .interpretation import Interpretation, identity_interpretation
 from .queries import agap_formula, apath_lfp, gap_formula, reachability_dtc, reachability_tc

@@ -48,7 +48,8 @@ from repro.core.engine import (
 from repro.structures.structure import Structure
 
 from .compile import compile_formula
-from .plan import ExecutionContext
+from .optimize import optimize_formula
+from .plan import ExecutionContext, PlanStats
 
 from .formula import (
     And,
@@ -110,12 +111,22 @@ class ModelChecker:
     over the whole structure, and answers every assignment with a row
     lookup.  The Session facade picks ``plan`` for its production
     backends (see :meth:`repro.core.engine.Session.logic_backend`).
+
+    ``optimize`` (plan backend only, on by default) runs each compiled
+    plan through the :mod:`repro.logic.optimize` rewrite pipeline —
+    selection pushdown, dead-column pruning, cost-based join reordering,
+    semi-naive delta rewriting of fixed points, common-subplan sharing —
+    against the structure's live statistics.  ``optimize=False`` executes
+    the raw compiled plan, kept as the differential oracle for the
+    optimizer itself.  ``plan_stats`` accumulates the plan executions'
+    :class:`~repro.logic.plan.PlanStats` counters across this checker's
+    lifetime (the CLI's ``--stats``).
     """
 
     def __init__(self, structure: Structure,
                  auxiliary: Mapping[str, frozenset[tuple[int, ...]]] | None = None,
                  memoize: bool = True, seminaive: bool = True,
-                 backend: str = "tuple"):
+                 backend: str = "tuple", optimize: bool = True):
         if backend not in LOGIC_BACKENDS:
             raise ValueError(
                 f"unknown logic backend {backend!r}: expected one of "
@@ -126,12 +137,18 @@ class ModelChecker:
         self.memoize = memoize
         self.seminaive = seminaive
         self.backend = backend
+        self.optimize = optimize
+        self.plan_stats = PlanStats()
         # Maps (kind, formula, auxiliary snapshot) -> computed closure /
         # fixed point (or, for the plan backend, the formula's defined
         # relation).  Keying on the formula object itself (formulas are
         # frozen, hashable dataclasses) pins it alive, so the entry can
         # never be confused with a different formula.
         self._fixpoint_cache: dict = {}
+        # The Shared-subplan memo, reused across every plan this checker
+        # executes: entries are auxiliary-free, so they depend only on the
+        # (immutable while in use) structure.
+        self._plan_memo: dict = {}
 
     # -------------------------------------------------------------- terms
 
@@ -160,18 +177,24 @@ class ModelChecker:
 
     def _eval_plan(self, formula: Formula, assignment: dict[str, int]) -> bool:
         """Set-at-a-time evaluation: compile once (memoized per formula),
-        execute the plan into the formula's defined relation over its free
-        variables, and decide the assignment by a row lookup.  The relation
-        depends only on the formula and the auxiliary snapshot, so it is
-        cached exactly like the tuple backend's fixed points."""
-        plan = compile_formula(formula)
+        optimize against the structure's statistics (unless the checker is
+        the ``optimize=False`` oracle), execute the plan into the formula's
+        defined relation over its free variables, and decide the assignment
+        by a row lookup.  The relation depends only on the formula and the
+        auxiliary snapshot, so it is cached exactly like the tuple
+        backend's fixed points."""
+        if self.optimize:
+            plan = optimize_formula(formula, self.structure)
+        else:
+            plan = compile_formula(formula)
         rows = None
         if self.memoize:
             key = ("plan", formula, self._aux_snapshot())
             rows = self._fixpoint_cache.get(key)
         if rows is None:
             context = ExecutionContext(self.structure, dict(self.auxiliary),
-                                       self.seminaive)
+                                       self.seminaive, stats=self.plan_stats,
+                                       memo=self._plan_memo)
             rows = frozenset(plan.execute(context).rows)
             if self.memoize:
                 self._fixpoint_cache[key] = rows
@@ -398,23 +421,30 @@ class ModelChecker:
 
 def evaluate(formula: Formula, structure: Structure,
              assignment: Mapping[str, int] | None = None,
-             backend: str = "tuple") -> bool:
+             backend: str = "tuple", optimize: bool = True) -> bool:
     """Convenience wrapper around :class:`ModelChecker`."""
-    return ModelChecker(structure, backend=backend).evaluate(formula, assignment)
+    checker = ModelChecker(structure, backend=backend, optimize=optimize)
+    return checker.evaluate(formula, assignment)
 
 
 def define_relation(formula: Formula, structure: Structure,
                     variables: tuple[str, ...],
                     memoize: bool = True,
                     seminaive: bool = True,
-                    backend: str = "tuple") -> frozenset[tuple[int, ...]]:
+                    backend: str = "tuple",
+                    optimize: bool = True,
+                    stats: PlanStats | None = None) -> frozenset[tuple[int, ...]]:
     """The relation ``{(v1..vk) | structure |= formula[v̄]}`` defined by a
     formula with the given free variables.
 
     With ``backend="plan"`` the formula is compiled once to a relational
     plan laid out over exactly ``variables`` (columns the formula leaves
-    unconstrained range over the whole domain) and executed set-at-a-time
-    — no per-row enumeration at all.
+    unconstrained range over the whole domain), rewritten by the plan
+    optimizer against the structure's statistics (unless
+    ``optimize=False``, the optimizer's differential oracle), and executed
+    set-at-a-time — no per-row enumeration at all.  ``stats`` optionally
+    receives the execution's :class:`~repro.logic.plan.PlanStats`
+    counters.
 
     With the default ``backend="tuple"`` (the oracle), one checker is
     reused across all ``n^k`` rows, so any TC/DTC/LFP sub-formula is
@@ -427,9 +457,13 @@ def define_relation(formula: Formula, structure: Structure,
             f"unknown logic backend {backend!r}: expected one of {LOGIC_BACKENDS}"
         )
     if backend == "plan":
-        plan = compile_formula(formula, tuple(variables))
-        relation = plan.execute(ExecutionContext(structure, {}, seminaive))
-        return frozenset(relation.rows)
+        if optimize:
+            plan = optimize_formula(formula, structure, tuple(variables))
+        else:
+            plan = compile_formula(formula, tuple(variables))
+        context = ExecutionContext(structure, {}, seminaive,
+                                   stats=stats, memo={})
+        return frozenset(plan.execute(context).rows)
     checker = ModelChecker(structure, memoize=memoize, seminaive=seminaive)
     rows = set()
     assignment: dict[str, int] = {}

@@ -163,6 +163,73 @@ class TestIndexedRelation:
         with pytest.raises(ValueError):
             relation.rename((0, 2))      # out of range
 
+    def test_matching_is_immutable_on_hits_and_misses(self):
+        relation = IndexedRelation([(1, 10), (2, 10)])
+        hit = relation.matching(1, 10)
+        miss = relation.matching(1, 99)
+        assert isinstance(hit, frozenset) and isinstance(miss, frozenset)
+        # A caller holding the hit cannot corrupt the live index: hits used
+        # to leak the internal mutable bucket.
+        assert not hasattr(hit, "add")
+        relation.add((3, 10))
+        assert hit == {(1, 10), (2, 10)}          # snapshot, not a view
+        assert relation.matching(1, 10) == {(1, 10), (2, 10), (3, 10)}
+        assert relation.index(1)[10] == {(1, 10), (2, 10), (3, 10)}
+
+    def test_composite_index_on(self):
+        relation = IndexedRelation([(0, 1, 5), (0, 2, 5), (0, 1, 7)])
+        index = relation.index_on((0, 1))
+        assert index[(0, 1)] == {(0, 1, 5), (0, 1, 7)}
+        assert index[(0, 2)] == {(0, 2, 5)}
+        # Maintained incrementally once built, alongside single-column ones.
+        by_last = relation.index(2)
+        relation.add((0, 1, 9))
+        assert index[(0, 1)] == {(0, 1, 5), (0, 1, 7), (0, 1, 9)}
+        assert by_last[9] == {(0, 1, 9)}
+        # The same key tuple returns the same (persistent) index object.
+        assert relation.index_on((0, 1)) is index
+        with pytest.raises(IndexError):
+            relation.index_on((0, 5))
+
+    def test_semijoin_and_antijoin(self):
+        relation = IndexedRelation([(0, 1), (1, 2), (2, 3)])
+        keys = IndexedRelation([(1,), (3,)])
+        assert set(relation.semijoin(keys, (1,))) == {(0, 1), (2, 3)}
+        assert set(relation.antijoin(keys, (1,))) == {(1, 2)}
+        # Key columns may reorder: probe (target, source) pairs.
+        swapped = IndexedRelation([(1, 0)])
+        assert set(relation.semijoin(swapped, (1, 0))) == {(0, 1)}
+        assert set(relation.antijoin(swapped, (1, 0))) == {(1, 2), (2, 3)}
+        # Full-column keys degenerate to set intersection / difference.
+        subset = IndexedRelation([(0, 1), (9, 9)])
+        assert set(relation.semijoin(subset, (0, 1))) == {(0, 1)}
+        assert set(relation.antijoin(subset, (0, 1))) == {(1, 2), (2, 3)}
+
+    def test_semijoin_antijoin_empty_key_and_unknown_arity(self):
+        # An empty key projects every row to (): membership against the
+        # unit relation keeps (antijoin: drops) everything — including on
+        # relations whose arity was never declared (adopt's default),
+        # which must not be mistaken for the identity-key fast path.
+        relation = IndexedRelation.adopt({(1, 2), (3, 4)})
+        unit = IndexedRelation([()])
+        empty = IndexedRelation(arity=0)
+        assert set(relation.semijoin(unit, ())) == {(1, 2), (3, 4)}
+        assert set(relation.antijoin(unit, ())) == set()
+        assert set(relation.semijoin(empty, ())) == set()
+        assert set(relation.antijoin(empty, ())) == {(1, 2), (3, 4)}
+
+    def test_adopt_wraps_without_copying(self):
+        rows = {(0, 1), (1, 2)}
+        relation = IndexedRelation.adopt(rows, arity=2)
+        assert relation.rows is rows
+        assert relation.arity == 2 and len(relation) == 2
+        # Adopted relations are results, not frontiers: no delta.
+        assert not relation.has_delta
+        # Indexes build lazily and stay maintained through add().
+        assert relation.matching(0, 1) == {(1, 2)}
+        relation.add((1, 5))
+        assert relation.matching(0, 1) == {(1, 2), (1, 5)}
+
 
 class TestFixpointKernels:
     def test_naive_fixpoint_iterates_to_stability(self):

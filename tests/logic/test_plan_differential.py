@@ -1,7 +1,9 @@
-"""The plan / tuple differential suite (PR 4 acceptance).
+"""The plan / tuple differential suite (PR 4 acceptance, extended by the
+PR 5 optimizer).
 
 The set-at-a-time plan backend must be *observationally identical* to the
-tuple-at-a-time enumeration it bypasses.  Two layers of evidence:
+tuple-at-a-time enumeration it bypasses — and the optimized plan to the
+raw compiled plan it rewrites.  Two layers of evidence:
 
 * every canonical Figure-1 query (the :data:`CANONICAL_QUERIES` registry:
   TC, DTC, the APATH/GAP fixed points, the counting query) over seeded
@@ -13,7 +15,10 @@ tuple-at-a-time enumeration it bypasses.  Two layers of evidence:
   symbols, constants, =, <=, ~, /\\, \\/, ->, exists, forall, counting
   quantifiers, TC, DTC, LFP with auxiliary references, and nesting of all
   of the above) — driving well over 100 ``(formula, structure)``
-  instances whose defined relations must agree exactly.
+  instances run **three ways**: optimizer-on plan, optimizer-off plan,
+  and the tuple oracle.  All three defined relations must agree exactly,
+  and the optimized execution must materialize no more rows than the raw
+  plan (the optimizer's whole point, pinned as an invariant).
 
 The generator only produces well-formed formulas (fixed-point bodies
 closed over their bound variables, matching arities), which is precisely
@@ -28,6 +33,7 @@ import random
 import pytest
 
 from repro.logic.eval import ModelChecker, define_relation
+from repro.logic.plan import PlanStats
 from repro.logic.formula import (
     And,
     CountAtLeast,
@@ -67,9 +73,13 @@ def test_canonical_queries_agree(name, size, seed):
     query = CANONICAL_QUERIES[name]
     structure = random_alternating_graph(size, seed=seed)
     formula = query.formula()
-    fast = define_relation(formula, structure, query.variables, backend="plan")
-    slow = define_relation(formula, structure, query.variables, backend="tuple")
-    assert fast == slow
+    optimized = define_relation(formula, structure, query.variables,
+                                backend="plan", optimize=True)
+    raw = define_relation(formula, structure, query.variables,
+                          backend="plan", optimize=False)
+    slow = define_relation(formula, structure, query.variables,
+                           backend="tuple")
+    assert optimized == raw == slow
 
 
 @pytest.mark.parametrize("name", sorted(CANONICAL_QUERIES))
@@ -178,26 +188,40 @@ GENERATOR_SIZES = (3, 4, 5)
 @pytest.mark.parametrize("size", GENERATOR_SIZES)
 @pytest.mark.parametrize("seed", GENERATOR_SEEDS)
 def test_generated_formulas_agree(size, seed):
+    """Three-way differential: optimized plan == raw plan == tuple oracle,
+    and the optimizer never materializes more rows than the raw plan."""
     generator = FormulaGenerator(seed)
     formula = generator.formula(depth=3, scope=FREE_VARIABLES)
     structure = random_alternating_graph(size, seed=seed)
-    fast = define_relation(formula, structure, FREE_VARIABLES, backend="plan")
+    optimized_stats, raw_stats = PlanStats(), PlanStats()
+    optimized = define_relation(formula, structure, FREE_VARIABLES,
+                                backend="plan", optimize=True,
+                                stats=optimized_stats)
+    raw = define_relation(formula, structure, FREE_VARIABLES,
+                          backend="plan", optimize=False, stats=raw_stats)
     slow = define_relation(formula, structure, FREE_VARIABLES, backend="tuple")
-    assert fast == slow, f"plan/tuple divergence on seed={seed}:\n{formula}"
+    assert optimized == raw == slow, \
+        f"backend divergence on seed={seed}:\n{formula}"
+    assert optimized_stats.rows_materialized <= raw_stats.rows_materialized, \
+        f"optimizer materialized more rows on seed={seed}:\n{formula}"
 
 
 @pytest.mark.parametrize("seed", range(10))
 def test_generated_formulas_agree_under_naive_kernels(seed):
     """The plan backend composes with ``seminaive=False`` too: its
-    fixed-point nodes then run the naive re-derive-everything kernels."""
+    fixed-point nodes then run the naive re-derive-everything kernels
+    (delta-rewritten bodies included — they fall back to the kernel
+    path)."""
     generator = FormulaGenerator(seed)
     formula = generator.formula(depth=3, scope=FREE_VARIABLES)
     structure = random_alternating_graph(4, seed=seed)
     results = {
         define_relation(formula, structure, FREE_VARIABLES,
-                        backend=backend, seminaive=seminaive)
+                        backend=backend, seminaive=seminaive,
+                        optimize=optimize)
         for backend in ("plan", "tuple")
         for seminaive in (True, False)
+        for optimize in (True, False)
     }
     assert len(results) == 1
 
