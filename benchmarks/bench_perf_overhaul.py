@@ -590,3 +590,75 @@ def test_optimizer_delta_rounds_are_frontier_bounded(table, smoke):
           [[str(size), str(len(rounds)), str(max(rounds)),
             str(optimized_stats.rows_materialized),
             str(raw_stats.rows_materialized)]])
+
+
+# --------------------------------- P6: governor overhead (PR 6)
+
+#: The PR 6 acceptance bar: a generous (never-tripping) budget may cost at
+#: most 5% geomean over the ungoverned run on the P4 canonical workloads.
+GOVERNOR_OVERHEAD_MAX = 1.05
+
+
+def test_governed_overhead_p6(table, smoke):
+    """Resource governance must be near-free when nothing trips: the same
+    four P4 canonical queries through the optimized plan backend, once
+    ungoverned and once under a generous all-caps budget (deadline, rows,
+    rounds, memo — every checkpoint armed, none firing).  The governed run
+    must agree exactly and cost <= 5% geomean wall-clock overhead."""
+    from repro.core.governor import Budget
+
+    budget = Budget(deadline_seconds=600.0, max_rows_materialized=10**9,
+                    max_fixpoint_rounds=10**6, max_memo_entries=10**6)
+    if smoke:
+        workloads = [
+            ("governed_overhead_tc", "tc", layered_graph(5, 4, seed=7)),
+            ("governed_overhead_dtc", "dtc", functional_graph(20, seed=11)),
+            ("governed_overhead_apath", "apath",
+             random_alternating_graph(20, edge_probability=0.1, seed=13)),
+            ("governed_overhead_agap", "agap",
+             random_alternating_graph(20, edge_probability=0.1, seed=13)),
+        ]
+    else:
+        workloads = [
+            ("governed_overhead_tc", "tc", layered_graph(32, 4, seed=7)),
+            ("governed_overhead_dtc", "dtc", functional_graph(128, seed=11)),
+            ("governed_overhead_apath", "apath",
+             random_alternating_graph(128, edge_probability=0.03, seed=13)),
+            ("governed_overhead_agap", "agap",
+             random_alternating_graph(128, edge_probability=0.03, seed=13)),
+        ]
+    ratios = []
+    for name, query_name, structure in workloads:
+        query = CANONICAL_QUERIES[query_name]
+        formula = query.formula()
+
+        def ungoverned():
+            return define_relation(formula, structure, query.variables,
+                                   backend="plan", optimize=True)
+
+        def governed():
+            return define_relation(formula, structure, query.variables,
+                                   backend="plan", optimize=True,
+                                   budget=budget)
+
+        assert governed() == ungoverned()
+        repeats = 2 if smoke else 3
+        ungoverned_seconds = _best_of(ungoverned, repeats=repeats)
+        governed_seconds = _best_of(governed, repeats=repeats)
+        ratios.append(ungoverned_seconds / governed_seconds)
+        params = {"universe": structure.size, "query": query_name,
+                  "baseline": "ungoverned",
+                  "target": GOVERNOR_OVERHEAD_MAX}
+        _record(name, ungoverned_seconds, governed_seconds, params, table,
+                series="P6", baseline="ungoverned", target=1.0)
+    geomean = 1.0
+    for ratio in ratios:
+        geomean *= ratio
+    geomean **= 1.0 / len(ratios)
+    overhead = 1.0 / geomean
+    table("P6: governor overhead geomean (ungoverned vs governed)",
+          ["queries", "governed/ungoverned", "max"],
+          [["tc, dtc, apath, agap", f"{overhead:.3f}x",
+            f"<= {GOVERNOR_OVERHEAD_MAX:.2f}x"]])
+    if not smoke:
+        assert overhead <= GOVERNOR_OVERHEAD_MAX

@@ -48,10 +48,49 @@ from repro.core import (
     with_standard_library,
 )
 from repro.core.engine import database_from_json
-from repro.core.errors import SRLError
+from repro.core.errors import (
+    InvalidDatabaseError,
+    ResourceLimitExceeded,
+    RestrictionViolation,
+    SRLError,
+    SRLNameError,
+    SRLSyntaxError,
+    SRLTypeError,
+)
+from repro.core.governor import Budget
 from repro.core.restrictions import strictest_restriction
 from repro.core.typecheck import check_program, database_types
 from repro.core.values import format_value
+
+#: The CLI's exit-code taxonomy (documented in README):
+#: 2 — the input is at fault (parse / type / restriction errors, malformed
+#:     database or structure JSON, unreadable files, usage errors);
+#: 3 — a resource budget stopped the run (deadline, --max-rows, cancel):
+#:     the query may well succeed with a bigger budget;
+#: 4 — the engine is at fault (runtime/internal errors).
+EXIT_INPUT = 2
+EXIT_RESOURCE = 3
+EXIT_INTERNAL = 4
+
+_INPUT_ERRORS = (SRLSyntaxError, SRLTypeError, SRLNameError,
+                 RestrictionViolation, InvalidDatabaseError,
+                 OSError, json.JSONDecodeError)
+
+
+def _report(error: Exception) -> int:
+    """Print ``error`` and pick the exit code for its failure class."""
+    if isinstance(error, ResourceLimitExceeded):
+        print(f"error: resource limit exceeded: {error}", file=sys.stderr)
+        stats = getattr(error, "stats", None)
+        if stats is not None:
+            print("partial stats: " + ", ".join(
+                f"{key}={count}" for key, count in stats.as_dict().items()
+            ), file=sys.stderr)
+        return EXIT_RESOURCE
+    print(f"error: {error}", file=sys.stderr)
+    if isinstance(error, _INPUT_ERRORS):
+        return EXIT_INPUT
+    return EXIT_INTERNAL
 
 
 def _build_argument_parser() -> argparse.ArgumentParser:
@@ -73,6 +112,9 @@ def _build_argument_parser() -> argparse.ArgumentParser:
                         help="do not add the Fact 2.4 standard library definitions")
     parser.add_argument("--max-steps", type=int, default=None,
                         help="abort after this many evaluation steps")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="abort the run after this much wall-clock time "
+                             "(exit code 3)")
     parser.add_argument("--skip-checks", action="store_true",
                         help="skip the type and restriction checks, just run")
     parser.add_argument("--quiet", action="store_true",
@@ -105,6 +147,12 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
                              "(with the optimizer on: the logical plan next "
                              "to the optimized plan, annotated with "
                              "estimated cardinalities)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="abort the query after this much wall-clock time "
+                             "(exit code 3)")
+    parser.add_argument("--max-rows", type=int, default=None, metavar="N",
+                        help="abort once the plan backend has materialized "
+                             "more than N rows (exit code 3)")
     parser.add_argument("--stats", action="store_true",
                         help="also print the plan execution counters (rows "
                              "materialized, index probes, fixpoint rounds)")
@@ -132,23 +180,29 @@ def logic_main(argv: list[str]) -> int:
 
     if args.query is None:
         print("error: a query name is required (try --list)", file=sys.stderr)
-        return 2
+        return EXIT_INPUT
     query = CANONICAL_QUERIES.get(args.query)
     if query is None:
         print(f"error: unknown query {args.query!r}; known: "
               f"{', '.join(sorted(CANONICAL_QUERIES))}", file=sys.stderr)
-        return 2
+        return EXIT_INPUT
     if args.structure is None:
         print("error: --structure structure.json is required", file=sys.stderr)
-        return 2
+        return EXIT_INPUT
 
     optimize = not args.no_optimize
     # The counters are plan-execution counters; the tuple oracle never
-    # touches them, so --stats would print misleading zeros there.
-    stats = PlanStats() if args.stats and args.backend == "plan" else None
+    # touches them, so --stats would print misleading zeros there.  They
+    # are always *collected* on the plan backend, so a run stopped by the
+    # budget can report its partial progress.
+    stats = PlanStats() if args.backend == "plan" else None
     if args.stats and stats is None:
         print("warning: --stats counts plan executions; the tuple backend "
               "records nothing", file=sys.stderr)
+    budget = None
+    if args.timeout is not None or args.max_rows is not None:
+        budget = Budget(deadline_seconds=args.timeout,
+                        max_rows_materialized=args.max_rows)
     try:
         structure = from_database(
             database_from_json(json.loads(args.structure.read_text()))
@@ -161,16 +215,18 @@ def logic_main(argv: list[str]) -> int:
                 print(explain(formula, query.variables))
         relation = define_relation(formula, structure, query.variables,
                                    backend=args.backend, optimize=optimize,
-                                   stats=stats)
-    except (SRLError, PlanCompilationError, OSError, KeyError, ValueError) as error:
+                                   stats=stats, budget=budget)
+    except PlanCompilationError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_INPUT
+    except (SRLError, OSError, json.JSONDecodeError, ValueError) as error:
+        return _report(error)
 
     strategy = args.backend if args.backend == "tuple" else \
         ("plan" if optimize else "plan, unoptimized")
     print(f"query:       {args.query} over n = {structure.size} "
           f"({strategy} backend)")
-    if stats is not None:
+    if args.stats and stats is not None:
         print("stats:       " + ", ".join(
             f"{key}={count}" for key, count in stats.as_dict().items()
         ))
@@ -194,7 +250,7 @@ def main(argv: list[str] | None = None) -> int:
         source = args.program.read_text()
     except OSError as error:
         print(f"error: cannot read {args.program}: {error}", file=sys.stderr)
-        return 2
+        return EXIT_INPUT
 
     try:
         database = Database()
@@ -205,7 +261,7 @@ def main(argv: list[str] | None = None) -> int:
             with_standard_library(program)
         if program.main is None:
             print("error: the program has no main expression to run", file=sys.stderr)
-            return 2
+            return EXIT_INPUT
 
         if not args.skip_checks:
             types = database_types(database)
@@ -218,11 +274,13 @@ def main(argv: list[str] | None = None) -> int:
 
         limits = EvaluationLimits(max_steps=args.max_steps) \
             if args.max_steps is not None else None
-        session = Session(program, limits=limits, backend=args.backend)
+        budget = Budget(deadline_seconds=args.timeout) \
+            if args.timeout is not None else None
+        session = Session(program, limits=limits, backend=args.backend,
+                          budget=budget)
         value = session.run(database)
     except (SRLError, OSError, json.JSONDecodeError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return _report(error)
 
     if args.quiet:
         print(format_value(value))

@@ -49,14 +49,21 @@ from .ast import (
 )
 from .environment import Database, Environment
 from .errors import (
+    DeadlineExceeded,
+    EvaluationCancelled,
+    FixpointRoundLimitExceeded,
+    InvalidDatabaseError,
+    MemoLimitExceeded,
     ResourceLimitExceeded,
     RestrictionViolation,
+    RowLimitExceeded,
     SRLError,
     SRLNameError,
     SRLRuntimeError,
     SRLSyntaxError,
     SRLTypeError,
 )
+from .governor import Budget, CancelToken, DegradationEvent, Governor
 from .compiler import CompiledProgram, compile_expression, compile_program
 from .engine import (
     BACKENDS,

@@ -62,10 +62,10 @@ class _Runtime:
     scan order, the ``new`` counter and the recursion guard."""
 
     __slots__ = ("stats", "limits", "atom_order", "new_counter", "active",
-                 "allow_lists")
+                 "allow_lists", "governor")
 
     def __init__(self, limits: EvaluationLimits, atom_order: tuple[int, ...] | None,
-                 stats: EvaluationStats | None = None):
+                 stats: EvaluationStats | None = None, governor=None):
         # A caller-supplied stats object stays observable even when the run
         # aborts on a resource limit (Session relies on this).
         self.stats = stats if stats is not None else EvaluationStats()
@@ -74,6 +74,7 @@ class _Runtime:
         self.new_counter = 0
         self.active: set[str] = set()
         self.allow_lists = limits.allow_lists
+        self.governor = governor
 
     # --------------------------------------------------------------- ticks
 
@@ -83,6 +84,9 @@ class _Runtime:
         limit = self.limits.max_steps
         if limit is not None and stats.steps > limit:
             raise ResourceLimitExceeded("steps", limit, stats.steps)
+        governor = self.governor
+        if governor is not None:
+            governor.tick()
 
     def call_tick(self) -> None:
         self.stats.function_calls += 1
@@ -457,7 +461,8 @@ class CompiledProgram:
     def run(self, database: Database | Mapping[str, object] | None = None,
             limits: EvaluationLimits | None = None,
             atom_order: Sequence[int] | None = None,
-            stats: EvaluationStats | None = None) -> tuple[Value, EvaluationStats]:
+            stats: EvaluationStats | None = None,
+            governor=None) -> tuple[Value, EvaluationStats]:
         """Run the compiled main expression; returns ``(value, stats)``.
 
         A caller-supplied ``stats`` object is filled in place, so its
@@ -469,7 +474,7 @@ class CompiledProgram:
             database = Database(database or {})
         rt = _Runtime(limits if limits is not None else EvaluationLimits(),
                       tuple(atom_order) if atom_order is not None else None,
-                      stats)
+                      stats, governor)
         value = self._main(rt, _make_lookup(database))
         return value, rt.stats
 
@@ -477,7 +482,8 @@ class CompiledProgram:
              database: Database | Mapping[str, object] | None = None,
              limits: EvaluationLimits | None = None,
              atom_order: Sequence[int] | None = None,
-             stats: EvaluationStats | None = None) -> tuple[Value, EvaluationStats]:
+             stats: EvaluationStats | None = None,
+             governor=None) -> tuple[Value, EvaluationStats]:
         """Invoke a named definition with already-evaluated values."""
         definition = self.program.get(name)
         if len(args) != len(definition.params):
@@ -489,7 +495,7 @@ class CompiledProgram:
             database = Database(database or {})
         rt = _Runtime(limits if limits is not None else EvaluationLimits(),
                       tuple(atom_order) if atom_order is not None else None,
-                      stats)
+                      stats, governor)
         if not self.ir.functions[name].guarded:
             # Guarded functions self-tick after their re-entry guard passes
             # (interpreter ordering); everything else is counted here.

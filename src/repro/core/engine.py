@@ -46,8 +46,9 @@ from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 from .ast import Expr, Program
 from .compiler import CompiledProgram
 from .environment import Database
-from .errors import SRLCompilationError, SRLRuntimeError
+from .errors import InvalidDatabaseError, SRLCompilationError
 from .evaluator import EvaluationLimits, EvaluationStats, Evaluator
+from .governor import Budget
 from .relalg import (
     IndexedRelation,
     naive_closure,
@@ -96,6 +97,11 @@ class Session:
         order); can also be overridden per run.
     backend:
         One of :data:`BACKENDS`; defaults to ``"compiled"``.
+    budget:
+        Optional :class:`~repro.core.governor.Budget` (deadline, row /
+        round / memo caps, cancel token).  Each run and each logic-layer
+        call starts a fresh governor from it, so the caps are per-query,
+        not cumulative across the session.
 
     The session compiles lazily on first use and re-compiles automatically
     if the program's definitions are changed between runs.  ``stats`` always
@@ -109,6 +115,7 @@ class Session:
         limits: EvaluationLimits | None = None,
         atom_order: Sequence[int] | None = None,
         backend: str = "compiled",
+        budget: Budget | None = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -118,6 +125,12 @@ class Session:
         self.limits = limits if limits is not None else EvaluationLimits()
         self.atom_order = tuple(atom_order) if atom_order is not None else None
         self.backend = backend
+        self.budget = budget
+        #: The session's degradation audit log: every time the logic layer
+        #: dropped a rung (optimized plan -> raw plan -> tuple oracle, or
+        #: skipped a memo store), a
+        #: :class:`~repro.core.governor.DegradationEvent` lands here.
+        self.degradations: list = []
         self.stats = EvaluationStats()
         self._compiled: CompiledProgram | None = None
         self._compiled_key: tuple | None = None
@@ -166,17 +179,25 @@ class Session:
         """
         return self.backend != "reference"
 
+    def _governor(self, stats=None):
+        """A fresh per-run governor from the session budget (or ``None``)."""
+        if self.budget is None:
+            return None
+        return self.budget.start(stats)
+
     def least_fixpoint(self, step=None, initial: frozenset = frozenset(), *,
                        delta_step=None) -> frozenset:
         """:func:`least_fixpoint` with the strategy picked by the backend."""
         return least_fixpoint(step, initial, delta_step=delta_step,
-                              seminaive=self.seminaive)
+                              seminaive=self.seminaive,
+                              governor=self._governor())
 
     def transitive_closure(self, successors: Mapping, deterministic: bool = False
                            ) -> set[tuple]:
         """:func:`transitive_closure` with the strategy picked by the backend."""
         return transitive_closure(successors, deterministic=deterministic,
-                                  seminaive=self.seminaive)
+                                  seminaive=self.seminaive,
+                                  governor=self._governor())
 
     # --------------------------------------------------------- logic facade
 
@@ -208,7 +229,9 @@ class Session:
         return define_relation(formula, structure, tuple(variables),
                                memoize=memoize, seminaive=self.seminaive,
                                backend=self.logic_backend,
-                               optimize=self.logic_optimize)
+                               optimize=self.logic_optimize,
+                               budget=self.budget,
+                               degradations=self.degradations)
 
     def evaluate_formula(self, formula, structure, assignment=None) -> bool:
         """:func:`repro.logic.eval.evaluate` with the logic backend and
@@ -224,14 +247,20 @@ class Session:
         from repro.logic.eval import ModelChecker
         cached = self._logic_checker
         if cached is not None and cached[0] is structure \
-                and cached[1] == self.logic_backend:
+                and cached[1] == (self.logic_backend, self.budget):
             checker = cached[2]
         else:
             checker = ModelChecker(structure, seminaive=self.seminaive,
                                    backend=self.logic_backend,
-                                   optimize=self.logic_optimize)
-            self._logic_checker = (structure, self.logic_backend, checker)
-        return checker.evaluate(formula, assignment)
+                                   optimize=self.logic_optimize,
+                                   budget=self.budget)
+            self._logic_checker = (structure,
+                                   (self.logic_backend, self.budget), checker)
+        mark = len(checker.degradations)
+        try:
+            return checker.evaluate(formula, assignment)
+        finally:
+            self.degradations.extend(checker.degradations[mark:])
 
     # ------------------------------------------------------------ internals
 
@@ -280,12 +309,19 @@ class Session:
             # Install the stats object up front so an aborted run still
             # leaves its partial counters readable on the session.
             self.stats = stats = EvaluationStats()
+            governor = self._governor(stats)
+            if governor is not None:
+                # One unamortized check up front: an already-expired
+                # deadline or pre-cancelled token stops the run before any
+                # work, however short the program.
+                governor.check_time()
             if mode == "run":
                 return compiled.run(database, limits=self.limits,
-                                    atom_order=order, stats=stats)
+                                    atom_order=order, stats=stats,
+                                    governor=governor)
             return compiled.call(name, *args, database=database,
                                  limits=self.limits, atom_order=order,
-                                 stats=stats)
+                                 stats=stats, governor=governor)
         if self.backend == "reference":
             from .reference import legacy_mode
             with legacy_mode():
@@ -294,6 +330,9 @@ class Session:
 
     def _run_interp(self, mode, database, main, order, name, args):
         evaluator = Evaluator(self.program, self.limits, atom_order=order)
+        evaluator.governor = governor = self._governor(evaluator.stats)
+        if governor is not None:
+            governor.check_time()
         self.stats = evaluator.stats  # observable even if the run aborts
         if mode == "run":
             value = evaluator.run(database, main=main)
@@ -346,7 +385,7 @@ _UNBOUND = object()
 def least_fixpoint(step: Callable[[frozenset], frozenset] | None = None,
                    initial: frozenset = frozenset(), *,
                    delta_step: Callable[[frozenset, set], Iterable] | None = None,
-                   seminaive: bool = True) -> frozenset:
+                   seminaive: bool = True, governor=None) -> frozenset:
     """The least fixed point of an inflationary operator.
 
     Two calling conventions, matching the two evaluation strategies of
@@ -370,21 +409,23 @@ def least_fixpoint(step: Callable[[frozenset], frozenset] | None = None,
         if step is not None:
             raise TypeError("pass either step or delta_step, not both")
         if seminaive:
-            return seminaive_fixpoint(initial, delta_step)
+            return seminaive_fixpoint(initial, delta_step, governor=governor)
         # Naive evaluation of a delta-phrased operator: every round hands
         # the *whole* accumulated relation back as the "delta".
         return naive_fixpoint(
             lambda current: current | frozenset(delta_step(current, set(current))),
             frozenset(initial),
+            governor=governor,
         )
     if step is None:
         raise TypeError("least_fixpoint needs a step or a delta_step")
-    return naive_fixpoint(step, initial)
+    return naive_fixpoint(step, initial, governor=governor)
 
 
 def transitive_closure(successors: Mapping[_Node, Iterable[_Node]],
                        deterministic: bool = False, *,
-                       seminaive: bool = True) -> set[tuple[_Node, _Node]]:
+                       seminaive: bool = True,
+                       governor=None) -> set[tuple[_Node, _Node]]:
     """The reflexive transitive closure of a successor relation.
 
     ``deterministic`` keeps only out-degree-1 edges first (the DTC reading:
@@ -395,8 +436,10 @@ def transitive_closure(successors: Mapping[_Node, Iterable[_Node]],
     benchmark baseline).
     """
     if seminaive:
-        return seminaive_closure(successors, deterministic=deterministic)
-    return naive_closure(successors, deterministic=deterministic)
+        return seminaive_closure(successors, deterministic=deterministic,
+                                 governor=governor)
+    return naive_closure(successors, deterministic=deterministic,
+                         governor=governor)
 
 
 def _restore(assignment: dict, variable, saved) -> None:
@@ -470,32 +513,38 @@ def database_from_json(data: Mapping[str, object]) -> Database:
         {"atom": 3}  {"nat": 7}  {"set": [...]}  {"tuple": [...]}  {"list": [...]}
     """
     if not isinstance(data, Mapping):
-        raise SRLRuntimeError("database JSON must be an object of name -> value")
+        raise InvalidDatabaseError(
+            "database JSON must be an object of name -> value, got "
+            f"{type(data).__name__}"
+        )
     database = Database()
     for name, value in data.items():
+        path = str(name)
         try:
-            database.bind(name, _json_value(value, depth=0))
-        except SRLRuntimeError:
+            database.bind(name, _json_value(value, depth=0, path=path))
+        except InvalidDatabaseError:
             raise
         except (TypeError, ValueError) as error:
             # Malformed tagged values (e.g. {"atom": "three"}, {"set": 5})
             # surface as the library's own error so the CLI reports them
             # cleanly instead of crashing with a raw traceback.
-            raise SRLRuntimeError(
-                f"cannot read an SRL value for {name!r}: {error}"
+            raise InvalidDatabaseError(
+                f"{path!r}: cannot read an SRL value: {error}"
             ) from error
     return database
 
 
-def _json_value(obj, depth: int) -> Value:
+def _json_value(obj, depth: int, path: str = "") -> Value:
     if isinstance(obj, bool):
         return obj
     if isinstance(obj, int):
         return Atom(obj)
     if isinstance(obj, list):
+        items = (_json_value(item, depth + 1, f"{path}[{index}]")
+                 for index, item in enumerate(obj))
         if depth == 0:
-            return SRLSet(_json_value(item, depth + 1) for item in obj)
-        return SRLTuple(_json_value(item, depth + 1) for item in obj)
+            return SRLSet(items)
+        return SRLTuple(items)
     if isinstance(obj, Mapping):
         if len(obj) == 1 or (len(obj) == 2 and "atom" in obj and "name" in obj):
             if "atom" in obj:
@@ -503,9 +552,14 @@ def _json_value(obj, depth: int) -> Value:
             if "nat" in obj:
                 return int(obj["nat"])
             if "set" in obj:
-                return SRLSet(_json_value(item, 1) for item in obj["set"])
+                return SRLSet(_json_value(item, 1, f"{path}.set[{index}]")
+                              for index, item in enumerate(obj["set"]))
             if "tuple" in obj:
-                return SRLTuple(_json_value(item, 1) for item in obj["tuple"])
+                return SRLTuple(_json_value(item, 1, f"{path}.tuple[{index}]")
+                                for index, item in enumerate(obj["tuple"]))
             if "list" in obj:
-                return SRLList(_json_value(item, 1) for item in obj["list"])
-    raise SRLRuntimeError(f"cannot read an SRL value from JSON fragment {obj!r}")
+                return SRLList(_json_value(item, 1, f"{path}.list[{index}]")
+                               for index, item in enumerate(obj["list"]))
+    raise InvalidDatabaseError(
+        f"{path!r}: cannot read an SRL value from JSON fragment {obj!r}"
+    )

@@ -64,13 +64,62 @@ class RestrictionViolation(SRLError):
         super().__init__(f"program is not in {restriction}: {summary}")
 
 
-class ResourceLimitExceeded(SRLRuntimeError):
-    """Raised when evaluation exceeds a configured step / insert / set-size
-    budget.  Benchmarks use generous limits; tests use tight ones to assert
-    that restricted programs stay cheap."""
+class InvalidDatabaseError(SRLRuntimeError):
+    """Raised when JSON-shaped input (a database or structure file) is
+    malformed: wrong-arity tuples, non-list facts, values that are not an
+    SRL value, relations referenced but never defined.  Messages are
+    path-qualified (``EDGES[3]: ...``) so the offending fragment can be
+    found in the input file; the CLI maps this to exit code 2 (a bad
+    input, not an engine failure)."""
 
-    def __init__(self, resource: str, limit: int, used: int):
+
+class ResourceLimitExceeded(SRLRuntimeError):
+    """Raised when evaluation exceeds a configured budget — the classic
+    step / insert / set-size limits of :class:`EvaluationLimits`, or one
+    of the :class:`~repro.core.governor.Budget` resources (wall-clock
+    deadline, rows materialized, fixpoint rounds, memo entries,
+    cooperative cancellation), each of which raises the matching subclass
+    below.  Benchmarks use generous limits; tests use tight ones to assert
+    that restricted programs stay cheap.
+
+    ``stats`` optionally carries the partial execution counters at the
+    moment the budget blew (a :class:`~repro.logic.plan.PlanStats` or
+    :class:`~repro.core.evaluator.EvaluationStats`), so callers can see
+    *how far* the aborted evaluation got."""
+
+    def __init__(self, resource: str, limit, used, stats=None):
         super().__init__(f"{resource} limit exceeded: used {used}, limit {limit}")
         self.resource = resource
         self.limit = limit
         self.used = used
+        self.stats = stats
+
+
+class DeadlineExceeded(ResourceLimitExceeded):
+    """The wall-clock deadline of a :class:`~repro.core.governor.Budget`
+    passed before evaluation finished."""
+
+
+class EvaluationCancelled(ResourceLimitExceeded):
+    """The budget's cooperative :class:`~repro.core.governor.CancelToken`
+    was cancelled; the evaluation stopped at the next checkpoint."""
+
+    def __init__(self, stats=None):
+        super().__init__("cancellation", 0, 1, stats=stats)
+
+
+class RowLimitExceeded(ResourceLimitExceeded):
+    """Plan execution materialized more rows than the budget's
+    ``max_rows_materialized`` allows (checked *before* a domain product is
+    enumerated, so an adversarial ``n^k`` complement aborts without first
+    allocating it)."""
+
+
+class FixpointRoundLimitExceeded(ResourceLimitExceeded):
+    """A fixed-point or closure iteration exceeded the budget's
+    ``max_fixpoint_rounds``."""
+
+
+class MemoLimitExceeded(ResourceLimitExceeded):
+    """Storing one more memoized relation would exceed the budget's
+    ``max_memo_entries``."""

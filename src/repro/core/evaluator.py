@@ -147,10 +147,12 @@ class Evaluator:
         program: Program | None = None,
         limits: EvaluationLimits | None = None,
         atom_order: Sequence[int] | None = None,
+        governor=None,
     ):
         self.program = program if program is not None else Program()
         self.limits = limits if limits is not None else EvaluationLimits()
         self.atom_order = tuple(atom_order) if atom_order is not None else None
+        self.governor = governor
         self.stats = EvaluationStats()
         self._call_stack: list[str] = []
         self._new_counter = 0
@@ -185,6 +187,9 @@ class Evaluator:
         limit = self.limits.max_steps
         if limit is not None and self.stats.steps > limit:
             raise ResourceLimitExceeded("steps", limit, self.stats.steps)
+        governor = self.governor
+        if governor is not None:
+            governor.tick()
 
     def _note_set(self, value: Value) -> None:
         if isinstance(value, SRLSet):

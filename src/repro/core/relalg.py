@@ -342,17 +342,22 @@ class IndexedRelation:
 
 
 def naive_fixpoint(step: Callable[[frozenset], frozenset],
-                   initial: frozenset = frozenset()) -> frozenset:
+                   initial: frozenset = frozenset(),
+                   *, governor=None) -> frozenset:
     """Iterate ``step`` from ``initial`` until it stabilizes — the naive
     strategy: each round recomputes the full image of the accumulated
     relation and compares whole sets.
 
     The operator is assumed inflationary/monotone (as the LFP stage
     operators of the logic layer are), so the iteration terminates on any
-    finite domain.
+    finite domain.  ``governor`` (a :class:`~repro.core.governor.Governor`)
+    is checked once per round — the natural checkpoint for deadlines,
+    cancellation and the round budget.
     """
     current = frozenset(initial)
     while True:
+        if governor is not None:
+            governor.note_round()
         nxt = frozenset(step(current))
         if nxt == current:
             return current
@@ -360,7 +365,8 @@ def naive_fixpoint(step: Callable[[frozenset], frozenset],
 
 
 def seminaive_fixpoint(initial: Iterable,
-                       delta_step: Callable[[frozenset, set], Iterable]) -> frozenset:
+                       delta_step: Callable[[frozenset, set], Iterable],
+                       *, governor=None) -> frozenset:
     """The least fixed point by delta propagation.
 
     ``delta_step(delta, total)`` must return every fact derivable with at
@@ -368,11 +374,14 @@ def seminaive_fixpoint(initial: Iterable,
     harmless — they are filtered here).  ``total`` is the live accumulated
     set and must not be mutated by the callback.  The first round passes
     ``delta = initial`` (so an empty ``initial`` still gets one round to
-    seed the iteration with premise-free derivations).
+    seed the iteration with premise-free derivations).  ``governor`` is
+    checked once per round.
     """
     total = set(initial)
     delta = frozenset(total)
     while True:
+        if governor is not None:
+            governor.note_round()
         derived = delta_step(delta, total)
         delta = frozenset(row for row in derived if row not in total)
         if not delta:
@@ -396,7 +405,8 @@ def _successor_edges(successors: Mapping[_Node, Iterable[_Node]],
 
 
 def naive_closure(successors: Mapping[_Node, Iterable[_Node]],
-                  deterministic: bool = False) -> set[tuple[_Node, _Node]]:
+                  deterministic: bool = False,
+                  governor=None) -> set[tuple[_Node, _Node]]:
     """The reflexive transitive closure by naive fixed-point evaluation.
 
     Starts from ``Id ∪ E`` and re-derives the full composition ``T ∘ E``
@@ -417,11 +427,12 @@ def naive_closure(successors: Mapping[_Node, Iterable[_Node]],
                 nxt.add((source, target))
         return frozenset(nxt)
 
-    return set(naive_fixpoint(step, frozenset(initial)))
+    return set(naive_fixpoint(step, frozenset(initial), governor=governor))
 
 
 def seminaive_closure(successors: Mapping[_Node, Iterable[_Node]],
-                      deterministic: bool = False) -> set[tuple[_Node, _Node]]:
+                      deterministic: bool = False,
+                      governor=None) -> set[tuple[_Node, _Node]]:
     """The reflexive transitive closure by semi-naive delta propagation.
 
     Identical output to :func:`naive_closure`; each round composes only the
@@ -439,6 +450,8 @@ def seminaive_closure(successors: Mapping[_Node, Iterable[_Node]],
             closure.add((source, target))
     frontier: list[tuple[_Node, _Node]] = list(closure)
     while frontier:
+        if governor is not None:
+            governor.note_round()
         derived: list[tuple[_Node, _Node]] = []
         for source, middle in frontier:
             for target in edges.get(middle, ()):

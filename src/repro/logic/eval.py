@@ -35,6 +35,7 @@ architecture" and "Semi-naive evaluation"):
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from itertools import product
 from typing import Mapping
 
@@ -45,7 +46,10 @@ from repro.core.engine import (
     least_fixpoint,
     transitive_closure,
 )
+from repro.core.errors import ResourceLimitExceeded
+from repro.core.governor import Budget, DegradationEvent
 from repro.structures.structure import Structure
+from repro.testing.chaos import chaos_point
 
 from .compile import compile_formula
 from .optimize import optimize_formula
@@ -87,6 +91,58 @@ LOGIC_BACKENDS = ("plan", "tuple")
 _UNBOUND = object()
 
 
+class _TupleFallback(Exception):
+    """Internal signal: both plan rungs failed on a non-budget error; the
+    caller should answer through the tuple oracle."""
+
+
+def _plan_rows(formula: Formula, layout: tuple[str, ...] | None,
+               structure: Structure, context_for, optimize: bool,
+               governor, degradations: list) -> tuple[tuple[str, ...], frozenset]:
+    """Execute ``formula`` set-at-a-time down the degradation ladder.
+
+    Rung one: the optimized plan.  Any failure *optimizing* — a rewrite
+    crash, an injected fault, or a budget blown mid-pipeline — records a
+    :class:`DegradationEvent` and falls back to the raw compiled plan
+    rather than failing the query.  Rung two: the raw plan; an internal
+    failure *executing* either plan (but never a
+    :class:`ResourceLimitExceeded`, which is the budget working as
+    intended and always propagates) records an event and drops one rung
+    further.  Below the raw plan lies the tuple oracle, signalled to the
+    caller via :class:`_TupleFallback` (the oracle needs caller-specific
+    machinery: row enumeration for ``define_relation``, recursive
+    evaluation for ``evaluate``).
+
+    Returns ``(columns, rows)`` of whichever plan rung answered.
+    ``context_for`` builds a *fresh* execution context per attempt so a
+    failed rung cannot leak partial memo state into the next.
+    """
+    plan = None
+    if optimize:
+        try:
+            plan = optimize_formula(formula, structure, layout,
+                                    governor=governor)
+        except Exception as error:
+            degradations.append(
+                DegradationEvent("optimize", "raw-plan", repr(error)))
+    if plan is not None:
+        try:
+            return plan.columns, frozenset(plan.execute(context_for()).rows)
+        except ResourceLimitExceeded:
+            raise
+        except Exception as error:
+            degradations.append(
+                DegradationEvent("plan", "raw-plan", repr(error)))
+    raw = compile_formula(formula, layout)
+    try:
+        return raw.columns, frozenset(raw.execute(context_for()).rows)
+    except ResourceLimitExceeded:
+        raise
+    except Exception as error:
+        degradations.append(DegradationEvent("plan", "tuple", repr(error)))
+        raise _TupleFallback(error) from error
+
+
 class ModelChecker:
     """Evaluates formulas over a fixed structure.
 
@@ -126,7 +182,8 @@ class ModelChecker:
     def __init__(self, structure: Structure,
                  auxiliary: Mapping[str, frozenset[tuple[int, ...]]] | None = None,
                  memoize: bool = True, seminaive: bool = True,
-                 backend: str = "tuple", optimize: bool = True):
+                 backend: str = "tuple", optimize: bool = True,
+                 budget: Budget | None = None):
         if backend not in LOGIC_BACKENDS:
             raise ValueError(
                 f"unknown logic backend {backend!r}: expected one of "
@@ -138,6 +195,13 @@ class ModelChecker:
         self.seminaive = seminaive
         self.backend = backend
         self.optimize = optimize
+        self.budget = budget
+        #: The degradation ladder's audit log: one event per rung dropped
+        #: (optimized plan -> raw plan -> tuple oracle, memo store skipped).
+        self.degradations: list[DegradationEvent] = []
+        # The per-call governor minted from ``budget`` by :meth:`evaluate`;
+        # ``None`` whenever no budget is set (the ungoverned fast path).
+        self._governor = None
         self.plan_stats = PlanStats()
         # Maps (kind, formula, auxiliary snapshot) -> computed closure /
         # fixed point (or, for the plan backend, the formula's defined
@@ -167,13 +231,52 @@ class ModelChecker:
     # ----------------------------------------------------------- formulas
 
     def evaluate(self, formula: Formula, assignment: Mapping[str, int] | None = None) -> bool:
-        """Evaluate ``formula`` under the given variable assignment."""
+        """Evaluate ``formula`` under the given variable assignment.
+
+        When the checker has a :class:`Budget`, a fresh governor enforces
+        it for the duration of this call (the caps are per-query); whatever
+        the outcome, :meth:`_restoring` guarantees the checker's auxiliary
+        relations and memo tables are back in their pre-call state after
+        any exception.
+        """
         # Copy so the quantifiers' in-place rebinding never leaks into the
         # caller's mapping.
         assignment = dict(assignment or {})
-        if self.backend == "plan":
-            return self._eval_plan(formula, assignment)
-        return self._eval(formula, assignment)
+        previous = self._governor
+        self._governor = governor = \
+            self.budget.start(self.plan_stats) if self.budget is not None \
+            else None
+        try:
+            with self._restoring():
+                if governor is not None:
+                    governor.check_time()
+                if self.backend == "plan":
+                    return self._eval_plan(formula, assignment)
+                return self._eval(formula, assignment)
+        finally:
+            self._governor = previous
+
+    @contextmanager
+    def _restoring(self):
+        """Roll the checker's mutable state — auxiliary relations and both
+        memo tables — back to its pre-query snapshot if the query raises,
+        so one aborted evaluation can never poison the next (the
+        mutate-and-restore audit the governor's error paths rely on).  The
+        degradation log is deliberately left alone: it is an audit trail,
+        not query state."""
+        saved_auxiliary = dict(self.auxiliary)
+        saved_cache = set(self._fixpoint_cache)
+        saved_memo = set(self._plan_memo)
+        try:
+            yield
+        except BaseException:
+            self.auxiliary.clear()
+            self.auxiliary.update(saved_auxiliary)
+            for key in set(self._fixpoint_cache) - saved_cache:
+                del self._fixpoint_cache[key]
+            for key in set(self._plan_memo) - saved_memo:
+                del self._plan_memo[key]
+            raise
 
     def _eval_plan(self, formula: Formula, assignment: dict[str, int]) -> bool:
         """Set-at-a-time evaluation: compile once (memoized per formula),
@@ -183,23 +286,30 @@ class ModelChecker:
         by a row lookup.  The relation depends only on the formula and the
         auxiliary snapshot, so it is cached exactly like the tuple
         backend's fixed points."""
-        if self.optimize:
-            plan = optimize_formula(formula, self.structure)
+        key = ("plan", formula, self._aux_snapshot())
+        cached = self._fixpoint_cache.get(key) if self.memoize else None
+        if cached is not None:
+            columns, rows = cached
         else:
-            plan = compile_formula(formula)
-        rows = None
-        if self.memoize:
-            key = ("plan", formula, self._aux_snapshot())
-            rows = self._fixpoint_cache.get(key)
-        if rows is None:
-            context = ExecutionContext(self.structure, dict(self.auxiliary),
-                                       self.seminaive, stats=self.plan_stats,
-                                       memo=self._plan_memo)
-            rows = frozenset(plan.execute(context).rows)
+            def context_for() -> ExecutionContext:
+                return ExecutionContext(self.structure, dict(self.auxiliary),
+                                        self.seminaive, stats=self.plan_stats,
+                                        memo=self._plan_memo,
+                                        governor=self._governor)
+
+            try:
+                columns, rows = _plan_rows(formula, None, self.structure,
+                                           context_for, self.optimize,
+                                           self._governor, self.degradations)
+            except _TupleFallback:
+                # Bottom of the ladder: answer this assignment through the
+                # tuple oracle (immune to every plan-side fault by
+                # construction); nothing is cached under the "plan" key.
+                return self._eval(formula, assignment)
             if self.memoize:
-                self._fixpoint_cache[key] = rows
+                self._memo_store(key, (columns, rows))
         values = []
-        for column in plan.columns:
+        for column in columns:
             value = assignment.get(column, _UNBOUND)
             if value is _UNBOUND:
                 raise KeyError(f"unassigned first-order variable: {column}")
@@ -207,6 +317,9 @@ class ModelChecker:
         return tuple(values) in rows
 
     def _eval(self, formula: Formula, assignment: dict[str, int]) -> bool:
+        governor = self._governor
+        if governor is not None:
+            governor.tick()
         if isinstance(formula, TrueFormula):
             return True
         if isinstance(formula, FalseFormula):
@@ -265,6 +378,36 @@ class ModelChecker:
         cache-key component."""
         return frozenset(self.auxiliary.items())
 
+    def _memo_store(self, key, value) -> None:
+        """Store one entry in the fixed-point/relation memo, guarded.
+
+        The governor's ``max_memo_entries`` budget is checked first.  The
+        store itself runs through the ``engine.memo.store`` chaos point;
+        if the store raises, or hands back anything other than the exact
+        value computed (an injected garbling — the identity check is the
+        memo layer refusing to index something that did not round-trip),
+        the entry is *skipped* with a :class:`DegradationEvent` rather
+        than cached: a memo is an optimization, and a lost one can only
+        cost time, never correctness.
+        """
+        if self._governor is not None:
+            self._governor.check_memo(len(self._fixpoint_cache) + 1)
+        try:
+            stored = chaos_point("engine.memo.store", value,
+                                 corrupt=lambda entry: frozenset({("$corrupt",)}))
+        except ResourceLimitExceeded:
+            raise
+        except Exception as error:
+            self.degradations.append(
+                DegradationEvent("memo", "no-memo", repr(error)))
+            return
+        if stored is not value:
+            self.degradations.append(
+                DegradationEvent("memo", "no-memo",
+                                 "memo store did not round-trip"))
+            return
+        self._fixpoint_cache[key] = value
+
     def _lfp(self, formula: LFPAtom) -> frozenset[tuple[int, ...]]:
         """Iterate the (assumed monotone) operator to its least fixed point.
 
@@ -278,7 +421,7 @@ class ModelChecker:
                 return cached
         result = self._compute_lfp(formula)
         if self.memoize:
-            self._fixpoint_cache[key] = result
+            self._memo_store(key, result)
         return result
 
     def _compute_lfp(self, formula: LFPAtom) -> frozenset[tuple[int, ...]]:
@@ -327,7 +470,8 @@ class ModelChecker:
                     stage.add(row)
             return frozenset(stage)
 
-        return least_fixpoint(stage_operator, seminaive=False)
+        return least_fixpoint(stage_operator, seminaive=False,
+                              governor=self._governor)
 
     def _lfp_stages_seminaive(self, rows, variables, relation, body,
                               assignment) -> frozenset[tuple[int, ...]]:
@@ -356,7 +500,7 @@ class ModelChecker:
             remaining[:] = survivors
             return derived
 
-        return least_fixpoint(delta_step=delta_step)
+        return least_fixpoint(delta_step=delta_step, governor=self._governor)
 
     def _edge_relation(self, formula: TCAtom | DTCAtom, deterministic: bool = False
                        ) -> dict[tuple[int, ...], tuple[tuple[int, ...], ...]]:
@@ -399,7 +543,7 @@ class ModelChecker:
                 return cached
         result = self._compute_tc(formula, deterministic)
         if self.memoize:
-            self._fixpoint_cache[key] = result
+            self._memo_store(key, result)
         return result
 
     def _compute_tc(self, formula: TCAtom | DTCAtom, deterministic: bool) -> set[tuple[tuple[int, ...], tuple[int, ...]]]:
@@ -409,7 +553,8 @@ class ModelChecker:
         # pruning (phi_d(x, x') = phi(x, x') and x' is x's only successor).
         successors = self._edge_relation(formula, deterministic)
         return transitive_closure(successors, deterministic=deterministic,
-                                  seminaive=self.seminaive)
+                                  seminaive=self.seminaive,
+                                  governor=self._governor)
 
     def _closure_membership(self, formula: TCAtom | DTCAtom,
                             closure: set[tuple[tuple[int, ...], tuple[int, ...]]],
@@ -421,9 +566,11 @@ class ModelChecker:
 
 def evaluate(formula: Formula, structure: Structure,
              assignment: Mapping[str, int] | None = None,
-             backend: str = "tuple", optimize: bool = True) -> bool:
+             backend: str = "tuple", optimize: bool = True,
+             budget: Budget | None = None) -> bool:
     """Convenience wrapper around :class:`ModelChecker`."""
-    checker = ModelChecker(structure, backend=backend, optimize=optimize)
+    checker = ModelChecker(structure, backend=backend, optimize=optimize,
+                           budget=budget)
     return checker.evaluate(formula, assignment)
 
 
@@ -433,7 +580,9 @@ def define_relation(formula: Formula, structure: Structure,
                     seminaive: bool = True,
                     backend: str = "tuple",
                     optimize: bool = True,
-                    stats: PlanStats | None = None) -> frozenset[tuple[int, ...]]:
+                    stats: PlanStats | None = None,
+                    budget: Budget | None = None,
+                    degradations: list | None = None) -> frozenset[tuple[int, ...]]:
     """The relation ``{(v1..vk) | structure |= formula[v̄]}`` defined by a
     formula with the given free variables.
 
@@ -451,25 +600,39 @@ def define_relation(formula: Formula, structure: Structure,
     closed over once (when ``memoize``) instead of once per row, and the
     row assignment is rebound in place.  ``seminaive`` picks the
     fixed-point strategy either way (see :class:`ModelChecker`).
+
+    A ``budget`` mints a fresh governor for this one definition (either
+    backend); plan-side internal failures walk the degradation ladder
+    down to the tuple oracle, appending each rung dropped to
+    ``degradations`` when a list is supplied.
     """
     if backend not in LOGIC_BACKENDS:
         raise ValueError(
             f"unknown logic backend {backend!r}: expected one of {LOGIC_BACKENDS}"
         )
+    layout = tuple(variables)
+    governor = budget.start(stats) if budget is not None else None
+    events: list = degradations if degradations is not None else []
     if backend == "plan":
-        if optimize:
-            plan = optimize_formula(formula, structure, tuple(variables))
-        else:
-            plan = compile_formula(formula, tuple(variables))
-        context = ExecutionContext(structure, {}, seminaive,
-                                   stats=stats, memo={})
-        return frozenset(plan.execute(context).rows)
+        def context_for() -> ExecutionContext:
+            return ExecutionContext(structure, {}, seminaive,
+                                    stats=stats, memo={}, governor=governor)
+
+        try:
+            _columns, rows = _plan_rows(formula, layout, structure,
+                                        context_for, optimize, governor,
+                                        events)
+            return rows
+        except _TupleFallback:
+            pass  # fall through to the governed tuple enumeration below
     checker = ModelChecker(structure, memoize=memoize, seminaive=seminaive)
+    checker._governor = governor
     rows = set()
     assignment: dict[str, int] = {}
-    for row in product(structure.universe, repeat=len(variables)):
-        for variable, value in zip(variables, row):
+    for row in product(structure.universe, repeat=len(layout)):
+        for variable, value in zip(layout, row):
             assignment[variable] = value
         if checker._eval(formula, assignment):
             rows.add(row)
+    events.extend(checker.degradations)
     return frozenset(rows)

@@ -59,10 +59,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import replace
-from functools import lru_cache
 from typing import Mapping, Sequence
 
 from repro.structures.structure import Structure
+from repro.testing.chaos import chaos_point
 
 from .compile import compile_formula
 from .formula import Formula, pretty
@@ -93,6 +93,8 @@ from .plan import (
 
 __all__ = [
     "CostModel",
+    "PlanInvariantError",
+    "clear_plan_cache",
     "estimate",
     "optimize_plan",
     "optimize_formula",
@@ -837,37 +839,86 @@ def _share(plan: Plan) -> Plan:
 # ------------------------------------------------------------- the pipeline
 
 
-def optimize_plan(plan: Plan, cost: CostModel) -> Plan:
-    """Run the full rewrite pipeline over a compiled plan."""
-    plan = _simplify(plan)
-    plan = _pushdown(plan)
-    plan = _simplify(plan)
-    plan = _prune(plan)
-    plan = _simplify(plan)
-    plan = _reorder(plan, cost)
-    plan = _simplify(plan)
-    plan = _fuse_kernels(plan)
-    plan = _rewrite_fixpoints(plan)
-    plan = _share(plan)
+class PlanInvariantError(Exception):
+    """An optimized plan violates a structural invariant — its output
+    columns differ from the raw compiled plan's.  The rewrite passes are
+    layout-preserving by contract, so this only fires on an optimizer bug
+    (or an injected corruption); the evaluation layer responds by falling
+    back to the raw plan rather than executing a misshapen one."""
+
+
+def optimize_plan(plan: Plan, cost: CostModel, governor=None) -> Plan:
+    """Run the full rewrite pipeline over a compiled plan.
+
+    Every pass boundary is a governor checkpoint (deadlines and
+    cancellation hold during optimization, not just execution) and a chaos
+    injection point (``optimize.pass.<name>``).  The output layout is
+    validated against the input plan before the result is released.
+    """
+    passes = (
+        ("simplify", _simplify),
+        ("pushdown", _pushdown),
+        ("simplify", _simplify),
+        ("prune", _prune),
+        ("simplify", _simplify),
+        ("reorder", lambda rewritten: _reorder(rewritten, cost)),
+        ("simplify", _simplify),
+        ("fuse", _fuse_kernels),
+        ("delta", _rewrite_fixpoints),
+        ("share", _share),
+    )
+    columns = plan.columns
+    for name, rewrite in passes:
+        if governor is not None:
+            governor.check_time()
+        plan = chaos_point(
+            f"optimize.pass.{name}", rewrite(plan),
+            corrupt=lambda rewritten: Empty(rewritten.columns + ("$corrupt",)))
+    if plan.columns != columns:
+        raise PlanInvariantError(
+            f"optimizer changed the output layout: {columns} -> {plan.columns}"
+        )
     return plan
 
 
-@lru_cache(maxsize=2048)
+#: Manually managed memo for optimized plans, keyed by (formula, layout,
+#: cost-model key).  A plain dict rather than ``lru_cache`` so failed
+#: optimizations are never cached, chaos tests can clear it, and a governor
+#: (never hashable state) stays out of the key.
+_PLAN_CACHE: dict[tuple, Plan] = {}
+_PLAN_CACHE_LIMIT = 2048
+
+
+def clear_plan_cache() -> None:
+    """Drop every memoized optimized plan (the chaos fixture calls this so
+    armed optimizer faults actually reach the rewrite pipeline)."""
+    _PLAN_CACHE.clear()
+
+
 def _optimized(formula: Formula, variables: tuple[str, ...] | None,
-               cost_key: tuple) -> Plan:
-    plan = compile_formula(formula, variables)
-    return optimize_plan(plan, CostModel(cost_key[0], dict(cost_key[1])))
+               cost_key: tuple, governor=None) -> Plan:
+    key = (formula, variables, cost_key)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.clear()
+        plan = optimize_plan(compile_formula(formula, variables),
+                             CostModel(cost_key[0], dict(cost_key[1])),
+                             governor=governor)
+        _PLAN_CACHE[key] = plan
+    return plan
 
 
 def optimize_formula(formula: Formula, structure: Structure,
-                     variables: Sequence[str] | None = None) -> Plan:
+                     variables: Sequence[str] | None = None,
+                     governor=None) -> Plan:
     """Compile ``formula`` and optimize the plan against ``structure``'s
     live statistics.  Memoized per (formula, layout, statistics) — a model
     checker answering many assignments optimizes once, and two structures
     with identical statistics share the optimized plan."""
     cost = CostModel.from_structure(structure)
     layout = tuple(variables) if variables is not None else None
-    return _optimized(formula, layout, cost.key())
+    return _optimized(formula, layout, cost.key(), governor=governor)
 
 
 def explain_optimized(formula: Formula, structure: Structure,

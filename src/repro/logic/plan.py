@@ -67,8 +67,10 @@ from itertools import product as cartesian
 from typing import Iterable, Mapping
 
 from repro.core.engine import least_fixpoint, transitive_closure
+from repro.core.governor import Governor
 from repro.core.relalg import IndexedRelation
 from repro.structures.structure import Structure
+from repro.testing.chaos import chaos_point
 
 __all__ = [
     "ExecutionContext",
@@ -155,6 +157,7 @@ class ExecutionContext:
     memo: dict | None = None
     round_memo: dict | None = None
     accumulators: dict | None = None
+    governor: Governor | None = None
 
     def with_auxiliary(self, name: str, rows: frozenset,
                        delta: frozenset | None = None,
@@ -179,7 +182,7 @@ class ExecutionContext:
         store = accumulators if accumulators is not None else self.accumulators
         return ExecutionContext(self.structure, overlay, self.seminaive,
                                 deltas, self.stats, self.memo, round_memo,
-                                store)
+                                store, self.governor)
 
 
 # ------------------------------------------------------------- comparisons
@@ -286,6 +289,11 @@ class Plan:
         stats = context.stats
         if stats is not None and self._materializes:
             stats.rows_materialized += len(result)
+        governor = context.governor
+        if governor is not None:
+            if self._materializes:
+                governor.note_rows(len(result))
+            governor.tick()
         return result
 
     def _run(self, context: ExecutionContext) -> IndexedRelation:
@@ -430,6 +438,9 @@ class DomainProduct(Plan):
 
     def _run(self, context: ExecutionContext) -> IndexedRelation:
         universe = context.structure.universe
+        if context.governor is not None:
+            context.governor.check_rows_ahead(
+                len(universe) ** len(self.columns))
         return IndexedRelation(cartesian(universe, repeat=len(self.columns)),
                                arity=len(self.columns))
 
@@ -631,7 +642,20 @@ class Join(Plan):
             context.stats.index_probes += len(left_relation)
         result = IndexedRelation(arity=len(self.columns))
         empty: frozenset = frozenset()
+        governor = context.governor
+        if governor is None:
+            for row in left_relation.rows:
+                for match in index.get(key_of(row), empty):
+                    result.add(row + tuple(match[i] for i in keep))
+            return result
+        # Governed probe loop: an amortized deadline check every chunk of
+        # probes, so a pathological join observes cancellation mid-node.
+        countdown = _PROBE_CHUNK
         for row in left_relation.rows:
+            countdown -= 1
+            if countdown <= 0:
+                countdown = _PROBE_CHUNK
+                governor.check_time()
             for match in index.get(key_of(row), empty):
                 result.add(row + tuple(match[i] for i in keep))
         return result
@@ -680,7 +704,21 @@ class JoinProject(Plan):
         if context.stats is not None:
             context.stats.index_probes += len(left_relation)
         add = rows.add
+        governor = context.governor
+        if governor is None:
+            for row in left_relation.rows:
+                match_rows = index.get(key_of(row))
+                if match_rows:
+                    for match in match_rows:
+                        full = row + tuple(match[i] for i in keep)
+                        add(tuple(full[i] for i in out))
+            return IndexedRelation.adopt(rows, arity=len(self.columns))
+        countdown = _PROBE_CHUNK
         for row in left_relation.rows:
+            countdown -= 1
+            if countdown <= 0:
+                countdown = _PROBE_CHUNK
+                governor.check_time()
             match_rows = index.get(key_of(row))
             if match_rows:
                 for match in match_rows:
@@ -694,6 +732,10 @@ class JoinProject(Plan):
         return f"JoinProject on [{on}] -> {self._layout()}"
 
 
+#: Rows probed between deadline checks inside a governed join loop.
+_PROBE_CHUNK = 4096
+
+
 def _probe_scaffolding(left_columns: tuple[str, ...],
                        right_columns: tuple[str, ...],
                        right_relation: IndexedRelation):
@@ -705,6 +747,13 @@ def _probe_scaffolding(left_columns: tuple[str, ...],
     shared = tuple(c for c in right_columns if c in left_columns)
     if not shared:
         return None
+    # Corruption is detectable by construction: the smuggled empty row
+    # breaks the index build (IndexError) before any result row exists,
+    # so the fault surfaces as a clean internal error, never a wrong join.
+    right_relation = chaos_point(
+        "relalg.join.probe", right_relation,
+        corrupt=lambda relation: IndexedRelation.adopt(
+            set(relation.rows) | {()}, arity=relation.arity))
     left_key = tuple(left_columns.index(c) for c in shared)
     right_key = tuple(right_columns.index(c) for c in shared)
     keep = tuple(i for i, c in enumerate(right_columns)
@@ -958,45 +1007,59 @@ class Fixpoint(Plan):
             return self._run_delta(context)
         body = self.body
         relation = self.relation
+        arity = len(self.variables)
 
         def delta_step(_delta: frozenset, total: set) -> frozenset:
             if context.stats is not None:
                 context.stats.fixpoint_rounds += 1
             stage = context.with_auxiliary(relation, frozenset(total))
-            return body.execute(stage).rows
+            return chaos_point("plan.fixpoint.round", body.execute(stage).rows,
+                               corrupt=lambda rows: rows | {(-1,) * (arity + 1)})
 
         rows = least_fixpoint(initial=frozenset(), delta_step=delta_step,
-                              seminaive=context.seminaive)
-        return IndexedRelation(rows, arity=len(self.variables))
+                              seminaive=context.seminaive,
+                              governor=context.governor)
+        return IndexedRelation(rows, arity=arity)
 
     def _run_delta(self, context: ExecutionContext) -> IndexedRelation:
         """The delta-rewritten loop: total/delta bookkeeping lives here (not
         in the engine kernel) so each round can bind both the accumulated
         relation and the frontier, and record per-round work."""
         relation, stats = self.relation, context.stats
+        governor, arity = context.governor, len(self.variables)
         store: dict = {}  # this fixed point's Cumulative accumulators
+
+        def corrupt(rows):
+            return set(rows) | {(-1,) * (arity + 1)}
 
         def round_rows(before: int) -> None:
             if stats is not None:
                 stats.fixpoint_rounds += 1
                 stats.fixpoint_round_rows.append(stats.rows_materialized - before)
 
+        if governor is not None:
+            governor.note_round()
         before = 0 if stats is None else stats.rows_materialized
         stage = context.with_auxiliary(relation, frozenset(), fresh_round=True,
                                        accumulators=store)
-        total = set(self.body.execute(stage).rows)
+        total = set(chaos_point("plan.fixpoint.round",
+                                self.body.execute(stage).rows, corrupt=corrupt))
         round_rows(before)
         delta = frozenset(total)
         while delta:
+            if governor is not None:
+                governor.note_round()
             before = 0 if stats is None else stats.rows_materialized
             stage = context.with_auxiliary(relation, frozenset(total), delta,
                                            fresh_round=True,
                                            accumulators=store)
-            derived = self.delta_body.execute(stage).rows
+            derived = chaos_point("plan.fixpoint.round",
+                                  self.delta_body.execute(stage).rows,
+                                  corrupt=corrupt)
             round_rows(before)
             delta = frozenset(row for row in derived if row not in total)
             total.update(delta)
-        return IndexedRelation(total, arity=len(self.variables))
+        return IndexedRelation(total, arity=arity)
 
     def label(self) -> str:
         strategy = " [delta]" if self.delta_body is not None else ""
@@ -1029,6 +1092,11 @@ class Closure(Plan):
 
     def _run(self, context: ExecutionContext) -> IndexedRelation:
         k = self.k
+        governor = context.governor
+        if governor is not None:
+            # The successor map alone enumerates universe^k keys; refuse it
+            # up front when the row budget cannot cover the closure.
+            governor.check_rows_ahead(len(context.structure.universe) ** k)
         edges = self.body.execute(context)
         successors: dict[tuple, list[tuple]] = {
             source: [] for source in cartesian(context.structure.universe,
@@ -1038,7 +1106,8 @@ class Closure(Plan):
             successors[row[:k]].append(row[k:])
         closure = transitive_closure(successors,
                                      deterministic=self.deterministic,
-                                     seminaive=context.seminaive)
+                                     seminaive=context.seminaive,
+                                     governor=governor)
         return IndexedRelation.adopt(
             {source + target for source, target in closure}, arity=2 * k)
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from repro.core import Atom, Database, make_set, make_tuple
+from repro.core.errors import InvalidDatabaseError, SRLNameError
 from repro.core.values import SRLSet, SRLTuple, Value
 
 from .vocabulary import Vocabulary
@@ -56,7 +57,13 @@ class Structure:
         return range(self.size)
 
     def relation(self, name: str) -> frozenset[tuple[int, ...]]:
-        return self.relations[name]
+        try:
+            return self.relations[name]
+        except KeyError:
+            available = ", ".join(sorted(self.relations)) or "none"
+            raise SRLNameError(
+                f"unknown relation {name!r} (available: {available})"
+            ) from None
 
     def holds(self, name: str, *values: int) -> bool:
         return tuple(values) in self.relations[name]
@@ -149,16 +156,29 @@ def from_database(database: Database | Mapping[str, object],
     if not isinstance(database, Database):
         database = Database(database)
 
-    def ranks_of(value: Value) -> set[tuple[int, ...]]:
+    def ranks_of(name: str, value: Value) -> set[tuple[int, ...]]:
         rows: set[tuple[int, ...]] = set()
-        assert isinstance(value, SRLSet)
-        for element in value.elements:
+        if not isinstance(value, SRLSet):
+            raise InvalidDatabaseError(
+                f"{name}: a relation must be a set of facts, got "
+                f"{type(value).__name__}"
+            )
+        for index, element in enumerate(value.elements):
             if isinstance(element, Atom):
                 rows.add((element.rank,))
             elif isinstance(element, SRLTuple):
-                rows.add(tuple(v.rank for v in element if isinstance(v, Atom)))
+                for position, component in enumerate(element):
+                    if not isinstance(component, Atom):
+                        raise InvalidDatabaseError(
+                            f"{name}[{index}][{position}]: a fact component "
+                            f"must be an atom, got {component!r}"
+                        )
+                rows.add(tuple(v.rank for v in element))
             else:
-                raise ValueError(f"cannot reconstruct a relation from {element!r}")
+                raise InvalidDatabaseError(
+                    f"{name}[{index}]: a fact must be an atom or a tuple of "
+                    f"atoms, got {element!r}"
+                )
         return rows
 
     names = [name for name in database.names() if name != domain_name]
@@ -167,16 +187,25 @@ def from_database(database: Database | Mapping[str, object],
     max_rank = -1
     if domain_name in database:
         domain_value = database.lookup(domain_name)
-        assert isinstance(domain_value, SRLSet)
+        if not isinstance(domain_value, SRLSet):
+            raise InvalidDatabaseError(
+                f"{domain_name}: the domain must be a set of atoms, got "
+                f"{type(domain_value).__name__}"
+            )
         for element in domain_value.elements:
             if isinstance(element, Atom):
                 max_rank = max(max_rank, element.rank)
 
     for name in names:
-        rows = ranks_of(database.lookup(name))
+        rows = ranks_of(name, database.lookup(name))
         arities[name] = max((len(row) for row in rows), default=1)
         relations[name] = frozenset(rows)
         for row in rows:
             max_rank = max(max_rank, max(row, default=-1))
 
-    return Structure(Vocabulary.of(**arities), max_rank + 1, relations)
+    try:
+        return Structure(Vocabulary.of(**arities), max_rank + 1, relations)
+    except ValueError as error:
+        # Mixed arities within one relation (the vocabulary records the
+        # maximum; shorter facts then fail the arity check).
+        raise InvalidDatabaseError(str(error)) from error

@@ -1,0 +1,25 @@
+"""Test-support utilities shipped with the library (fault injection)."""
+
+from .chaos import (
+    ChaosError,
+    ChaosPolicy,
+    Fault,
+    INJECTION_POINTS,
+    active_policy,
+    chaos,
+    chaos_point,
+    install_policy,
+    uninstall_policy,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosPolicy",
+    "Fault",
+    "INJECTION_POINTS",
+    "active_policy",
+    "chaos",
+    "chaos_point",
+    "install_policy",
+    "uninstall_policy",
+]

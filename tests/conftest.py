@@ -45,6 +45,29 @@ def small_sets():
 
 
 @pytest.fixture
+def inject_faults():
+    """Arm a seeded :class:`~repro.testing.chaos.ChaosPolicy` for one test.
+
+    Yields a factory: ``policy = inject_faults(Fault(...), seed=3)``.  The
+    optimizer's plan cache is cleared around every installation — a cached
+    plan would skip the very pass the fault is aimed at — and the policy is
+    always uninstalled afterwards, so no chaos leaks between tests.
+    """
+    from repro.logic.optimize import clear_plan_cache
+    from repro.testing.chaos import ChaosPolicy, install_policy, uninstall_policy
+
+    def arm(*faults, seed: int = 0):
+        clear_plan_cache()
+        policy = ChaosPolicy(tuple(faults), seed=seed)
+        install_policy(policy)
+        return policy
+
+    yield arm
+    uninstall_policy()
+    clear_plan_cache()
+
+
+@pytest.fixture
 def edge_database():
     """A tiny directed graph as a database: EDGES of pairs, NODES of atoms."""
     nodes = [Atom(i) for i in range(5)]

@@ -1,0 +1,179 @@
+"""Unit tests for the resource-governance layer (PR 6).
+
+:class:`Budget` is the declarative contract, :class:`Governor` the
+per-run enforcement object; every violation must surface as the right
+:class:`ResourceLimitExceeded` subclass carrying the partial stats, and
+the amortized ``tick`` must only pay for the clock at the configured
+interval.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.errors import (
+    DeadlineExceeded,
+    EvaluationCancelled,
+    FixpointRoundLimitExceeded,
+    MemoLimitExceeded,
+    ResourceLimitExceeded,
+    RowLimitExceeded,
+    SRLRuntimeError,
+)
+from repro.core.governor import Budget, CancelToken, DegradationEvent, Governor
+
+
+class TestBudget:
+    def test_default_budget_is_unlimited(self):
+        assert Budget().unlimited
+
+    @pytest.mark.parametrize("field", [
+        "deadline_seconds", "max_rows_materialized",
+        "max_fixpoint_rounds", "max_memo_entries",
+    ])
+    def test_any_cap_makes_it_limited(self, field):
+        assert not Budget(**{field: 5}).unlimited
+
+    def test_a_cancel_token_makes_it_limited(self):
+        assert not Budget(cancel_token=CancelToken()).unlimited
+
+    @pytest.mark.parametrize("field", [
+        "deadline_seconds", "max_rows_materialized",
+        "max_fixpoint_rounds", "max_memo_entries",
+    ])
+    def test_negative_caps_are_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            Budget(**{field: -1})
+
+    def test_check_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="check_interval"):
+            Budget(check_interval=0)
+
+    def test_budgets_are_frozen_and_reusable(self):
+        budget = Budget(max_fixpoint_rounds=1)
+        with pytest.raises(Exception):
+            budget.max_fixpoint_rounds = 2  # type: ignore[misc]
+        # Each start() mints independent counters.
+        first, second = budget.start(), budget.start()
+        first.note_round()
+        second.note_round()  # would raise if the counter were shared
+
+
+class TestGovernor:
+    def test_unlimited_governor_never_raises(self):
+        governor = Budget().start()
+        for _ in range(5000):
+            governor.tick()
+        governor.note_rows(10**9)
+        governor.check_rows_ahead(10**9)
+        governor.note_round()
+        governor.check_memo(10**9)
+        governor.check_time()
+
+    def test_deadline_raises_deadline_exceeded(self):
+        governor = Budget(deadline_seconds=0.0).start()
+        time.sleep(0.002)
+        with pytest.raises(DeadlineExceeded):
+            governor.check_time()
+
+    def test_cancellation_beats_the_deadline(self):
+        token = CancelToken()
+        governor = Budget(deadline_seconds=0.0, cancel_token=token).start()
+        token.cancel()
+        time.sleep(0.002)
+        with pytest.raises(EvaluationCancelled):
+            governor.check_time()
+
+    def test_tick_amortizes_the_clock_check(self):
+        token = CancelToken()
+        token.cancel()
+        governor = Budget(cancel_token=token, check_interval=4).start()
+        for _ in range(3):
+            governor.tick()  # under the interval: no check yet
+        with pytest.raises(EvaluationCancelled):
+            governor.tick()
+
+    def test_tick_weight_counts_as_many_steps(self):
+        token = CancelToken()
+        token.cancel()
+        governor = Budget(cancel_token=token, check_interval=100).start()
+        with pytest.raises(EvaluationCancelled):
+            governor.tick(weight=100)
+
+    def test_row_accounting(self):
+        governor = Budget(max_rows_materialized=10).start()
+        governor.note_rows(6)
+        governor.note_rows(4)
+        assert governor.rows_materialized == 10
+        with pytest.raises(RowLimitExceeded) as info:
+            governor.note_rows(1)
+        assert info.value.resource == "rows_materialized"
+        assert info.value.limit == 10
+        assert info.value.used == 11
+
+    def test_check_rows_ahead_refuses_before_allocating(self):
+        governor = Budget(max_rows_materialized=100).start()
+        governor.note_rows(50)
+        with pytest.raises(RowLimitExceeded):
+            governor.check_rows_ahead(51)
+        governor.check_rows_ahead(50)  # exactly at the limit is fine
+        assert governor.rows_materialized == 50  # ahead-checks don't account
+
+    def test_round_accounting(self):
+        governor = Budget(max_fixpoint_rounds=2).start()
+        governor.note_round()
+        governor.note_round()
+        assert governor.fixpoint_rounds == 2
+        with pytest.raises(FixpointRoundLimitExceeded):
+            governor.note_round()
+
+    def test_memo_limit(self):
+        governor = Budget(max_memo_entries=3).start()
+        governor.check_memo(3)
+        with pytest.raises(MemoLimitExceeded):
+            governor.check_memo(4)
+
+    def test_partial_stats_ride_on_the_error(self):
+        stats = {"rows": 7}
+        governor = Budget(max_fixpoint_rounds=0).start(stats)
+        with pytest.raises(FixpointRoundLimitExceeded) as info:
+            governor.note_round()
+        assert info.value.stats is stats
+
+    def test_every_limit_error_is_a_resource_limit(self):
+        for cls in (DeadlineExceeded, EvaluationCancelled, RowLimitExceeded,
+                    FixpointRoundLimitExceeded, MemoLimitExceeded):
+            assert issubclass(cls, ResourceLimitExceeded)
+            assert issubclass(cls, SRLRuntimeError)
+
+    def test_governor_repr_via_budget_start(self):
+        assert isinstance(Budget().start(), Governor)
+
+
+class TestCancelToken:
+    def test_one_shot_flag(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+        token.cancel()  # idempotent
+        assert token.cancelled
+
+    def test_shared_token_stops_every_governor(self):
+        token = CancelToken()
+        first = Budget(cancel_token=token).start()
+        second = Budget(cancel_token=token).start()
+        token.cancel()
+        for governor in (first, second):
+            with pytest.raises(EvaluationCancelled):
+                governor.check_time()
+
+
+class TestDegradationEvent:
+    def test_events_are_frozen_records(self):
+        event = DegradationEvent("optimize", "raw-plan", "ValueError('x')")
+        assert (event.stage, event.fallback) == ("optimize", "raw-plan")
+        with pytest.raises(Exception):
+            event.stage = "plan"  # type: ignore[misc]

@@ -279,6 +279,6 @@ class TestCLI:
 
         source = tmp_path / "bad.srl"
         source.write_text("(insert (atom 1)")
-        assert main([str(source)]) == 1
+        assert main([str(source)]) == 2
         assert "error:" in capsys.readouterr().err
         assert main([str(tmp_path / "missing.srl")]) == 2

@@ -9,6 +9,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.engine import Session, least_fixpoint, transitive_closure
 from repro.core.relalg import (
@@ -316,3 +318,53 @@ class TestSessionKernelDispatch:
             session = Session(backend=backend)
             assert session.least_fixpoint(initial={0}, delta_step=grow) == \
                 {0, 1, 2, 3}
+
+
+class TestFailedAddLeavesNoTrace:
+    """Restore-on-exception at the data-structure level (PR 6): a rejected
+    ``add`` — wrong arity — must leave the relation exactly as it was:
+    rows, delta frontier, and every built index."""
+
+    @staticmethod
+    def _snapshot(relation: IndexedRelation):
+        return (
+            set(relation.rows),
+            relation.has_delta,
+            {column: {key: set(rows) for key, rows in index.items()}
+             for column, index in relation._indexes.items()},
+        )
+
+    @given(
+        rows=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                      max_size=20),
+        bad=st.one_of(
+            st.tuples(st.integers(0, 5)),
+            st.tuples(st.integers(0, 5), st.integers(0, 5),
+                      st.integers(0, 5)),
+        ),
+    )
+    def test_rejected_add_is_a_noop(self, rows, bad):
+        relation = IndexedRelation(rows, arity=2)
+        relation.index(0)
+        relation.index_on((0, 1))
+        before = self._snapshot(relation)
+        with pytest.raises(ValueError, match="arity mismatch"):
+            relation.add(bad)
+        assert self._snapshot(relation) == before
+        # Still fully functional: a valid add lands in rows, delta and
+        # both maintained indexes.
+        assert relation.add((0, 0)) or (0, 0) in before[0]
+        assert (0, 0) in relation.index(0)[0]
+
+    @given(rows=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                         min_size=1, max_size=10))
+    def test_rejected_update_keeps_the_valid_prefix_consistent(self, rows):
+        """``update`` stops at the first bad row; everything added before
+        it must be indexed exactly like a clean insertion would be."""
+        relation = IndexedRelation(arity=2)
+        relation.index(1)
+        with pytest.raises(ValueError):
+            relation.update(list(rows) + [(9,)])
+        assert relation.rows == set(rows)
+        for row in rows:
+            assert row in relation.index(1)[row[1]]

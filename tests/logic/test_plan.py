@@ -308,7 +308,7 @@ class TestLogicCLI:
                          "--structure", "nope.json"]) == 2
         assert cli_main(["logic", "tc"]) == 2
         missing = tmp_path / "missing.json"
-        assert cli_main(["logic", "tc", "--structure", str(missing)]) == 1
+        assert cli_main(["logic", "tc", "--structure", str(missing)]) == 2
 
 
 def _walk(plan):

@@ -121,3 +121,66 @@ class TestEncoding:
             decode_relation([0, 1], 2, 3)
         with pytest.raises(ValueError):
             tuple_to_index((5,), 3)
+
+
+class TestMalformedInputs:
+    """Typed rejection of malformed structure inputs (PR 6): every bad
+    shape surfaces as :class:`InvalidDatabaseError` (or
+    :class:`SRLNameError` for unknown names) with a path-qualified
+    message, never a silent drop or a raw ``AttributeError``."""
+
+    def _db(self, **bindings):
+        from repro.core import Database
+        return Database(bindings)
+
+    def test_unknown_relation_name_is_a_typed_error(self):
+        from repro.core.errors import SRLNameError
+
+        structure = path_graph(3)
+        with pytest.raises(SRLNameError, match="unknown relation 'NOPE'"):
+            structure.relation("NOPE")
+        # The message names what *is* available.
+        with pytest.raises(SRLNameError, match="E"):
+            structure.relation("NOPE")
+
+    def test_non_set_relation_value(self):
+        from repro.core import Atom
+        from repro.core.errors import InvalidDatabaseError
+
+        with pytest.raises(InvalidDatabaseError, match="R: a relation"):
+            from_database(self._db(R=Atom(1)))
+
+    def test_non_atom_tuple_component_is_rejected_not_dropped(self):
+        from repro.core import Atom, make_set, make_tuple
+        from repro.core.errors import InvalidDatabaseError
+
+        bad = make_set(make_tuple(Atom(0), make_set(Atom(1))))
+        with pytest.raises(InvalidDatabaseError, match=r"R\[0\]\[1\]"):
+            from_database(self._db(R=bad))
+
+    def test_non_fact_element(self):
+        from repro.core import make_list, make_set
+        from repro.core.errors import InvalidDatabaseError
+
+        with pytest.raises(InvalidDatabaseError, match=r"R\[0\]: a fact"):
+            from_database(self._db(R=make_set(make_list())))
+
+    def test_mixed_arity_relation(self):
+        from repro.core import Atom, make_set, make_tuple
+        from repro.core.errors import InvalidDatabaseError
+
+        bad = make_set(make_tuple(Atom(0), Atom(1)), Atom(2))
+        with pytest.raises(InvalidDatabaseError, match="arity"):
+            from_database(self._db(R=bad))
+
+    def test_non_set_domain(self):
+        from repro.core import Atom
+        from repro.core.errors import InvalidDatabaseError
+
+        with pytest.raises(InvalidDatabaseError, match="D: the domain"):
+            from_database(self._db(D=Atom(3)))
+
+    def test_errors_are_srl_runtime_errors(self):
+        from repro.core.errors import InvalidDatabaseError, SRLRuntimeError
+
+        assert issubclass(InvalidDatabaseError, SRLRuntimeError)

@@ -1,0 +1,141 @@
+"""Unit tests for the fault-injection harness itself (PR 6).
+
+The chaos layer must be deterministic (seeded), scoped (install /
+uninstall), and honest about what fired — otherwise the differential
+sweeps built on top of it prove nothing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.testing.chaos import (
+    ACTIONS,
+    INJECTION_POINTS,
+    ChaosError,
+    ChaosPolicy,
+    Fault,
+    active_policy,
+    chaos,
+    chaos_point,
+    install_policy,
+    uninstall_policy,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_policy():
+    yield
+    uninstall_policy()
+
+
+class TestChaosPoint:
+    def test_no_policy_is_a_passthrough(self):
+        payload = object()
+        assert chaos_point("relalg.join.probe", payload) is payload
+        assert chaos_point("anything") is None
+
+    def test_raise_fault(self):
+        with chaos(Fault("relalg.join.probe")):
+            with pytest.raises(ChaosError) as info:
+                chaos_point("relalg.join.probe")
+        assert info.value.point == "relalg.join.probe"
+
+    def test_corrupt_fault_substitutes_the_payload(self):
+        with chaos(Fault("engine.memo.store", action="corrupt")):
+            result = chaos_point("engine.memo.store", {1, 2},
+                                 corrupt=lambda rows: rows | {"garbage"})
+        assert result == {1, 2, "garbage"}
+
+    def test_corrupt_without_a_corrupt_callback_is_a_noop(self):
+        payload = object()
+        with chaos(Fault("engine.memo.store", action="corrupt")) as policy:
+            assert chaos_point("engine.memo.store", payload) is payload
+        assert policy.fired == [("engine.memo.store", "corrupt")]
+
+    def test_delay_fault_sleeps(self):
+        with chaos(Fault("plan.fixpoint.round", action="delay",
+                         delay_seconds=0.02)):
+            start = time.monotonic()
+            chaos_point("plan.fixpoint.round")
+            assert time.monotonic() - start >= 0.015
+
+    def test_unmatched_points_pass_through(self):
+        with chaos(Fault("relalg.join.probe")):
+            assert chaos_point("engine.memo.store", 5) == 5
+
+
+class TestFaultMatching:
+    def test_exact_match(self):
+        fault = Fault("optimize.pass.reorder")
+        assert fault.matches("optimize.pass.reorder")
+        assert not fault.matches("optimize.pass.fuse")
+
+    def test_prefix_glob(self):
+        fault = Fault("optimize.pass.*")
+        assert all(fault.matches(p) for p in INJECTION_POINTS
+                   if p.startswith("optimize.pass."))
+        assert not fault.matches("relalg.join.probe")
+
+    def test_star_matches_everything(self):
+        fault = Fault("*")
+        assert all(fault.matches(p) for p in INJECTION_POINTS)
+
+    def test_unknown_action_is_rejected(self):
+        with pytest.raises(ValueError, match="chaos action"):
+            Fault("x", action="explode")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            Fault("x", probability=1.5)
+
+
+class TestChaosPolicy:
+    def test_max_fires_default_is_one(self):
+        with chaos(Fault("relalg.join.probe")) as policy:
+            with pytest.raises(ChaosError):
+                chaos_point("relalg.join.probe")
+            # The second pass through the same site must be clean — this is
+            # what lets a fallback re-enter the code path and succeed.
+            assert chaos_point("relalg.join.probe", "ok") == "ok"
+        assert policy.fired == [("relalg.join.probe", "raise")]
+
+    def test_unlimited_fires(self):
+        with chaos(Fault("relalg.join.probe", max_fires=None)) as policy:
+            for _ in range(3):
+                with pytest.raises(ChaosError):
+                    chaos_point("relalg.join.probe")
+        assert len(policy.fired) == 3
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed: int) -> list[bool]:
+            fires = []
+            with chaos(Fault("p", probability=0.5, max_fires=None),
+                       seed=seed):
+                for _ in range(20):
+                    try:
+                        chaos_point("p")
+                        fires.append(False)
+                    except ChaosError:
+                        fires.append(True)
+            return fires
+
+        assert pattern(7) == pattern(7)
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_install_uninstall(self):
+        policy = ChaosPolicy((Fault("p"),))
+        assert active_policy() is None
+        install_policy(policy)
+        assert active_policy() is policy
+        uninstall_policy()
+        assert active_policy() is None
+
+    def test_registry_covers_the_engine_seams(self):
+        assert "relalg.join.probe" in INJECTION_POINTS
+        assert "plan.fixpoint.round" in INJECTION_POINTS
+        assert "engine.memo.store" in INJECTION_POINTS
+        assert any(p.startswith("optimize.pass.") for p in INJECTION_POINTS)
+        assert set(ACTIONS) == {"raise", "delay", "corrupt"}
