@@ -23,7 +23,8 @@ The ``logic`` subcommand evaluates one of the canonical FO(+TC/DTC/LFP)
 queries of :data:`repro.logic.queries.CANONICAL_QUERIES` over a
 JSON-encoded finite structure and prints the defined relation::
 
-    python -m repro logic tc --structure graph.json [--backend plan|tuple]
+    python -m repro logic tc --structure graph.json
+                             [--backend plan|columnar|tuple]
                              [--explain] [--list]
 
 The structure file uses the same JSON shape as the database file (the
@@ -134,10 +135,12 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument("--structure", type=Path, default=None,
                         help="JSON structure file (database shape: relation "
                              "name -> array of tuples, optional domain 'D')")
-    parser.add_argument("--backend", choices=("plan", "tuple"), default="plan",
+    parser.add_argument("--backend", choices=("plan", "columnar", "tuple"),
+                        default="plan",
                         help="logic evaluation strategy (default: plan — the "
-                             "set-at-a-time relational planner; tuple is the "
-                             "enumeration oracle)")
+                             "set-at-a-time relational planner; columnar "
+                             "lowers each plan to bitset/CSR kernel code; "
+                             "tuple is the enumeration oracle)")
     parser.add_argument("--no-optimize", action="store_true",
                         help="execute the raw compiled plan, skipping the "
                              "rewrite pipeline of repro.logic.optimize (the "
@@ -195,7 +198,7 @@ def logic_main(argv: list[str]) -> int:
     # touches them, so --stats would print misleading zeros there.  They
     # are always *collected* on the plan backend, so a run stopped by the
     # budget can report its partial progress.
-    stats = PlanStats() if args.backend == "plan" else None
+    stats = PlanStats() if args.backend in ("plan", "columnar") else None
     if args.stats and stats is None:
         print("warning: --stats counts plan executions; the tuple backend "
               "records nothing", file=sys.stderr)
@@ -209,7 +212,7 @@ def logic_main(argv: list[str]) -> int:
         )
         formula = query.formula()
         if args.explain:
-            if args.backend == "plan" and optimize:
+            if args.backend in ("plan", "columnar") and optimize:
                 print(explain_optimized(formula, structure, query.variables))
             else:
                 print(explain(formula, query.variables))
@@ -223,13 +226,32 @@ def logic_main(argv: list[str]) -> int:
         return _report(error)
 
     strategy = args.backend if args.backend == "tuple" else \
-        ("plan" if optimize else "plan, unoptimized")
+        (args.backend if optimize else f"{args.backend}, unoptimized")
     print(f"query:       {args.query} over n = {structure.size} "
           f"({strategy} backend)")
     if args.stats and stats is not None:
         print("stats:       " + ", ".join(
             f"{key}={count}" for key, count in stats.as_dict().items()
         ))
+        meta = structure.stats()
+        print(f"structure:   size={meta['size']}, "
+              f"intern_entries={meta['intern_entries']}, "
+              f"interned={meta['interned']}")
+        if args.backend == "columnar":
+            from repro.logic.codegen import last_report, representation_of
+            reps = ", ".join(
+                f"{name}={representation_of(structure.vocabulary.arity(name))}"
+                for name in sorted(structure.relations))
+            print(f"columnar:    {reps or 'no relations'}")
+            report = last_report()
+            if report is not None:
+                kinds = ", ".join(f"{kind}={count}" for kind, count
+                                  in report["representations"].items() if count)
+                print(f"codegen:     universe={report['universe']}, "
+                      f"{kinds or 'no scans'}")
+                if report["tuple_fallbacks"]:
+                    print("fallbacks:   "
+                          + ", ".join(report["tuple_fallbacks"]))
     if not query.variables:
         print(f"result:      {() in relation}")
         return 0

@@ -1,0 +1,649 @@
+"""Columnar relations: bitsets, CSR adjacency, and the dense-int kernels.
+
+The set-of-tuples representation (:class:`~repro.core.relalg.
+IndexedRelation`) pays per-tuple hashing and boxed comparisons on every
+operation.  Over the canonical dense universe ``{0, ..., n-1}`` (see
+:mod:`repro.structures.intern`) there is a far cheaper encoding:
+
+* **arity 1** — one Python int used as a bit vector: bit ``i`` set iff
+  element ``i`` is in the relation.  Union/difference/complement are one
+  bitwise op over the whole relation; membership is a shift.
+* **arity 2** — CSR adjacency: a sorted target array plus per-source
+  offsets (the classic compressed-sparse-row layout), with the per-source
+  *bitmask rows* (``row_bits[x]`` = bitset of ``y`` with ``(x, y)`` in the
+  relation) cached alongside — the form the join/fixpoint kernels consume,
+  where composing two relations is ``n`` bitwise ORs instead of a hash
+  join.  Either form is derived from the other on demand.
+* **arity ≥ 3** (and arity 0) — the tuple-set fallback: a plain set of
+  tuples, the representation of last resort the plan codegen degrades to.
+
+:class:`ColumnarRelation` carries one relation in whichever representation
+its arity picked, with the operator surface the plan executor needs
+(select / project / rename / natural join / semijoin / antijoin as bitset
+masks / union / difference as bitwise or / and-not / transitive closure as
+frontier BFS with a visited bitset).  The module-level kernels operate on
+the *raw* payloads (ints, lists of ints, sets) — they are what the
+per-plan code generator (:mod:`repro.logic.codegen`) emits calls to, so
+the boxed class never appears on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "ColumnarRelation",
+    "bits_of_unary",
+    "rows_of_bits",
+    "adjacency_of_binary",
+    "rows_of_adjacency",
+    "csr_of_adjacency",
+    "adjacency_of_csr",
+    "iter_bits",
+    "transpose",
+    "compose",
+    "mask_rows_source",
+    "mask_rows_target",
+    "and_rows",
+    "andnot_rows",
+    "or_rows",
+    "proj_source",
+    "proj_target",
+    "count_per_source",
+    "closure_adjacency",
+]
+
+
+# ----------------------------------------------------------- raw conversions
+
+#: Bit offsets set in each byte value — the per-byte decode table that lets
+#: every bit-iteration kernel walk ``int.to_bytes`` output eight bits at a
+#: time instead of one ``bit_length`` round-trip per bit.
+_BYTE_OFFSETS = tuple(
+    tuple(offset for offset in range(8) if value >> offset & 1)
+    for value in range(256))
+
+
+def bits_of_unary(rows: Iterable[Sequence[int]]) -> int:
+    """A unary relation (iterable of 1-tuples) as one bit vector.  Rows of
+    the wrong arity are filtered, mirroring the plan scans."""
+    bits = 0
+    for row in rows:
+        if len(row) == 1:
+            bits |= 1 << row[0]
+    return bits
+
+
+def rows_of_bits(bits: int) -> set[tuple[int]]:
+    """The 1-tuple rows of a bit vector."""
+    return {(index,) for index in iter_bits(bits)}
+
+
+def adjacency_of_binary(rows: Iterable[Sequence[int]], n: int) -> list[int]:
+    """A binary relation as bitmask rows: ``adj[x]`` holds bit ``y`` iff
+    ``(x, y)`` is a row.  Wrong-arity rows are filtered."""
+    adjacency = [0] * n
+    for row in rows:
+        if len(row) == 2:
+            adjacency[row[0]] |= 1 << row[1]
+    return adjacency
+
+
+def rows_of_adjacency(adjacency: list[int]) -> set[tuple[int, int]]:
+    """The pair rows of bitmask-row adjacency."""
+    rows: set[tuple[int, int]] = set()
+    update = rows.update
+    table = _BYTE_OFFSETS
+    for source, bits in enumerate(adjacency):
+        if bits:
+            data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+            update((source, (base << 3) + offset)
+                   for base, byte in enumerate(data) if byte
+                   for offset in table[byte])
+    return rows
+
+
+def csr_of_adjacency(adjacency: list[int]) -> tuple[list[int], list[int]]:
+    """The CSR form of bitmask rows: ``(offsets, targets)`` with
+    ``targets[offsets[x]:offsets[x+1]]`` the sorted successors of ``x``."""
+    offsets = [0] * (len(adjacency) + 1)
+    targets: list[int] = []
+    extend = targets.extend
+    table = _BYTE_OFFSETS
+    for source, bits in enumerate(adjacency):
+        if bits:
+            data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+            extend((base << 3) + offset
+                   for base, byte in enumerate(data) if byte
+                   for offset in table[byte])
+        offsets[source + 1] = len(targets)
+    return offsets, targets
+
+
+def adjacency_of_csr(offsets: Sequence[int], targets: Sequence[int]
+                     ) -> list[int]:
+    """Bitmask rows from a CSR pair."""
+    adjacency = []
+    for source in range(len(offsets) - 1):
+        bits = 0
+        for position in range(offsets[source], offsets[source + 1]):
+            bits |= 1 << targets[position]
+        adjacency.append(bits)
+    return adjacency
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """The set bit positions of ``bits``, ascending."""
+    if not bits:
+        return
+    data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+    table = _BYTE_OFFSETS
+    for base, byte in enumerate(data):
+        if byte:
+            base <<= 3
+            for offset in table[byte]:
+                yield base + offset
+
+
+# -------------------------------------------------------------- binary kernels
+
+
+#: Cached delta-swap schedules for the packed butterfly transpose, keyed by
+#: padded width: ``(delta, mask)`` per power-of-two level, where ``mask``
+#: selects the packed positions with row bit clear and column bit set.
+_TRANSPOSE_SWAPS: dict[int, tuple[tuple[int, int], ...]] = {}
+
+#: Above this padded width the packed matrix (``width**2`` bits) stops
+#: paying for itself; fall back to the row-scan transpose.
+_MAX_BUTTERFLY_WIDTH = 2048
+
+
+def _transpose_swaps(width: int) -> tuple[tuple[int, int], ...]:
+    swaps = _TRANSPOSE_SWAPS.get(width)
+    if swaps is None:
+        schedule = []
+        step = width >> 1
+        while step:
+            columns = 0
+            for column in range(width):
+                if column & step:
+                    columns |= 1 << column
+            mask = 0
+            for row in range(width):
+                if not row & step:
+                    mask |= columns << (row * width)
+            schedule.append((step * (width - 1), mask))
+            step >>= 1
+        swaps = _TRANSPOSE_SWAPS[width] = tuple(schedule)
+    return swaps
+
+
+def transpose(adjacency: list[int], n: int) -> list[int]:
+    """The reversed relation: ``out[y]`` holds bit ``x`` iff ``adj[x]``
+    holds bit ``y``.
+
+    For universes up to ``_MAX_BUTTERFLY_WIDTH`` the rows are packed into
+    one ``width**2``-bit integer and transposed by the classic power-of-two
+    delta swaps (Hacker's Delight 7-3 generalized): each level exchanges
+    row bit ``s`` with column bit ``s`` in three whole-matrix bitwise ops,
+    so the work is ``O(log n)`` big-int operations instead of one Python
+    iteration per set bit."""
+    width = 8
+    while width < n:
+        width <<= 1
+    if width > _MAX_BUTTERFLY_WIDTH:
+        out = [0] * n
+        table = _BYTE_OFFSETS
+        for source, bits in enumerate(adjacency):
+            if bits:
+                mark = 1 << source
+                data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+                for base, byte in enumerate(data):
+                    if byte:
+                        base8 = base << 3
+                        for offset in table[byte]:
+                            out[base8 + offset] |= mark
+        return out
+    stride = width >> 3
+    packed = int.from_bytes(
+        b"".join(bits.to_bytes(stride, "little") for bits in adjacency),
+        "little")
+    for delta, mask in _transpose_swaps(width):
+        moved = (packed ^ (packed >> delta)) & mask
+        packed ^= moved ^ (moved << delta)
+    data = packed.to_bytes(width * stride, "little")
+    return [int.from_bytes(data[source * stride:(source + 1) * stride],
+                           "little")
+            for source in range(n)]
+
+
+def compose(left: list[int], right: list[int]) -> list[int]:
+    """Relational composition ``{(x, z) | ∃y: left(x, y) ∧ right(y, z)}`` —
+    the ``exists z`` join pattern as ``n`` rounds of bitwise OR."""
+    out = []
+    append = out.append
+    table = _BYTE_OFFSETS
+    for bits in left:
+        row = 0
+        if bits:
+            data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+            for base, byte in enumerate(data):
+                if byte:
+                    base8 = base << 3
+                    for offset in table[byte]:
+                        row |= right[base8 + offset]
+        append(row)
+    return out
+
+
+def mask_rows_source(adjacency: list[int], bits: int) -> list[int]:
+    """Keep only the rows whose *source* is in ``bits`` (a semijoin on the
+    first column, as a mask)."""
+    return [row if (bits >> source) & 1 else 0
+            for source, row in enumerate(adjacency)]
+
+
+def mask_rows_target(adjacency: list[int], bits: int) -> list[int]:
+    """Intersect every row's *targets* with ``bits`` (a semijoin on the
+    second column, as a mask)."""
+    return [row & bits for row in adjacency]
+
+
+def and_rows(left: list[int], right: list[int]) -> list[int]:
+    """Pairwise intersection of two bitmask-row relations."""
+    return [a & b for a, b in zip(left, right)]
+
+
+def andnot_rows(left: list[int], right: list[int]) -> list[int]:
+    """Pairwise difference (``left`` minus ``right``) — bitwise and-not."""
+    return [a & ~b for a, b in zip(left, right)]
+
+
+def or_rows(operands: Sequence[list[int]]) -> list[int]:
+    """Pairwise union of several bitmask-row relations."""
+    out = list(operands[0])
+    for rows in operands[1:]:
+        for index, bits in enumerate(rows):
+            out[index] |= bits
+    return out
+
+
+def proj_source(adjacency: list[int]) -> int:
+    """The sources with at least one target, as a bit vector (projection
+    onto the first column)."""
+    bits = 0
+    for source, row in enumerate(adjacency):
+        if row:
+            bits |= 1 << source
+    return bits
+
+
+def proj_target(adjacency: list[int]) -> int:
+    """Every target of any source (projection onto the second column)."""
+    bits = 0
+    for row in adjacency:
+        bits |= row
+    return bits
+
+
+def count_per_source(adjacency: list[int], threshold: int) -> int:
+    """The sources with at least ``threshold`` targets (the counting
+    quantifier's group-and-threshold, one popcount per source)."""
+    bits = 0
+    for source, row in enumerate(adjacency):
+        if row.bit_count() >= threshold:
+            bits |= 1 << source
+    return bits
+
+
+def closure_adjacency(adjacency: list[int], n: int,
+                      deterministic: bool = False,
+                      governor=None) -> list[int]:
+    """The *reflexive* transitive closure of bitmask-row adjacency, by
+    level-synchronized frontier BFS with a visited bitset per source.
+
+    ``deterministic`` applies the DTC reading first: only out-degree-one
+    sources keep their edge.  Rounds match the semi-naive closure kernel's
+    (one per BFS wave), so a ``governor``'s round budget bites at the same
+    granularity as the set-at-a-time backend.
+    """
+    if deterministic:
+        adjacency = [row if row.bit_count() == 1 else 0 for row in adjacency]
+        if governor is None:
+            # Out-degree <= 1 everywhere: reach sets along a chain nest, so
+            # one memoized pointer-chase per component replaces the waves.
+            # (Governed runs keep the wave loop below so the round budget
+            # bites at exactly the interpreter's granularity.)
+            return _closure_functional(adjacency, n)
+    reach = [(1 << source) | adjacency[source] for source in range(n)]
+    frontier = list(adjacency)
+    table = _BYTE_OFFSETS
+    while True:
+        if governor is not None:
+            governor.note_round()
+        advanced = False
+        for source in range(n):
+            bits = frontier[source]
+            if not bits:
+                continue
+            step = 0
+            data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+            for base, byte in enumerate(data):
+                if byte:
+                    base8 = base << 3
+                    for offset in table[byte]:
+                        step |= adjacency[base8 + offset]
+            new = step & ~reach[source]
+            frontier[source] = new
+            if new:
+                advanced = True
+                reach[source] |= new
+        if not advanced:
+            return reach
+
+
+def _closure_functional(adjacency: list[int], n: int) -> list[int]:
+    """Reflexive closure when every row has at most one bit: walk each
+    unvisited chain, resolve the cycle or sink it ends in, then unwind the
+    suffix-nested reach sets in reverse.  O(n) big-int ORs total."""
+    reach = [0] * n
+    state = bytearray(n)          # 0 unvisited / 1 on current path / 2 done
+    for start in range(n):
+        if state[start]:
+            continue
+        path = []
+        node = start
+        while not state[node]:
+            state[node] = 1
+            path.append(node)
+            successor = adjacency[node]
+            if not successor:
+                break
+            node = successor.bit_length() - 1
+        if not adjacency[path[-1]]:
+            tail = 0                               # the chain ends in a sink
+        elif state[node] == 2:
+            tail = reach[node]                     # joined a finished chain
+        else:                                      # closed a new cycle
+            position = path.index(node)
+            tail = 0
+            for member in path[position:]:
+                tail |= 1 << member
+            for member in path[position:]:
+                reach[member] = tail
+                state[member] = 2
+            del path[position:]
+        for member in reversed(path):
+            tail = reach[member] = (1 << member) | tail
+            state[member] = 2
+    return reach
+
+
+# ------------------------------------------------------------ the boxed form
+
+
+class ColumnarRelation:
+    """One relation over the dense universe, in its arity's representation.
+
+    ``kind`` is ``"bitset"`` (arity 1), ``"csr"`` (arity 2) or ``"tuples"``
+    (arity 0 and arity ≥ 3 — the fallback representation).  The class is
+    the *boundary* form: conversions in and out, the operator surface for
+    direct use and tests.  The plan code generator works on the raw
+    payloads (:attr:`bits` / :attr:`row_bits` / :attr:`rows`) through the
+    module kernels instead.
+    """
+
+    __slots__ = ("n", "arity", "kind", "_bits", "_row_bits", "_csr", "_rows")
+
+    def __init__(self, n: int, arity: int, *, bits: int | None = None,
+                 row_bits: list[int] | None = None,
+                 rows: set | None = None):
+        self.n = n
+        self.arity = arity
+        self._bits = bits
+        self._row_bits = row_bits
+        self._csr: tuple[list[int], list[int]] | None = None
+        self._rows = rows
+        if arity == 1 and bits is not None:
+            self.kind = "bitset"
+        elif arity == 2 and row_bits is not None:
+            self.kind = "csr"
+        elif rows is not None:
+            self.kind = "tuples"
+        else:
+            raise ValueError("no payload supplied for the relation's arity")
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[int]], arity: int, n: int
+                  ) -> "ColumnarRelation":
+        """Pick the representation by arity: bitset (1), CSR (2), tuple-set
+        fallback (0 and ≥ 3)."""
+        if arity == 1:
+            return cls(n, 1, bits=bits_of_unary(rows))
+        if arity == 2:
+            return cls(n, 2, row_bits=adjacency_of_binary(rows, n))
+        return cls(n, arity,
+                   rows={tuple(row) for row in rows if len(row) == arity})
+
+    @classmethod
+    def from_bits(cls, bits: int, n: int) -> "ColumnarRelation":
+        return cls(n, 1, bits=bits)
+
+    @classmethod
+    def from_adjacency(cls, row_bits: list[int], n: int) -> "ColumnarRelation":
+        return cls(n, 2, row_bits=row_bits)
+
+    # -------------------------------------------------------------- payloads
+
+    @property
+    def bits(self) -> int:
+        """The bit vector (arity-1 relations only)."""
+        if self.arity != 1:
+            raise TypeError(f"bits undefined for arity {self.arity}")
+        if self._bits is None:
+            self._bits = bits_of_unary(self._rows or ())
+        return self._bits
+
+    @property
+    def row_bits(self) -> list[int]:
+        """The bitmask rows (arity-2 relations only)."""
+        if self.arity != 2:
+            raise TypeError(f"row_bits undefined for arity {self.arity}")
+        if self._row_bits is None:
+            self._row_bits = adjacency_of_binary(self._rows or (), self.n)
+        return self._row_bits
+
+    def csr(self) -> tuple[list[int], list[int]]:
+        """The CSR pair ``(offsets, sorted targets)`` (arity 2; derived
+        once from the bitmask rows and cached)."""
+        if self._csr is None:
+            self._csr = csr_of_adjacency(self.row_bits)
+        return self._csr
+
+    def to_rows(self) -> set[tuple[int, ...]]:
+        """The relation as a set of tuples (whatever the representation)."""
+        if self.kind == "bitset":
+            return rows_of_bits(self._bits)
+        if self.kind == "csr":
+            return rows_of_adjacency(self._row_bits)
+        return set(self._rows)
+
+    # -------------------------------------------------------------- protocol
+
+    def __len__(self) -> int:
+        if self.kind == "bitset":
+            return self._bits.bit_count()
+        if self.kind == "csr":
+            return sum(row.bit_count() for row in self._row_bits)
+        return len(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        if not isinstance(row, tuple) or len(row) != self.arity:
+            return False
+        if self.kind == "bitset":
+            value = row[0]
+            return 0 <= value < self.n and bool((self._bits >> value) & 1)
+        if self.kind == "csr":
+            source, target = row
+            return (0 <= source < self.n and 0 <= target < self.n
+                    and bool((self._row_bits[source] >> target) & 1))
+        return row in self._rows
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(sorted(self.to_rows()))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnarRelation):
+            return self.arity == other.arity and self.to_rows() == other.to_rows()
+        if isinstance(other, (set, frozenset)):
+            return self.to_rows() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ColumnarRelation(n={self.n}, arity={self.arity}, "
+                f"kind={self.kind!r}, rows={len(self)})")
+
+    # ------------------------------------------------------ operator surface
+
+    def _same_shape(self, other: "ColumnarRelation") -> None:
+        if self.arity != other.arity or self.n != other.n:
+            raise ValueError(
+                f"shape mismatch: arity {self.arity}/{other.arity}, "
+                f"n {self.n}/{other.n}"
+            )
+
+    def union(self, other: "ColumnarRelation") -> "ColumnarRelation":
+        """Set union — bitwise OR in the columnar representations."""
+        self._same_shape(other)
+        if self.kind == "bitset":
+            return ColumnarRelation(self.n, 1, bits=self.bits | other.bits)
+        if self.kind == "csr":
+            return ColumnarRelation(
+                self.n, 2, row_bits=or_rows([self.row_bits, other.row_bits]))
+        return ColumnarRelation(self.n, self.arity,
+                                rows=self.to_rows() | other.to_rows())
+
+    def difference(self, other: "ColumnarRelation") -> "ColumnarRelation":
+        """Set difference — bitwise AND-NOT in the columnar representations
+        (with a full-domain left operand this is the complement kernel)."""
+        self._same_shape(other)
+        if self.kind == "bitset":
+            return ColumnarRelation(self.n, 1, bits=self.bits & ~other.bits)
+        if self.kind == "csr":
+            return ColumnarRelation(
+                self.n, 2, row_bits=andnot_rows(self.row_bits, other.row_bits))
+        return ColumnarRelation(self.n, self.arity,
+                                rows=self.to_rows() - other.to_rows())
+
+    def intersection(self, other: "ColumnarRelation") -> "ColumnarRelation":
+        """Set intersection — bitwise AND."""
+        self._same_shape(other)
+        if self.kind == "bitset":
+            return ColumnarRelation(self.n, 1, bits=self.bits & other.bits)
+        if self.kind == "csr":
+            return ColumnarRelation(
+                self.n, 2, row_bits=and_rows(self.row_bits, other.row_bits))
+        return ColumnarRelation(self.n, self.arity,
+                                rows=self.to_rows() & other.to_rows())
+
+    def complement(self) -> "ColumnarRelation":
+        """The active-domain complement ``universe^arity`` minus this
+        relation — the inductive-counting workhorse, nearly free on
+        bitsets."""
+        full = (1 << self.n) - 1
+        if self.kind == "bitset":
+            return ColumnarRelation(self.n, 1, bits=full & ~self.bits)
+        if self.kind == "csr":
+            return ColumnarRelation(
+                self.n, 2, row_bits=[full & ~row for row in self.row_bits])
+        from itertools import product
+        everything = set(product(range(self.n), repeat=self.arity))
+        return ColumnarRelation(self.n, self.arity,
+                                rows=everything - self.to_rows())
+
+    def project(self, positions: Sequence[int]) -> "ColumnarRelation":
+        """Projection onto the given column positions (duplicates collapse,
+        order applies — a full-width permutation is a rename)."""
+        positions = tuple(positions)
+        if self.kind == "csr":
+            if positions == (0,):
+                return ColumnarRelation(self.n, 1, bits=proj_source(self.row_bits))
+            if positions == (1,):
+                return ColumnarRelation(self.n, 1, bits=proj_target(self.row_bits))
+            if positions == (1, 0):
+                return ColumnarRelation(
+                    self.n, 2, row_bits=transpose(self.row_bits, self.n))
+            if positions == (0, 1):
+                return ColumnarRelation(self.n, 2, row_bits=list(self.row_bits))
+        if self.kind == "bitset" and positions == (0,):
+            return ColumnarRelation(self.n, 1, bits=self.bits)
+        rows = {tuple(row[i] for i in positions) for row in self.to_rows()}
+        return ColumnarRelation.from_rows(rows, len(positions), self.n)
+
+    def rename(self, permutation: Sequence[int]) -> "ColumnarRelation":
+        """Pure column permutation (arity-2 reversal is a transpose)."""
+        permutation = tuple(permutation)
+        if sorted(permutation) != list(range(self.arity)):
+            raise ValueError(
+                f"rename expects a permutation of range({self.arity}), "
+                f"got {permutation}")
+        return self.project(permutation)
+
+    def select(self, predicate: Callable[[tuple], bool]) -> "ColumnarRelation":
+        """The rows satisfying ``predicate`` (generic path; the codegen
+        compiles comparison selections to masks instead)."""
+        return ColumnarRelation.from_rows(
+            {row for row in self.to_rows() if predicate(row)},
+            self.arity, self.n)
+
+    def semijoin(self, other: "ColumnarRelation", on: int | None = None
+                 ) -> "ColumnarRelation":
+        """The rows with a match in ``other`` — bitset masks.
+
+        For two same-arity relations this is intersection.  For an arity-2
+        left against an arity-1 right, ``on`` picks the matched column
+        (0 = source, 1 = target).
+        """
+        if self.arity == other.arity:
+            return self.intersection(other)
+        if self.kind == "csr" and other.kind == "bitset":
+            if on == 0:
+                return ColumnarRelation(
+                    self.n, 2, row_bits=mask_rows_source(self.row_bits, other.bits))
+            if on == 1:
+                return ColumnarRelation(
+                    self.n, 2, row_bits=mask_rows_target(self.row_bits, other.bits))
+        raise ValueError("unsupported semijoin shape; use natural_join")
+
+    def antijoin(self, other: "ColumnarRelation", on: int | None = None
+                 ) -> "ColumnarRelation":
+        """The rows with *no* match in ``other`` — the complement mask."""
+        if self.arity == other.arity:
+            return self.difference(other)
+        if self.kind == "csr" and other.kind == "bitset":
+            full = (1 << self.n) - 1
+            inverted = ColumnarRelation(self.n, 1, bits=full & ~other.bits)
+            return self.semijoin(inverted, on=on)
+        raise ValueError("unsupported antijoin shape; use natural_join")
+
+    def compose(self, other: "ColumnarRelation") -> "ColumnarRelation":
+        """``{(x, z) | ∃y: self(x, y) ∧ other(y, z)}`` — the natural-join-
+        then-project pattern of ``exists``, as bitwise ORs."""
+        if self.arity != 2 or other.arity != 2:
+            raise TypeError("compose requires two binary relations")
+        return ColumnarRelation(
+            self.n, 2, row_bits=compose(self.row_bits, other.row_bits))
+
+    def closure(self, deterministic: bool = False,
+                governor=None) -> "ColumnarRelation":
+        """The reflexive transitive closure (arity 2): CSR frontier BFS
+        with a visited bitset per source."""
+        if self.arity != 2:
+            raise TypeError("closure requires a binary relation")
+        return ColumnarRelation(
+            self.n, 2,
+            row_bits=closure_adjacency(self.row_bits, self.n,
+                                       deterministic=deterministic,
+                                       governor=governor))

@@ -97,6 +97,10 @@ class Session:
         order); can also be overridden per run.
     backend:
         One of :data:`BACKENDS`; defaults to ``"compiled"``.
+    logic_backend:
+        Optional explicit logic-layer strategy (one of
+        :data:`repro.logic.eval.LOGIC_BACKENDS`); by default it is derived
+        from ``backend`` (see :attr:`logic_backend`).
     budget:
         Optional :class:`~repro.core.governor.Budget` (deadline, row /
         round / memo caps, cancel token).  Each run and each logic-layer
@@ -116,16 +120,27 @@ class Session:
         atom_order: Sequence[int] | None = None,
         backend: str = "compiled",
         budget: Budget | None = None,
+        logic_backend: str | None = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}: expected one of {BACKENDS}"
             )
+        if logic_backend is not None:
+            from repro.logic.eval import LOGIC_BACKENDS
+            if logic_backend not in LOGIC_BACKENDS:
+                raise ValueError(
+                    f"unknown logic backend {logic_backend!r}: expected one "
+                    f"of {LOGIC_BACKENDS}"
+                )
         self.program = program if program is not None else Program()
         self.limits = limits if limits is not None else EvaluationLimits()
         self.atom_order = tuple(atom_order) if atom_order is not None else None
         self.backend = backend
         self.budget = budget
+        # Explicit logic-layer strategy; ``None`` derives it from the
+        # engine backend (see :attr:`logic_backend`).
+        self._logic_backend_override = logic_backend
         #: The session's degradation audit log: every time the logic layer
         #: dropped a rung (optimized plan -> raw plan -> tuple oracle, or
         #: skipped a memo store), a
@@ -209,8 +224,13 @@ class Session:
         formulas set-at-a-time through the relational-plan pipeline
         (:mod:`repro.logic.plan`); the ``reference`` backend keeps the
         tuple-at-a-time enumeration as the differential oracle — the same
-        production/oracle split as :attr:`seminaive`.
+        production/oracle split as :attr:`seminaive`.  The constructor's
+        ``logic_backend`` argument overrides the derivation (e.g.
+        ``"columnar"`` for the bitset/CSR codegen backend of
+        :mod:`repro.logic.codegen`).
         """
+        if self._logic_backend_override is not None:
+            return self._logic_backend_override
         return "tuple" if self.backend == "reference" else "plan"
 
     @property

@@ -243,8 +243,21 @@ class IndexedRelation:
         return result
 
     def union(self, other: Iterable[Sequence]) -> "IndexedRelation":
-        """A fresh relation holding both operands' rows."""
-        result = IndexedRelation(self._rows, arity=self.arity)
+        """A fresh relation holding both operands' rows.
+
+        This operand's built indexes *transfer*: their buckets are cloned
+        into the result and :meth:`add`'s incremental maintenance extends
+        them with the right operand's new rows, instead of re-hashing the
+        whole left side on the result's first probe.  Like every bulk
+        operator, the result's delta is its full row set — it enters a
+        semi-naive loop as an untaken frontier.
+        """
+        result = IndexedRelation.adopt(set(self._rows), arity=self.arity)
+        result._delta = set(result._rows)
+        result._indexes = {
+            column: {key: set(bucket) for key, bucket in index.items()}
+            for column, index in self._indexes.items()
+        }
         result.update(other)
         return result
 
@@ -253,18 +266,43 @@ class IndexedRelation:
         """The rows of this relation absent from ``other`` (the antijoin on
         all columns / relational set difference).
 
-        Like every bulk operator, the result is a *fresh* relation whose
-        delta is its full row set — it enters a semi-naive loop as an
-        untaken frontier.
+        This operand's built indexes survive: when few rows are removed
+        each index is cloned and the removed rows' entries deleted;
+        otherwise it is rebuilt from the (smaller) kept set — either way
+        the result starts indexed.  Like every bulk operator, the result
+        is a *fresh* relation whose delta is its full row set — it enters
+        a semi-naive loop as an untaken frontier.
         """
         if isinstance(other, IndexedRelation):
             excluded = other._rows
         else:
             excluded = {tuple(row) for row in other}
-        result = IndexedRelation(arity=self.arity)
-        for row in self._rows:
-            if row not in excluded:
-                result.add(row)
+        kept = self._rows - excluded
+        result = IndexedRelation.adopt(kept, arity=self.arity)
+        result._delta = set(kept)
+        if self._indexes:
+            removed = self._rows & excluded
+
+            def key_of(row, column):
+                if type(column) is tuple:
+                    return tuple(row[c] for c in column)
+                return row[column]
+
+            for column, index in self._indexes.items():
+                if len(removed) <= len(kept):
+                    clone = {key: set(bucket) for key, bucket in index.items()}
+                    for row in removed:
+                        key = key_of(row, column)
+                        bucket = clone.get(key)
+                        if bucket is not None:
+                            bucket.discard(row)
+                            if not bucket:
+                                del clone[key]
+                else:
+                    clone = {}
+                    for row in kept:
+                        clone.setdefault(key_of(row, column), set()).add(row)
+                result._indexes[column] = clone
         return result
 
     def product(self, other: "IndexedRelation") -> "IndexedRelation":

@@ -51,6 +51,7 @@ from repro.core.governor import Budget, DegradationEvent
 from repro.structures.structure import Structure
 from repro.testing.chaos import chaos_point
 
+from .codegen import execute_columnar
 from .compile import compile_formula
 from .optimize import optimize_formula
 from .plan import ExecutionContext, PlanStats
@@ -83,9 +84,12 @@ __all__ = ["LOGIC_BACKENDS", "ModelChecker", "evaluate", "define_relation"]
 
 #: The logic layer's interchangeable evaluation strategies: ``plan``
 #: compiles formulas to set-at-a-time relational-algebra plans
-#: (:mod:`repro.logic.compile`); ``tuple`` is the tuple-at-a-time
+#: (:mod:`repro.logic.compile`); ``columnar`` additionally lowers each
+#: plan to a specialized Python closure over bitset/CSR kernels
+#: (:mod:`repro.logic.codegen`), falling back to the plan interpreter on
+#: any columnar-side failure; ``tuple`` is the tuple-at-a-time
 #: enumeration below, kept as the differential oracle.
-LOGIC_BACKENDS = ("plan", "tuple")
+LOGIC_BACKENDS = ("plan", "columnar", "tuple")
 
 #: Sentinel distinguishing "variable was unbound" from "bound to 0".
 _UNBOUND = object()
@@ -98,14 +102,20 @@ class _TupleFallback(Exception):
 
 def _plan_rows(formula: Formula, layout: tuple[str, ...] | None,
                structure: Structure, context_for, optimize: bool,
-               governor, degradations: list) -> tuple[tuple[str, ...], frozenset]:
+               governor, degradations: list,
+               columnar_for=None) -> tuple[tuple[str, ...], frozenset]:
     """Execute ``formula`` set-at-a-time down the degradation ladder.
 
-    Rung one: the optimized plan.  Any failure *optimizing* — a rewrite
-    crash, an injected fault, or a budget blown mid-pipeline — records a
-    :class:`DegradationEvent` and falls back to the raw compiled plan
-    rather than failing the query.  Rung two: the raw plan; an internal
-    failure *executing* either plan (but never a
+    Rung zero (``columnar`` backend only): compile the best available
+    plan (optimized, else raw) to a specialized columnar closure and run
+    it; any failure — an unsupported shape, a universe past the dense-int
+    cost gate, an injected fault — records a
+    :class:`DegradationEvent("columnar", "plan")` and drops to the
+    interpreted rungs.  Rung one: the optimized plan.  Any failure
+    *optimizing* — a rewrite crash, an injected fault, or a budget blown
+    mid-pipeline — records a :class:`DegradationEvent` and falls back to
+    the raw compiled plan rather than failing the query.  Rung two: the
+    raw plan; an internal failure *executing* either plan (but never a
     :class:`ResourceLimitExceeded`, which is the budget working as
     intended and always propagates) records an event and drops one rung
     further.  Below the raw plan lies the tuple oracle, signalled to the
@@ -115,7 +125,10 @@ def _plan_rows(formula: Formula, layout: tuple[str, ...] | None,
 
     Returns ``(columns, rows)`` of whichever plan rung answered.
     ``context_for`` builds a *fresh* execution context per attempt so a
-    failed rung cannot leak partial memo state into the next.
+    failed rung cannot leak partial memo state into the next;
+    ``columnar_for`` (when given) runs a plan through
+    :func:`~repro.logic.codegen.execute_columnar` with the caller's
+    auxiliary scope and counters.
     """
     plan = None
     if optimize:
@@ -125,6 +138,18 @@ def _plan_rows(formula: Formula, layout: tuple[str, ...] | None,
         except Exception as error:
             degradations.append(
                 DegradationEvent("optimize", "raw-plan", repr(error)))
+    raw = None
+    if columnar_for is not None:
+        target = plan
+        if target is None:
+            raw = target = compile_formula(formula, layout)
+        try:
+            return target.columns, columnar_for(target)
+        except ResourceLimitExceeded:
+            raise
+        except Exception as error:
+            degradations.append(
+                DegradationEvent("columnar", "plan", repr(error)))
     if plan is not None:
         try:
             return plan.columns, frozenset(plan.execute(context_for()).rows)
@@ -133,7 +158,8 @@ def _plan_rows(formula: Formula, layout: tuple[str, ...] | None,
         except Exception as error:
             degradations.append(
                 DegradationEvent("plan", "raw-plan", repr(error)))
-    raw = compile_formula(formula, layout)
+    if raw is None:
+        raw = compile_formula(formula, layout)
     try:
         return raw.columns, frozenset(raw.execute(context_for()).rows)
     except ResourceLimitExceeded:
@@ -165,8 +191,12 @@ class ModelChecker:
     ``"plan"``, which compiles each formula once to a set-at-a-time
     relational-algebra plan (:mod:`repro.logic.compile`), executes it
     over the whole structure, and answers every assignment with a row
-    lookup.  The Session facade picks ``plan`` for its production
-    backends (see :meth:`repro.core.engine.Session.logic_backend`).
+    lookup; or ``"columnar"``, which additionally lowers each plan to a
+    specialized closure over bitset/CSR kernels
+    (:mod:`repro.logic.codegen`) and degrades to the plan interpreter on
+    any columnar-side failure.  The Session facade picks ``plan`` for
+    its production backends (see
+    :meth:`repro.core.engine.Session.logic_backend`).
 
     ``optimize`` (plan backend only, on by default) runs each compiled
     plan through the :mod:`repro.logic.optimize` rewrite pipeline —
@@ -250,7 +280,7 @@ class ModelChecker:
             with self._restoring():
                 if governor is not None:
                     governor.check_time()
-                if self.backend == "plan":
+                if self.backend in ("plan", "columnar"):
                     return self._eval_plan(formula, assignment)
                 return self._eval(formula, assignment)
         finally:
@@ -297,10 +327,21 @@ class ModelChecker:
                                         memo=self._plan_memo,
                                         governor=self._governor)
 
+            columnar_for = None
+            if self.backend == "columnar":
+                def columnar_for(plan):
+                    return execute_columnar(plan, self.structure,
+                                            auxiliary=dict(self.auxiliary),
+                                            seminaive=self.seminaive,
+                                            stats=self.plan_stats,
+                                            governor=self._governor,
+                                            degradations=self.degradations)
+
             try:
                 columns, rows = _plan_rows(formula, None, self.structure,
                                            context_for, self.optimize,
-                                           self._governor, self.degradations)
+                                           self._governor, self.degradations,
+                                           columnar_for=columnar_for)
             except _TupleFallback:
                 # Bottom of the ladder: answer this assignment through the
                 # tuple oracle (immune to every plan-side fault by
@@ -591,9 +632,11 @@ def define_relation(formula: Formula, structure: Structure,
     unconstrained range over the whole domain), rewritten by the plan
     optimizer against the structure's statistics (unless
     ``optimize=False``, the optimizer's differential oracle), and executed
-    set-at-a-time — no per-row enumeration at all.  ``stats`` optionally
-    receives the execution's :class:`~repro.logic.plan.PlanStats`
-    counters.
+    set-at-a-time — no per-row enumeration at all.  ``backend="columnar"``
+    further lowers the plan to a specialized bitset/CSR closure
+    (:mod:`repro.logic.codegen`), degrading to the plan interpreter on
+    any columnar-side failure.  ``stats`` optionally receives the
+    execution's :class:`~repro.logic.plan.PlanStats` counters.
 
     With the default ``backend="tuple"`` (the oracle), one checker is
     reused across all ``n^k`` rows, so any TC/DTC/LFP sub-formula is
@@ -613,15 +656,22 @@ def define_relation(formula: Formula, structure: Structure,
     layout = tuple(variables)
     governor = budget.start(stats) if budget is not None else None
     events: list = degradations if degradations is not None else []
-    if backend == "plan":
+    if backend in ("plan", "columnar"):
         def context_for() -> ExecutionContext:
             return ExecutionContext(structure, {}, seminaive,
                                     stats=stats, memo={}, governor=governor)
 
+        columnar_for = None
+        if backend == "columnar":
+            def columnar_for(plan):
+                return execute_columnar(plan, structure, seminaive=seminaive,
+                                        stats=stats, governor=governor,
+                                        degradations=events)
+
         try:
             _columns, rows = _plan_rows(formula, layout, structure,
                                         context_for, optimize, governor,
-                                        events)
+                                        events, columnar_for=columnar_for)
             return rows
         except _TupleFallback:
             pass  # fall through to the governed tuple enumeration below

@@ -120,12 +120,16 @@ class PlanStats:
       O(Δ) evidence: on a delta-rewritten body each entry is bounded by the
       frontier, not the accumulated relation).
     * ``shared_hits`` — :class:`Shared` executions answered from the memo.
+    * ``codegen_cache_hits`` — columnar plans answered from the compiled-
+      closure cache instead of re-running codegen (see
+      :mod:`repro.logic.codegen`).
     """
 
     rows_materialized: int = 0
     index_probes: int = 0
     fixpoint_rounds: int = 0
     shared_hits: int = 0
+    codegen_cache_hits: int = 0
     fixpoint_round_rows: list[int] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, int]:
@@ -134,6 +138,7 @@ class PlanStats:
             "index_probes": self.index_probes,
             "fixpoint_rounds": self.fixpoint_rounds,
             "shared_hits": self.shared_hits,
+            "codegen_cache_hits": self.codegen_cache_hits,
             "max_fixpoint_round_rows": max(self.fixpoint_round_rows, default=0),
         }
 

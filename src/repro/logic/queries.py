@@ -31,6 +31,7 @@ from .formula import (
     exists,
     forall,
     implies,
+    neg,
     or_,
     rel,
     var,
@@ -42,6 +43,8 @@ __all__ = [
     "reachability_tc",
     "reachability_dtc",
     "gap_formula",
+    "non_reachability",
+    "count_reachable_half",
     "NamedQuery",
     "CANONICAL_QUERIES",
 ]
@@ -82,6 +85,27 @@ def reachability_dtc(source=ZERO, target=MAX) -> DTCAtom:
     reachability (edges out of a vertex count only when unique), complete
     for L (Fact 4.3)."""
     return DTCAtom(("x",), ("y",), rel("E", "x", "y"), (source,), (target,))
+
+
+def non_reachability() -> Formula:
+    """``¬TC[(x, y) := E(x, y)](u, v)`` — the *complement* of reachability.
+
+    This is the query behind the Immerman–Szelepcsényi inductive-counting
+    argument (NL = co-NL): non-reachability is itself expressible, and the
+    columnar backend answers the outer negation as one bitset complement
+    over the active domain."""
+    return neg(TCAtom(("x",), ("y",), rel("E", "x", "y"),
+                      (var("u"),), (var("v"),)))
+
+
+def count_reachable_half() -> Formula:
+    """Vertices that reach at least half the universe: ``(exists>=n/2 v)
+    TC[E](u, v)`` — the counting quantifier applied to a closure, the
+    inductive-counting census step.  On the columnar backend the closure
+    rows are CSR row-bitsets and the census is one popcount per source."""
+    return count_at_least(
+        "half", "v",
+        TCAtom(("x",), ("y",), rel("E", "x", "y"), (var("u"),), (var("v"),)))
 
 
 def gap_formula() -> Formula:
@@ -162,6 +186,20 @@ CANONICAL_QUERIES: dict[str, NamedQuery] = {
                         "universe (Section 7 counting)",
             ("u",),
             lambda: count_at_least("half", "y", rel("E", "u", "y")),
+        ),
+        NamedQuery(
+            "non-reach", "all-pairs NON-reachability: the complement of tc "
+                         "(Immerman–Szelepcsényi; a bitset "
+                         "complement on the columnar backend)",
+            ("u", "v"),
+            non_reachability,
+        ),
+        NamedQuery(
+            "count-reach", "vertices that reach at least half the universe "
+                           "(counting over a closure — the inductive-"
+                           "counting census step)",
+            ("u",),
+            count_reachable_half,
         ),
     )
 }

@@ -1,0 +1,105 @@
+"""Dense-int interning: the canonical ``element -> 0..n-1`` domain map.
+
+The logic layer's structures (:class:`~repro.structures.structure.Structure`)
+already live on the ordered universe ``{0, ..., n-1}`` — the descriptive-
+complexity encoding the paper fixes — and every relation is a frozenset of
+small-int tuples.  :class:`InternTable` is the bridge that gets *labeled*
+inputs (strings, user ids, arbitrary hashable objects) into that canonical
+dense domain: each distinct element is assigned the next free rank in first-
+occurrence order, the table is persisted on the structure it produced, and
+query results decode back to labels through it.
+
+Dense ranks are what make the columnar backend
+(:mod:`repro.core.columnar`) possible at all: a unary relation over ranks
+is one Python int used as a bit vector (bit ``i`` = membership of element
+``i``), a binary relation is CSR adjacency over ranks — neither
+representation exists for relations over raw labels.  The table is also
+the persistence contract for ROADMAP item 5's snapshots: a dumped
+structure is (n, relations-over-ranks, intern table), nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["InternTable"]
+
+
+class InternTable:
+    """A bijection ``label <-> dense rank`` built in first-occurrence order.
+
+    ``intern`` assigns (or returns) a label's rank; ``rank_of`` /
+    ``label_of`` are the two lookup directions; ``decode_row`` maps a tuple
+    of ranks back to labels.  Tables compare equal when they map the same
+    labels to the same ranks.
+    """
+
+    __slots__ = ("_ranks", "_labels")
+
+    def __init__(self, labels: Iterable[Hashable] = ()):
+        self._ranks: dict[Hashable, int] = {}
+        self._labels: list[Hashable] = []
+        for label in labels:
+            self.intern(label)
+
+    # ------------------------------------------------------------- building
+
+    def intern(self, label: Hashable) -> int:
+        """The rank of ``label``, assigning the next free one if new."""
+        rank = self._ranks.get(label)
+        if rank is None:
+            rank = len(self._labels)
+            self._ranks[label] = rank
+            self._labels.append(label)
+        return rank
+
+    def intern_row(self, row: Sequence[Hashable]) -> tuple[int, ...]:
+        """One relation tuple of labels, interned position by position."""
+        return tuple(self.intern(label) for label in row)
+
+    # -------------------------------------------------------------- lookups
+
+    def rank_of(self, label: Hashable) -> int:
+        """The rank of an already-interned label (KeyError when unknown)."""
+        return self._ranks[label]
+
+    def label_of(self, rank: int) -> Hashable:
+        """The label holding ``rank``."""
+        return self._labels[rank]
+
+    def decode_row(self, row: Sequence[int]) -> tuple[Hashable, ...]:
+        """A tuple of ranks (one row of a defined relation) back as labels."""
+        labels = self._labels
+        return tuple(labels[rank] for rank in row)
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        """Every interned label, in rank order."""
+        return tuple(self._labels)
+
+    # ------------------------------------------------------------- protocol
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._ranks
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, InternTable):
+            return self._labels == other._labels
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(label) for label in self._labels[:4])
+        if len(self._labels) > 4:
+            preview += ", ..."
+        return f"InternTable(n={len(self._labels)}, [{preview}])"
+
+    def as_mapping(self) -> Mapping[Hashable, int]:
+        """A read-only snapshot of the ``label -> rank`` map (the snapshot
+        format ROADMAP item 5's mmap dumps will serialize)."""
+        return dict(self._ranks)

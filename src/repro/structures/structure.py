@@ -9,12 +9,13 @@ performs that conversion; :func:`from_database` goes the other way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.core import Atom, Database, make_set, make_tuple
 from repro.core.errors import InvalidDatabaseError, SRLNameError
 from repro.core.values import SRLSet, SRLTuple, Value
 
+from .intern import InternTable
 from .vocabulary import Vocabulary
 
 __all__ = ["Structure", "from_database"]
@@ -27,13 +28,26 @@ class Structure:
     Relations are stored as frozensets of integer tuples; unary relations
     still use 1-tuples internally, but :meth:`relation` accepts bare
     integers for membership tests.
+
+    ``intern`` optionally records how the canonical dense-int universe was
+    produced from labeled elements (see :class:`~repro.structures.intern.
+    InternTable` and :meth:`from_labeled`); ``None`` means the universe
+    *is* its own labeling (elements are the ranks ``0..n-1``).  The table
+    rides along through :meth:`with_relation` / :meth:`restrict` and is
+    surfaced by :meth:`stats`.
     """
 
     vocabulary: Vocabulary
     size: int
     relations: dict[str, frozenset[tuple[int, ...]]] = field(default_factory=dict)
+    intern: InternTable | None = None
 
     def __post_init__(self) -> None:
+        if self.intern is not None and len(self.intern) != self.size:
+            raise ValueError(
+                f"intern table maps {len(self.intern)} elements but the "
+                f"universe has size {self.size}"
+            )
         for name in self.vocabulary:
             self.relations.setdefault(name, frozenset())
         for name, tuples in self.relations.items():
@@ -70,6 +84,53 @@ class Structure:
 
     def count_tuples(self) -> int:
         return sum(len(rows) for rows in self.relations.values())
+
+    def stats(self) -> dict:
+        """Summary statistics for ``--stats`` and snapshot manifests: the
+        universe size, the intern-table entry count (equal to the size —
+        the table is a bijection onto the universe — or the size again for
+        the identity labeling), and the per-relation row counts."""
+        return {
+            "size": self.size,
+            "intern_entries": self.size if self.intern is None else len(self.intern),
+            "interned": self.intern is not None,
+            "relations": {name: len(rows)
+                          for name, rows in sorted(self.relations.items())},
+        }
+
+    def decode_row(self, row: Sequence[int]) -> tuple:
+        """A tuple of universe ranks back as the caller's labels (identity
+        when the structure was built directly over ``0..n-1``)."""
+        if self.intern is None:
+            return tuple(row)
+        return self.intern.decode_row(row)
+
+    @classmethod
+    def from_labeled(cls, relations: Mapping[str, Iterable[Sequence[Hashable]]],
+                     elements: Iterable[Hashable] = (),
+                     vocabulary: Vocabulary | None = None) -> "Structure":
+        """Build a structure from relations over arbitrary hashable labels.
+
+        Every distinct label — first those listed in ``elements`` (callers
+        fix the ordering, and isolated elements, this way), then any others
+        in relation-row order — is interned to the next dense rank, and the
+        resulting :class:`InternTable` is persisted on the structure.  The
+        vocabulary is inferred from the rows unless given explicitly.
+        """
+        table = InternTable(elements)
+        ranked: dict[str, set[tuple[int, ...]]] = {}
+        arities: dict[str, int] = {}
+        for name, rows in relations.items():
+            interned = {table.intern_row(tuple(row) if isinstance(row, (tuple, list))
+                                         else (row,))
+                        for row in rows}
+            ranked[name] = interned
+            arities[name] = max((len(row) for row in interned), default=1)
+        if vocabulary is None:
+            vocabulary = Vocabulary.of(**arities)
+        return cls(vocabulary, len(table),
+                   {name: frozenset(rows) for name, rows in ranked.items()},
+                   intern=table)
 
     # ----------------------------------------------------------- conversion
 
@@ -114,14 +175,15 @@ class Structure:
             vocabulary = self.vocabulary.extended(**{name: arity})
         relations = dict(self.relations)
         relations[name] = rows
-        return Structure(vocabulary, self.size, relations)
+        return Structure(vocabulary, self.size, relations, intern=self.intern)
 
     def restrict(self, names: Iterable[str]) -> "Structure":
         """The reduct of this structure to the given relation symbols."""
         names = list(names)
         vocabulary = Vocabulary.of(**{n: self.vocabulary.arity(n) for n in names})
         return Structure(vocabulary, self.size,
-                         {n: self.relations[n] for n in names})
+                         {n: self.relations[n] for n in names},
+                         intern=self.intern)
 
     def is_isomorphic_by(self, other: "Structure", mapping: Sequence[int]) -> bool:
         """Check that ``mapping`` (a permutation of the universe) is an

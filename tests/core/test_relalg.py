@@ -368,3 +368,62 @@ class TestFailedAddLeavesNoTrace:
         assert relation.rows == set(rows)
         for row in rows:
             assert row in relation.index(1)[row[1]]
+
+
+class TestIndexTransfer:
+    """P7 satellite: ``union`` / ``difference`` transfer existing
+    per-column indexes to the result instead of forcing a full rebuild on
+    the result's first probe."""
+
+    def test_union_transfers_and_extends_indexes(self):
+        relation = IndexedRelation([(0, 1), (1, 2), (2, 3)])
+        single = relation.index(0)
+        composite = relation.index_on((0, 1))
+        result = relation.union([(3, 4), (1, 2)])
+        # Transferred before any probe — index() takes the cached path,
+        # no rebuild scan.
+        assert 0 in result._indexes and (0, 1) in result._indexes
+        assert result.index(0)[3] == {(3, 4)}        # extended by add()
+        assert result.index(0)[0] == {(0, 1)}        # carried over
+        assert result.index_on((0, 1))[(3, 4)] == {(3, 4)}
+        # Buckets are clones: the operand's indexes are untouched.
+        assert 3 not in single
+        assert (3, 4) not in composite
+        # Full-delta invariant of every bulk operator.
+        assert result.take_delta() == result.rows
+
+    def test_difference_prunes_transferred_indexes(self):
+        relation = IndexedRelation([(0, 1), (1, 2), (2, 3), (3, 4)])
+        relation.index(1)
+        small_cut = relation.difference([(1, 2)])           # clone-and-prune
+        assert small_cut.index(1) == {1: {(0, 1)}, 3: {(2, 3)}, 4: {(3, 4)}}
+        big_cut = relation.difference([(0, 1), (1, 2), (2, 3)])  # rebuild
+        assert big_cut.index(1) == {4: {(3, 4)}}
+        assert relation.index(1)[2] == {(1, 2)}             # operand intact
+        assert small_cut.take_delta() == small_cut.rows
+
+    def test_unindexed_operands_stay_lazy(self):
+        relation = IndexedRelation([(0, 1)])
+        assert not relation.union([(1, 2)])._indexes
+        assert not relation.difference([(0, 1)])._indexes
+
+    def test_transferred_indexes_answer_plan_joins(self):
+        """End-to-end through the plan kernels: a join probing a
+        union-built relation's index counts its probes in PlanStats and
+        produces exactly the rows of a from-scratch relation."""
+        from repro.logic.plan import ExecutionContext, Join, PlanStats, RelationScan
+        from repro.structures import path_graph
+
+        structure = path_graph(5)
+        plan = Join(RelationScan("E", ("x", "y")), RelationScan("E", ("y", "z")))
+        stats = PlanStats()
+        rows = plan.execute(ExecutionContext(structure, stats=stats)).rows
+        assert stats.index_probes > 0
+        base = IndexedRelation(structure.relation("E"))
+        base.index(0)
+        merged = base.union([(0, 3)])
+        probe = merged.index(0)  # transferred, already maintained
+        expected = IndexedRelation(merged.rows)
+        assert probe == expected.index(0)
+        assert {(x, y, z) for (x, y), (y2, z) in
+                ((l, r) for l in base for r in base if l[1] == r[0])} == rows

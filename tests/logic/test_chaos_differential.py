@@ -36,9 +36,11 @@ def _oracle(name, structure):
 # ------------------------------------------------------------- the sweep
 
 
+@pytest.mark.parametrize("backend", ["plan", "columnar"])
 @pytest.mark.parametrize("action", ["raise", "corrupt"])
 @pytest.mark.parametrize("point", INJECTION_POINTS)
-def test_single_fault_never_changes_the_answer(point, action, inject_faults):
+def test_single_fault_never_changes_the_answer(point, action, backend,
+                                               inject_faults):
     """One fault per run (the realistic case: one component hiccups once);
     the ladder's retry must land on the correct answer."""
     structure = random_alternating_graph(5, seed=3)
@@ -47,13 +49,14 @@ def test_single_fault_never_changes_the_answer(point, action, inject_faults):
         expected = _oracle(name, structure)
         inject_faults(Fault(point, action=action))
         got = define_relation(query.formula(), structure, query.variables,
-                              backend="plan")
+                              backend=backend)
         assert got == expected, f"fault at {point}/{action} changed {name}"
 
 
+@pytest.mark.parametrize("backend", ["plan", "columnar"])
 @pytest.mark.parametrize("action", ["raise", "corrupt"])
 @pytest.mark.parametrize("point", INJECTION_POINTS)
-def test_persistent_fault_never_changes_the_answer(point, action,
+def test_persistent_fault_never_changes_the_answer(point, action, backend,
                                                    inject_faults):
     """A fault that fires on *every* pass through its site (a hard-down
     component).  The ladder must still bottom out on the tuple oracle —
@@ -64,7 +67,7 @@ def test_persistent_fault_never_changes_the_answer(point, action,
         expected = _oracle(name, structure)
         inject_faults(Fault(point, action=action, max_fires=None))
         got = define_relation(query.formula(), structure, query.variables,
-                              backend="plan")
+                              backend=backend)
         assert got == expected, f"fault at {point}/{action} changed {name}"
 
 

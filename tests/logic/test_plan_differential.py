@@ -1,24 +1,28 @@
 """The plan / tuple differential suite (PR 4 acceptance, extended by the
-PR 5 optimizer).
+PR 5 optimizer and the P7 columnar backend).
 
 The set-at-a-time plan backend must be *observationally identical* to the
-tuple-at-a-time enumeration it bypasses — and the optimized plan to the
-raw compiled plan it rewrites.  Two layers of evidence:
+tuple-at-a-time enumeration it bypasses — the optimized plan to the raw
+compiled plan it rewrites — and the columnar codegen backend to all of
+them.  Two layers of evidence:
 
 * every canonical Figure-1 query (the :data:`CANONICAL_QUERIES` registry:
-  TC, DTC, the APATH/GAP fixed points, the counting query) over seeded
-  random structures, checked end-to-end through ``define_relation`` and
-  ``evaluate`` on both backends;
+  TC, DTC, the APATH/GAP fixed points, the counting queries, the
+  complement queries) over seeded random structures, checked end-to-end
+  through ``define_relation`` and ``evaluate`` on every backend;
 
 * a hypothesis-style random formula generator — seeded, bounded depth,
   exercising **every** formula constructor (atoms over both relation
   symbols, constants, =, <=, ~, /\\, \\/, ->, exists, forall, counting
   quantifiers, TC, DTC, LFP with auxiliary references, and nesting of all
   of the above) — driving well over 100 ``(formula, structure)``
-  instances run **three ways**: optimizer-on plan, optimizer-off plan,
-  and the tuple oracle.  All three defined relations must agree exactly,
-  and the optimized execution must materialize no more rows than the raw
-  plan (the optimizer's whole point, pinned as an invariant).
+  instances run **four ways**: columnar codegen, optimizer-on plan,
+  optimizer-off plan, and the tuple oracle.  All four defined relations
+  must agree exactly, and the optimized execution must materialize no
+  more rows than the raw plan (the optimizer's whole point, pinned as an
+  invariant).  Governed (budget-limited) instances must, on every
+  backend, either match the oracle or raise a clean
+  :class:`ResourceLimitExceeded` — never a wrong answer.
 
 The generator only produces well-formed formulas (fixed-point bodies
 closed over their bound variables, matching arities), which is precisely
@@ -73,13 +77,20 @@ def test_canonical_queries_agree(name, size, seed):
     query = CANONICAL_QUERIES[name]
     structure = random_alternating_graph(size, seed=seed)
     formula = query.formula()
+    events = []
+    columnar = define_relation(formula, structure, query.variables,
+                               backend="columnar", optimize=True,
+                               degradations=events)
     optimized = define_relation(formula, structure, query.variables,
                                 backend="plan", optimize=True)
     raw = define_relation(formula, structure, query.variables,
                           backend="plan", optimize=False)
     slow = define_relation(formula, structure, query.variables,
                            backend="tuple")
-    assert optimized == raw == slow
+    assert columnar == optimized == raw == slow
+    # The canonical queries are all bitset/CSR-representable: the columnar
+    # rung must have answered, not silently degraded to the interpreter.
+    assert not [e for e in events if e.stage == "columnar"]
 
 
 @pytest.mark.parametrize("name", sorted(CANONICAL_QUERIES))
@@ -89,8 +100,10 @@ def test_canonical_queries_agree_via_model_checker(name):
     formula = query.formula()
     assignment = dict(zip(query.variables, (0, structure.size - 1)))
     fast = ModelChecker(structure, backend="plan").evaluate(formula, assignment)
+    cols = ModelChecker(structure, backend="columnar").evaluate(formula,
+                                                               assignment)
     slow = ModelChecker(structure, backend="tuple").evaluate(formula, assignment)
-    assert fast == slow
+    assert fast == cols == slow
 
 
 # -------------------------------------------- the random formula generator
@@ -188,19 +201,22 @@ GENERATOR_SIZES = (3, 4, 5)
 @pytest.mark.parametrize("size", GENERATOR_SIZES)
 @pytest.mark.parametrize("seed", GENERATOR_SEEDS)
 def test_generated_formulas_agree(size, seed):
-    """Three-way differential: optimized plan == raw plan == tuple oracle,
-    and the optimizer never materializes more rows than the raw plan."""
+    """Four-way differential: columnar codegen == optimized plan == raw
+    plan == tuple oracle, and the optimizer never materializes more rows
+    than the raw plan."""
     generator = FormulaGenerator(seed)
     formula = generator.formula(depth=3, scope=FREE_VARIABLES)
     structure = random_alternating_graph(size, seed=seed)
     optimized_stats, raw_stats = PlanStats(), PlanStats()
+    columnar = define_relation(formula, structure, FREE_VARIABLES,
+                               backend="columnar", optimize=True)
     optimized = define_relation(formula, structure, FREE_VARIABLES,
                                 backend="plan", optimize=True,
                                 stats=optimized_stats)
     raw = define_relation(formula, structure, FREE_VARIABLES,
                           backend="plan", optimize=False, stats=raw_stats)
     slow = define_relation(formula, structure, FREE_VARIABLES, backend="tuple")
-    assert optimized == raw == slow, \
+    assert columnar == optimized == raw == slow, \
         f"backend divergence on seed={seed}:\n{formula}"
     assert optimized_stats.rows_materialized <= raw_stats.rows_materialized, \
         f"optimizer materialized more rows on seed={seed}:\n{formula}"
@@ -219,7 +235,7 @@ def test_generated_formulas_agree_under_naive_kernels(seed):
         define_relation(formula, structure, FREE_VARIABLES,
                         backend=backend, seminaive=seminaive,
                         optimize=optimize)
-        for backend in ("plan", "tuple")
+        for backend in ("plan", "columnar", "tuple")
         for seminaive in (True, False)
         for optimize in (True, False)
     }
@@ -234,9 +250,64 @@ def test_generated_sentences_agree_pointwise(seed):
     formula = generator.formula(depth=2, scope=FREE_VARIABLES)
     structure = random_alternating_graph(5, seed=seed)
     fast = ModelChecker(structure, backend="plan")
+    cols = ModelChecker(structure, backend="columnar")
     slow = ModelChecker(structure, backend="tuple")
     for u in structure.universe:
         for v in (0, structure.size - 1):
             assignment = {"u": u, "v": v}
             assert fast.evaluate(formula, assignment) == \
+                cols.evaluate(formula, assignment) == \
                 slow.evaluate(formula, assignment)
+
+
+# ------------------------------------- columnar fallback and governed runs
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_arity_three_fixpoints_fall_back_to_tuple_representation(seed):
+    """An arity-3 LFP has no bitset/CSR representation: the codegen keeps
+    those relations as tuple sets (recording the fallback) and must still
+    agree with every other backend."""
+    generator = FormulaGenerator(200 + seed)
+    body_atom = generator.formula(depth=1, scope=("f1", "f2", "f3"),
+                                  aux_stack=(("R3", 3),))
+    formula = LFPAtom(
+        "R3", ("f1", "f2", "f3"),
+        Or((And((rel("E", "f1", "f2"), rel("E", "f2", "f3"))), body_atom)),
+        (VarTerm("u"), VarTerm("v"), VarTerm("v")))
+    structure = random_alternating_graph(4, seed=seed)
+    columnar = define_relation(formula, structure, FREE_VARIABLES,
+                               backend="columnar")
+    optimized = define_relation(formula, structure, FREE_VARIABLES,
+                                backend="plan", optimize=True)
+    raw = define_relation(formula, structure, FREE_VARIABLES,
+                          backend="plan", optimize=False)
+    slow = define_relation(formula, structure, FREE_VARIABLES, backend="tuple")
+    assert columnar == optimized == raw == slow
+
+
+@pytest.mark.parametrize("max_rows", [1, 10, 100, 100_000])
+@pytest.mark.parametrize("seed", range(6))
+def test_governed_runs_agree_or_fail_cleanly(seed, max_rows):
+    """Budget-limited four-way contract: on every backend a governed run
+    either matches the (ungoverned) oracle or raises a clean
+    :class:`ResourceLimitExceeded` — never a wrong answer."""
+    from repro.core.errors import ResourceLimitExceeded
+    from repro.core.governor import Budget
+
+    generator = FormulaGenerator(300 + seed)
+    formula = generator.formula(depth=3, scope=FREE_VARIABLES)
+    structure = random_alternating_graph(4, seed=seed)
+    oracle = define_relation(formula, structure, FREE_VARIABLES,
+                             backend="tuple")
+    for backend in ("columnar", "plan", "tuple"):
+        for optimize in (True, False):
+            try:
+                got = define_relation(
+                    formula, structure, FREE_VARIABLES, backend=backend,
+                    optimize=optimize,
+                    budget=Budget(max_rows_materialized=max_rows))
+            except ResourceLimitExceeded:
+                continue
+            assert got == oracle, \
+                f"governed {backend} diverged on seed={seed}:\n{formula}"

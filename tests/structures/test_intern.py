@@ -1,0 +1,86 @@
+"""Dense-int interning (P7): the InternTable and Structure.from_labeled."""
+
+import pytest
+
+from repro.structures import InternTable, Structure
+
+
+class TestInternTable:
+    def test_first_occurrence_rank_order(self):
+        table = InternTable()
+        assert table.intern("carol") == 0
+        assert table.intern("alice") == 1
+        assert table.intern("carol") == 0  # idempotent
+        assert table.intern("bob") == 2
+        assert table.labels == ("carol", "alice", "bob")
+
+    def test_seeded_from_elements(self):
+        table = InternTable(["a", "b", "c"])
+        assert len(table) == 3
+        assert table.rank_of("b") == 1
+
+    def test_lookups_and_decode(self):
+        table = InternTable(["x", "y"])
+        assert table.label_of(0) == "x"
+        assert table.decode_row((1, 0, 1)) == ("y", "x", "y")
+        assert table.intern_row(("y", "z")) == (1, 2)
+        assert "z" in table and "w" not in table
+        with pytest.raises(KeyError):
+            table.rank_of("w")
+
+    def test_equality_and_mapping(self):
+        a = InternTable(["p", "q"])
+        b = InternTable(["p", "q"])
+        c = InternTable(["q", "p"])
+        assert a == b
+        assert a != c  # same labels, different ranks
+        assert a.as_mapping() == {"p": 0, "q": 1}
+        assert list(a) == ["p", "q"]
+
+
+class TestFromLabeled:
+    def test_builds_dense_universe_and_persists_table(self):
+        structure = Structure.from_labeled(
+            {"E": [("alice", "bob"), ("bob", "carol")]})
+        assert structure.size == 3
+        assert structure.intern is not None
+        assert structure.relations["E"] == {(0, 1), (1, 2)}
+        assert structure.decode_row((2, 0)) == ("carol", "alice")
+
+    def test_elements_fix_ordering_and_isolated_nodes(self):
+        structure = Structure.from_labeled(
+            {"E": [("b", "a")]}, elements=("a", "b", "lonely"))
+        assert structure.size == 3
+        assert structure.relations["E"] == {(1, 0)}
+        assert structure.intern.label_of(2) == "lonely"
+
+    def test_stats_reports_interning(self):
+        labeled = Structure.from_labeled({"E": [("a", "b")]})
+        stats = labeled.stats()
+        assert stats["interned"] is True
+        assert stats["intern_entries"] == 2
+        assert stats["relations"] == {"E": 1}
+        plain = Structure.from_labeled({"E": [(0, 1)]})
+        # ints are labels too: still interned, ranks in first-occurrence order
+        assert plain.relations["E"] == {(0, 1)}
+
+    def test_decode_identity_without_table(self):
+        from repro.structures import path_graph
+        structure = path_graph(4)
+        assert structure.intern is None
+        assert structure.decode_row((2, 3)) == (2, 3)
+        assert structure.stats()["interned"] is False
+        assert structure.stats()["intern_entries"] == 4
+
+    def test_table_rides_through_algebra(self):
+        structure = Structure.from_labeled({"E": [("a", "b")]})
+        extended = structure.with_relation("Mark", [(0,)], arity=1)
+        assert extended.intern is structure.intern
+        reduct = extended.restrict(["E"])
+        assert reduct.intern is structure.intern
+
+    def test_size_mismatch_rejected(self):
+        from repro.structures import GRAPH_VOCABULARY
+        with pytest.raises(ValueError, match="intern table"):
+            Structure(GRAPH_VOCABULARY, 3, {"E": frozenset()},
+                      intern=InternTable(["only", "two"]))
