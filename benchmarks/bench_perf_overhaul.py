@@ -70,7 +70,7 @@ import pytest
 from repro.core import Session, run_program
 from repro.core.reference import legacy_mode, value_sort_reference
 from repro.core.values import make_set, make_tuple, Atom, value_sort
-from repro.logic.eval import define_relation
+from repro.logic.eval import ModelChecker, define_relation
 from repro.logic.formula import LFPAtom, TCAtom, and_, aux, eq, exists, or_, rel, var
 from repro.logic.queries import CANONICAL_QUERIES
 from repro.queries import (
@@ -85,6 +85,8 @@ from repro.queries import (
     reachability_program,
 )
 from repro.structures import (
+    Changeset,
+    Structure,
     cycle_graph,
     functional_graph,
     layered_graph,
@@ -111,6 +113,13 @@ OPTIMIZER_TARGET_GEOMEAN = 3.0
 #: The acceptance bar of the PR 7 columnar-backend issue: geometric mean
 #: of the columnar-vs-optimized-set speedups across the same suite.
 COLUMNAR_TARGET_GEOMEAN = 10.0
+
+#: The acceptance bars of the PR 8 incremental-maintenance issue: a
+#: single-edge insert on the memoized TC relation at n = 128 against a
+#: full recompute, and the geometric mean across the insert datapoints
+#: (tc's O(change) closure patch and apath's honest recompute fallback).
+IVM_TC_INSERT_TARGET = 10.0
+IVM_INSERT_TARGET_GEOMEAN = 5.0
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS: dict[str, dict] = {}
@@ -161,6 +170,7 @@ def _write_bench_json(request):
         "experiment": "P0 perf overhaul + P1 compiled engine + P2 semi-naive"
                       " + P3 relational planner + P4 plan optimizer"
                       " + P7 columnar backend"
+                      " + P8 incremental maintenance"
                       + (" (smoke sizes)" if smoke else ""),
         "python": platform.python_version(),
         "target_speedup": TARGET_SPEEDUP,
@@ -169,6 +179,8 @@ def _write_bench_json(request):
         "plan_target_speedup": PLAN_TARGET_SPEEDUP,
         "optimizer_target_geomean": OPTIMIZER_TARGET_GEOMEAN,
         "columnar_target_geomean": COLUMNAR_TARGET_GEOMEAN,
+        "ivm_tc_insert_target": IVM_TC_INSERT_TARGET,
+        "ivm_insert_target_geomean": IVM_INSERT_TARGET_GEOMEAN,
         "entries": {},
     }
     if not smoke and path.exists():
@@ -798,3 +810,109 @@ def test_columnar_scale_n512_p7(table, smoke):
                 {"universe": 512, "queries": "tc,dtc,apath,agap",
                  "baseline": "smoke-budget"},
                 table, series="P7", baseline="smoke-budget", target=1.0)
+
+
+# --------------------------------- P8: incremental maintenance (PR 8)
+
+
+def _copy_structure(structure):
+    return Structure(structure.vocabulary, structure.size,
+                     dict(structure.relations), intern=structure.intern)
+
+
+def _ivm_vs_recompute(name: str, query_name: str, structure, op: str,
+                      table, smoke: bool) -> float:
+    """Time one single-edge update against a memoized canonical relation:
+    the maintained path (``ModelChecker.apply_update`` + the now-patched
+    ``defined_relation`` read) vs a full from-scratch recompute on the
+    post-update structure.  Each repeat applies the inverse update outside
+    the timer, so the checker round-trips to the same state; the
+    maintained rows are cross-checked against the recompute oracle."""
+    query = CANONICAL_QUERIES[query_name]
+    formula = query.formula()
+    edge_rows = structure.relations["E"]
+    if op == "insert":
+        edge = next((u, v) for u in range(structure.size)
+                    for v in range(structure.size)
+                    if u != v and (u, v) not in edge_rows)
+        forward = Changeset.inserting("E", edge)
+        backward = Changeset.deleting("E", edge)
+    else:
+        edge = next(iter(sorted(edge_rows)))
+        forward = Changeset.deleting("E", edge)
+        backward = Changeset.inserting("E", edge)
+
+    checker = ModelChecker(structure, backend="plan")
+    checker.defined_relation(formula)
+    repeats = 3 if smoke else 5
+    maintained_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        checker.apply_update(forward)
+        columns, rows = checker.defined_relation(formula)
+        maintained_seconds = min(maintained_seconds,
+                                 time.perf_counter() - start)
+        checker.apply_update(backward)
+
+    patched = _copy_structure(structure)
+    patched.apply(forward)
+    expected = define_relation(formula, patched, query.variables,
+                               backend="plan", optimize=True)
+    positions = [columns.index(v) for v in query.variables]
+    assert {tuple(row[p] for p in positions) for row in rows} == expected, \
+        f"{name}: maintained relation diverged from the recompute oracle"
+
+    def recompute():
+        return define_relation(formula, patched, query.variables,
+                               backend="plan", optimize=True)
+
+    recompute_seconds = _best_of(recompute, repeats=1 if smoke else 2)
+    params = {"universe": structure.size, "query": query_name, "op": op,
+              "strategy": dict(checker.ivm_stats), "baseline": "recompute"}
+    return _record(name, recompute_seconds, maintained_seconds, params,
+                   table, series="P8", baseline="recompute",
+                   target=IVM_TC_INSERT_TARGET)
+
+
+def _p8_workloads(smoke: bool):
+    """TC over the P7 dense digraph (the closure strategy's O(change)
+    patch) and APATH over the P4 alternating graph (the recompute
+    fallback, measured honestly: its "maintained" path pays the dropped
+    memo's re-derivation on the next read)."""
+    if smoke:
+        return {
+            "tc": random_graph(20, 0.25, seed=7),
+            "apath": random_alternating_graph(20, edge_probability=0.1,
+                                              seed=13),
+        }
+    return {
+        "tc": random_graph(128, 0.25, seed=7),
+        "apath": random_alternating_graph(128, edge_probability=0.03,
+                                          seed=13),
+    }
+
+
+def test_ivm_vs_recompute_p8(table, smoke):
+    """The P8 acceptance gate: a single-edge insert on the memoized TC
+    relation at n = 128 beats a full recompute by >= 10x (the Dyn-FO
+    closure patch touches O(change) bitset words), the insert geomean
+    across tc / apath stays >= 5x even with apath's honest ~1x recompute
+    fallback, and the single-edge delete datapoint pins the DRed
+    over-delete / re-derive path."""
+    graphs = _p8_workloads(smoke)
+    tc_insert = _ivm_vs_recompute("ivm_vs_recompute_tc_insert", "tc",
+                                  graphs["tc"], "insert", table, smoke)
+    tc_delete = _ivm_vs_recompute("ivm_vs_recompute_tc_delete", "tc",
+                                  graphs["tc"], "delete", table, smoke)
+    apath_insert = _ivm_vs_recompute("ivm_vs_recompute_apath_insert",
+                                     "apath", graphs["apath"], "insert",
+                                     table, smoke)
+    geomean = (tc_insert * apath_insert) ** 0.5
+    table("P8: insert geometric mean (recompute vs maintained)",
+          ["queries", "geomean", "target"],
+          [["tc, apath", f"{geomean:.2f}x",
+            f">= {IVM_INSERT_TARGET_GEOMEAN:.0f}x"]])
+    if not smoke:
+        assert tc_insert >= IVM_TC_INSERT_TARGET
+        assert geomean >= IVM_INSERT_TARGET_GEOMEAN
+        assert tc_delete >= 1.0

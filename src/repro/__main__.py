@@ -159,6 +159,12 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stats", action="store_true",
                         help="also print the plan execution counters (rows "
                              "materialized, index probes, fixpoint rounds)")
+    parser.add_argument("--updates", type=Path, default=None, metavar="FILE",
+                        help="JSON update sequence (a list of {op, relation, "
+                             "row} objects, op one of insert/delete/+/-): "
+                             "evaluate the query, apply the updates with "
+                             "incremental view maintenance, and report the "
+                             "maintained relation")
     parser.add_argument("--list", action="store_true",
                         help="list the available queries and exit")
     return parser
@@ -216,9 +222,33 @@ def logic_main(argv: list[str]) -> int:
                 print(explain_optimized(formula, structure, query.variables))
             else:
                 print(explain(formula, query.variables))
-        relation = define_relation(formula, structure, query.variables,
-                                   backend=args.backend, optimize=optimize,
-                                   stats=stats, budget=budget)
+        ivm_summary = None
+        net = None
+        if args.updates is not None:
+            from repro.logic.eval import ModelChecker
+            from repro.structures.changeset import Changeset
+
+            updates = Changeset.from_json(
+                json.loads(args.updates.read_text()))
+            checker = ModelChecker(structure, backend=args.backend,
+                                   optimize=optimize, budget=budget)
+            if stats is not None:
+                checker.plan_stats = stats
+            checker.defined_relation(formula)
+            net = checker.apply_update(updates)
+            columns, rows = checker.defined_relation(formula)
+            if query.variables:
+                positions = [columns.index(v) for v in query.variables]
+                relation = frozenset(tuple(row[p] for p in positions)
+                                     for row in rows)
+            else:
+                relation = rows
+            ivm_summary = dict(checker.ivm_stats)
+        else:
+            relation = define_relation(formula, structure, query.variables,
+                                       backend=args.backend,
+                                       optimize=optimize,
+                                       stats=stats, budget=budget)
     except PlanCompilationError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_INPUT
@@ -229,6 +259,13 @@ def logic_main(argv: list[str]) -> int:
         (args.backend if optimize else f"{args.backend}, unoptimized")
     print(f"query:       {args.query} over n = {structure.size} "
           f"({strategy} backend)")
+    if ivm_summary is not None:
+        inserts = sum(1 for change in net if change.op == "insert")
+        maintained = ", ".join(f"{name}={count}" for name, count
+                               in sorted(ivm_summary.items()))
+        print(f"updates:     {len(net)} net changes "
+              f"(+{inserts}/-{len(net) - inserts}); "
+              f"maintenance: {maintained or 'no memo touched'}")
     if args.stats and stats is not None:
         print("stats:       " + ", ".join(
             f"{key}={count}" for key, count in stats.as_dict().items()

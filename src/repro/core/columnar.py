@@ -51,6 +51,9 @@ __all__ = [
     "proj_target",
     "count_per_source",
     "closure_adjacency",
+    "reach_from",
+    "patch_closure_insert",
+    "overdeleted_rows",
 ]
 
 
@@ -377,6 +380,75 @@ def _closure_functional(adjacency: list[int], n: int) -> list[int]:
             tail = reach[member] = (1 << member) | tail
             state[member] = 2
     return reach
+
+
+# --------------------------------------------------- closure patch kernels
+#
+# The incremental maintenance layer (:mod:`repro.logic.ivm`) keeps a
+# memoized reflexive transitive closure live under single-edge updates.
+# Insertion is the Dyn-FO rule (Patnaik-Immerman): the new pairs after
+# adding edge ``(u, v)`` are exactly ``{(x, y) : (x, u) in T and
+# (v, y) in T}`` — one pass of row ORs, no fixed point.  Deletion is
+# DRed: :func:`overdeleted_rows` computes the over-deleted candidates
+# (every pair whose *every* derivation might route through a removed
+# edge), and the caller re-derives each affected source with one
+# :func:`reach_from` BFS over the post-delete adjacency.
+
+
+def reach_from(adjacency: list[int], source: int) -> int:
+    """The *reflexive* reach bitset of one ``source`` over bitmask-row
+    adjacency — the per-source re-derivation kernel of DRed deletion."""
+    seen = 1 << source
+    frontier = adjacency[source] & ~seen
+    table = _BYTE_OFFSETS
+    while frontier:
+        seen |= frontier
+        step = 0
+        data = frontier.to_bytes((frontier.bit_length() + 7) >> 3, "little")
+        for base, byte in enumerate(data):
+            if byte:
+                base8 = base << 3
+                for offset in table[byte]:
+                    step |= adjacency[base8 + offset]
+        frontier = step & ~seen
+    return seen
+
+
+def patch_closure_insert(reach: list[int], u: int, v: int) -> int:
+    """Patch reflexive-closure rows ``reach`` in place for one inserted
+    edge ``(u, v)``: every source that reaches ``u`` gains ``v``'s reach
+    set (reflexivity covers the ``x = u`` / ``y = v`` endpoints).  Returns
+    the bitset of sources whose rows changed."""
+    gain = reach[v] | (1 << v)
+    bit_u = 1 << u
+    changed = 0
+    for x in range(len(reach)):
+        row = reach[x]
+        if row & bit_u and gain & ~row:
+            reach[x] = row | gain
+            changed |= 1 << x
+    return changed
+
+
+def overdeleted_rows(reach: list[int], removed: Iterable[tuple[int, int]]
+                     ) -> list[int]:
+    """The DRed over-delete: per-source candidate masks ``D`` with
+    ``D[x]`` the bitset of targets ``y`` such that some removed edge
+    ``(u, v)`` has ``(x, u)`` and ``(v, y)`` in the old closure ``reach``.
+    Every truly-dead pair is a candidate (each of its old derivations used
+    a removed edge), so sources with ``D[x] == 0`` keep their rows
+    verbatim.  Reflexive pairs never die and are masked out."""
+    n = len(reach)
+    out = [0] * n
+    for u, v in removed:
+        gain = reach[v] | (1 << v)
+        bit_u = 1 << u
+        for x in range(n):
+            if reach[x] & bit_u:
+                out[x] |= gain
+    for x in range(n):
+        out[x] &= reach[x] & ~(1 << x)
+    return out
 
 
 # ------------------------------------------------------------ the boxed form

@@ -260,27 +260,49 @@ class Session:
         The checker (and therefore its memoized defined relations / fixed
         points) is reused across calls against the same structure, so a
         loop over assignments pays for each formula's plan execution or
-        closure once.  Like :class:`~repro.logic.eval.ModelChecker` itself,
-        this treats the structure as immutable while in use: mutate a
-        structure's relations and the memo goes stale — build a fresh
-        ``Structure`` (they are cheap) or a fresh checker instead."""
-        from repro.logic.eval import ModelChecker
-        cached = self._logic_checker
-        if cached is not None and cached[0] is structure \
-                and cached[1] == (self.logic_backend, self.budget):
-            checker = cached[2]
-        else:
-            checker = ModelChecker(structure, seminaive=self.seminaive,
-                                   backend=self.logic_backend,
-                                   optimize=self.logic_optimize,
-                                   budget=self.budget)
-            self._logic_checker = (structure,
-                                   (self.logic_backend, self.budget), checker)
+        closure once.  Mutate the structure through :meth:`update` (never
+        by hand) and the memo is maintained incrementally instead of going
+        stale."""
+        checker = self._checker_for(structure)
         mark = len(checker.degradations)
         try:
             return checker.evaluate(formula, assignment)
         finally:
             self.degradations.extend(checker.degradations[mark:])
+
+    def update(self, structure, changeset) -> "Changeset":
+        """Apply ``changeset`` to ``structure`` and incrementally maintain
+        whatever this session has memoized against it (Dyn-FO; see
+        :meth:`repro.logic.eval.ModelChecker.apply_update`).  Returns the
+        net changeset.  When the session holds no checker for this
+        structure the facts are simply applied — there is nothing to
+        maintain yet."""
+        cached = self._logic_checker
+        if cached is not None and cached[0] is structure \
+                and cached[1] == (self.logic_backend, self.budget):
+            checker = cached[2]
+            mark = len(checker.degradations)
+            try:
+                return checker.apply_update(changeset)
+            finally:
+                self.degradations.extend(checker.degradations[mark:])
+        return structure.apply(changeset)
+
+    def _checker_for(self, structure) -> "ModelChecker":
+        """The session's per-structure checker, created on first use and
+        reused while the structure identity and backend settings hold."""
+        from repro.logic.eval import ModelChecker
+        cached = self._logic_checker
+        if cached is not None and cached[0] is structure \
+                and cached[1] == (self.logic_backend, self.budget):
+            return cached[2]
+        checker = ModelChecker(structure, seminaive=self.seminaive,
+                               backend=self.logic_backend,
+                               optimize=self.logic_optimize,
+                               budget=self.budget)
+        self._logic_checker = (structure,
+                               (self.logic_backend, self.budget), checker)
+        return checker
 
     # ------------------------------------------------------------ internals
 

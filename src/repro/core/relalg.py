@@ -154,6 +154,37 @@ class IndexedRelation:
         """Bulk :meth:`add`; returns how many rows were new."""
         return sum(self.add(row) for row in rows)
 
+    def discard(self, row: Sequence) -> bool:
+        """Remove a row; returns True iff it was present.
+
+        The inverse of :meth:`add`, with the same index contract: every
+        built column index drops the row, so a relation maintained under
+        deletions keeps probing correctly without a rebuild.  A removed
+        row also leaves the delta set — the frontier only ever names rows
+        *currently* in the relation, which is what the incremental
+        maintenance layer's over-delete/re-derive passes rely on.
+        """
+        row = tuple(row)
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        self._delta.discard(row)
+        for column, index in self._indexes.items():
+            if type(column) is tuple:
+                key: Hashable = tuple(row[c] for c in column)
+            else:
+                key = row[column]
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def discard_all(self, rows: Iterable[Sequence]) -> int:
+        """Bulk :meth:`discard`; returns how many rows were present."""
+        return sum(self.discard(row) for row in rows)
+
     # -------------------------------------------------------------- deltas
 
     @property

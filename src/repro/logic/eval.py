@@ -77,6 +77,7 @@ from .formula import (
     Term,
     TrueFormula,
     VarTerm,
+    free_variables_of,
 )
 
 __all__ = ["LOGIC_BACKENDS", "ModelChecker", "evaluate", "define_relation"]
@@ -241,8 +242,19 @@ class ModelChecker:
         self._fixpoint_cache: dict = {}
         # The Shared-subplan memo, reused across every plan this checker
         # executes: entries are auxiliary-free, so they depend only on the
-        # (immutable while in use) structure.
+        # structure — :meth:`apply_update` prunes the entries reading a
+        # changed relation.
         self._plan_memo: dict = {}
+        #: Per-strategy counters from :meth:`apply_update` (how many memo
+        #: entries each maintenance strategy handled over this checker's
+        #: lifetime) — the CLI's ``--updates`` report.
+        self.ivm_stats: dict[str, int] = {}
+        # Per-memo-entry maintenance scratch (the closure strategy's
+        # edge/reach bitsets), carried across updates so steady-state
+        # patches cost O(change).  Entries are trusted only while their
+        # recorded rows object *is* the cached one, so a dropped or
+        # recomputed memo entry silently invalidates its scratch.
+        self._ivm_state: dict = {}
 
     # -------------------------------------------------------------- terms
 
@@ -286,6 +298,175 @@ class ModelChecker:
         finally:
             self._governor = previous
 
+    def defined_relation(self, formula: Formula
+                         ) -> tuple[tuple[str, ...], frozenset]:
+        """The relation ``formula`` defines over its free variables, as
+        ``(columns, rows)`` — the checker-level surface behind
+        :func:`define_relation`, going through the plan cache so repeated
+        calls (and :meth:`apply_update` in between) are O(lookup).
+
+        On the ``tuple`` backend — or when every plan rung fails — the
+        rows come from the governed tuple enumeration over the formula's
+        free variables, sorted.
+        """
+        previous = self._governor
+        self._governor = governor = \
+            self.budget.start(self.plan_stats) if self.budget is not None \
+            else None
+        try:
+            with self._restoring():
+                if governor is not None:
+                    governor.check_time()
+                if self.backend in ("plan", "columnar"):
+                    try:
+                        return self._plan_relation(formula)
+                    except _TupleFallback:
+                        pass
+                layout = tuple(sorted(free_variables_of(formula)))
+                rows = set()
+                assignment: dict[str, int] = {}
+                for row in product(self.structure.universe,
+                                   repeat=len(layout)):
+                    for variable, value in zip(layout, row):
+                        assignment[variable] = value
+                    if self._eval(formula, assignment):
+                        rows.add(row)
+                return layout, frozenset(rows)
+        finally:
+            self._governor = previous
+
+    # --------------------------------------------------- incremental updates
+
+    def apply_update(self, changeset) -> "Changeset":
+        """Apply ``changeset`` to the structure and maintain every memoized
+        defined relation incrementally (Dyn-FO; see :mod:`repro.logic.ivm`).
+
+        Per cached ``("plan", formula, snapshot)`` entry whose formula
+        reads a changed relation, the maintainability analysis
+        (:func:`~repro.logic.optimize.maintenance_strategy`) picks delta /
+        closure / fixpoint patching or the recompute fallback; a patched
+        value replaces the entry, a fallback — including *any* error on
+        the maintenance path — drops it and records a
+        ``DegradationEvent("ivm", "recompute")``, so the cache is never
+        stale.  Tuple-backend memo kinds (``lfp``/``tc``/``dtc``) and any
+        update that grows the universe drop unconditionally.  Returns the
+        net :class:`~repro.structures.changeset.Changeset`.
+        """
+        from .ivm import MaintenanceFallback, maintain, relation_names
+        from .optimize import _depends_on_relation, maintenance_strategy
+
+        old_relations = dict(self.structure.relations)
+        old_size = self.structure.size
+        net = self.structure.apply(changeset)
+        if not net:
+            return net
+        previous = self._governor
+        self._governor = governor = \
+            self.budget.start(self.plan_stats) if self.budget is not None \
+            else None
+        try:
+            if self.structure.size != old_size:
+                # New labels grew the universe: every quantifier range and
+                # domain product changed, so nothing survives.
+                if self._fixpoint_cache:
+                    self.degradations.append(DegradationEvent(
+                        "ivm", "recompute",
+                        f"universe grew {old_size} -> {self.structure.size}"))
+                    self._bump_ivm("recompute", len(self._fixpoint_cache))
+                self._fixpoint_cache.clear()
+                self._plan_memo.clear()
+                return net
+            inserted, deleted = net.by_op()
+            changed = frozenset(inserted) | frozenset(deleted)
+            old_structure = Structure._unchecked(
+                self.structure.vocabulary, old_size, old_relations,
+                self.structure.intern)
+            for plan_key in list(self._plan_memo):
+                if any(_depends_on_relation(plan_key, name)
+                       for name in changed):
+                    del self._plan_memo[plan_key]
+            pending = [key for key in self._fixpoint_cache
+                       if relation_names(key[1]) & changed]
+            try:
+                while pending:
+                    key = pending.pop()
+                    kind, formula, snapshot = key
+                    if kind != "plan":
+                        del self._fixpoint_cache[key]
+                        self.degradations.append(DegradationEvent(
+                            "ivm", "recompute", f"tuple-backend {kind} memo"))
+                        self._bump_ivm("recompute")
+                        continue
+                    columns, rows = self._fixpoint_cache[key]
+                    try:
+                        plan = optimize_formula(formula, self.structure,
+                                                None, governor=governor)
+                        if tuple(plan.columns) != tuple(columns):
+                            raise MaintenanceFallback(
+                                "optimized layout changed under update")
+                        verdict = maintenance_strategy(plan, changed)
+                        patched = maintain(
+                            plan, verdict, columns, rows, old_structure,
+                            self.structure, inserted, deleted,
+                            formula=formula,
+                            auxiliary=dict(snapshot),
+                            support_check=self._support_oracle(
+                                formula, snapshot, columns, governor),
+                            seminaive=self.seminaive,
+                            stats=self.plan_stats, governor=governor,
+                            state=self._ivm_state.setdefault(key, {}))
+                        value = (columns, patched)
+                        stored = chaos_point(
+                            "ivm.memo.patch", value,
+                            corrupt=lambda v: (v[0],
+                                               frozenset({("$corrupt",)})))
+                        if stored is not value:
+                            raise MaintenanceFallback(
+                                "memo patch did not round-trip")
+                        self._fixpoint_cache[key] = stored
+                        self._bump_ivm(verdict.strategy)
+                    except ResourceLimitExceeded:
+                        # The budget fired mid-maintenance: this entry is
+                        # half-patched and the rest unvisited — drop them
+                        # all (never stale), then let the limit propagate.
+                        del self._fixpoint_cache[key]
+                        raise
+                    except Exception as error:
+                        del self._fixpoint_cache[key]
+                        self.degradations.append(DegradationEvent(
+                            "ivm", "recompute", repr(error)))
+                        self._bump_ivm("recompute")
+            except BaseException:
+                for key in pending:
+                    self._fixpoint_cache.pop(key, None)
+                raise
+            return net
+        finally:
+            self._governor = previous
+            if self._ivm_state:
+                self._ivm_state = {
+                    key: scratch
+                    for key, scratch in self._ivm_state.items()
+                    if key in self._fixpoint_cache}
+
+    def _support_oracle(self, formula: Formula, snapshot: frozenset,
+                        columns: tuple[str, ...], governor):
+        """A ``row -> bool`` membership check against the *post-update*
+        structure, through a fresh tuple-backend checker (immune to
+        plan-side faults) sharing this call's governor — the ``delta``
+        strategy's counting re-check."""
+        oracle = ModelChecker(self.structure, auxiliary=dict(snapshot),
+                              seminaive=self.seminaive)
+        oracle._governor = governor
+
+        def support(row: tuple) -> bool:
+            return oracle._eval(formula, dict(zip(columns, row)))
+
+        return support
+
+    def _bump_ivm(self, strategy: str, count: int = 1) -> None:
+        self.ivm_stats[strategy] = self.ivm_stats.get(strategy, 0) + count
+
     @contextmanager
     def _restoring(self):
         """Roll the checker's mutable state — auxiliary relations and both
@@ -308,6 +489,41 @@ class ModelChecker:
                 del self._plan_memo[key]
             raise
 
+    def _plan_relation(self, formula: Formula
+                       ) -> tuple[tuple[str, ...], frozenset]:
+        """The formula's defined relation ``(columns, rows)`` through the
+        plan cache — the memo surface :meth:`apply_update` patches.
+        Raises :class:`_TupleFallback` at the bottom of the degradation
+        ladder (nothing is cached in that case)."""
+        key = ("plan", formula, self._aux_snapshot())
+        cached = self._fixpoint_cache.get(key) if self.memoize else None
+        if cached is not None:
+            return cached
+
+        def context_for() -> ExecutionContext:
+            return ExecutionContext(self.structure, dict(self.auxiliary),
+                                    self.seminaive, stats=self.plan_stats,
+                                    memo=self._plan_memo,
+                                    governor=self._governor)
+
+        columnar_for = None
+        if self.backend == "columnar":
+            def columnar_for(plan):
+                return execute_columnar(plan, self.structure,
+                                        auxiliary=dict(self.auxiliary),
+                                        seminaive=self.seminaive,
+                                        stats=self.plan_stats,
+                                        governor=self._governor,
+                                        degradations=self.degradations)
+
+        columns, rows = _plan_rows(formula, None, self.structure,
+                                   context_for, self.optimize,
+                                   self._governor, self.degradations,
+                                   columnar_for=columnar_for)
+        if self.memoize:
+            self._memo_store(key, (columns, rows))
+        return columns, rows
+
     def _eval_plan(self, formula: Formula, assignment: dict[str, int]) -> bool:
         """Set-at-a-time evaluation: compile once (memoized per formula),
         optimize against the structure's statistics (unless the checker is
@@ -316,39 +532,13 @@ class ModelChecker:
         by a row lookup.  The relation depends only on the formula and the
         auxiliary snapshot, so it is cached exactly like the tuple
         backend's fixed points."""
-        key = ("plan", formula, self._aux_snapshot())
-        cached = self._fixpoint_cache.get(key) if self.memoize else None
-        if cached is not None:
-            columns, rows = cached
-        else:
-            def context_for() -> ExecutionContext:
-                return ExecutionContext(self.structure, dict(self.auxiliary),
-                                        self.seminaive, stats=self.plan_stats,
-                                        memo=self._plan_memo,
-                                        governor=self._governor)
-
-            columnar_for = None
-            if self.backend == "columnar":
-                def columnar_for(plan):
-                    return execute_columnar(plan, self.structure,
-                                            auxiliary=dict(self.auxiliary),
-                                            seminaive=self.seminaive,
-                                            stats=self.plan_stats,
-                                            governor=self._governor,
-                                            degradations=self.degradations)
-
-            try:
-                columns, rows = _plan_rows(formula, None, self.structure,
-                                           context_for, self.optimize,
-                                           self._governor, self.degradations,
-                                           columnar_for=columnar_for)
-            except _TupleFallback:
-                # Bottom of the ladder: answer this assignment through the
-                # tuple oracle (immune to every plan-side fault by
-                # construction); nothing is cached under the "plan" key.
-                return self._eval(formula, assignment)
-            if self.memoize:
-                self._memo_store(key, (columns, rows))
+        try:
+            columns, rows = self._plan_relation(formula)
+        except _TupleFallback:
+            # Bottom of the ladder: answer this assignment through the
+            # tuple oracle (immune to every plan-side fault by
+            # construction); nothing is cached under the "plan" key.
+            return self._eval(formula, assignment)
         values = []
         for column in columns:
             value = assignment.get(column, _UNBOUND)

@@ -58,7 +58,7 @@ the differential oracle, and the three-way suite in
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 from repro.structures.structure import Structure
@@ -93,13 +93,17 @@ from .plan import (
 
 __all__ = [
     "CostModel",
+    "MaintenancePlan",
     "PlanInvariantError",
+    "base_delta_name",
     "clear_plan_cache",
-    "estimate",
-    "optimize_plan",
-    "optimize_formula",
     "differentiate",
+    "differentiate_relation",
+    "estimate",
     "explain_optimized",
+    "maintenance_strategy",
+    "optimize_formula",
+    "optimize_plan",
 ]
 
 
@@ -943,3 +947,252 @@ def explain_optimized(formula: Formula, structure: Structure,
         + "\nlogical plan:\n" + indent(logical.explain())
         + "\noptimized plan:\n" + indent(optimized.explain(annotate))
     )
+
+
+# --------------------------------- 8. maintainability analysis (Dyn-FO / IVM)
+#
+# The incremental view maintenance layer (repro.logic.ivm) asks, per
+# memoized defined relation and per changeset, "can this plan be patched
+# in O(change), and how?".  The answer reuses the polarity machinery
+# above, lifted from auxiliary relations to the structure's *base*
+# relations: RelationScan takes AuxScan's role, DeltaScan carries the
+# changeset's per-relation delta under a reserved name that cannot
+# collide with any formula-level auxiliary.
+
+
+def base_delta_name(relation: str) -> str:
+    """The reserved context-delta key carrying a *base* relation's changed
+    rows (auxiliary names come from formulas and can never contain NUL)."""
+    return f"{relation}\x00delta"
+
+
+def _depends_on_relation(plan: Plan, relation: str) -> bool:
+    """Whether ``plan`` reads the structure's base ``relation`` anywhere.
+    Base relations cannot be shadowed, so this is a plain tree walk."""
+    if isinstance(plan, RelationScan):
+        return plan.name == relation
+    return any(_depends_on_relation(child, relation)
+               for child in plan.children())
+
+
+def _is_monotone_relation(plan: Plan, relation: str) -> bool:
+    """Whether growing base ``relation`` can only grow ``plan``'s value —
+    the base-relation lift of :func:`_is_monotone` (same rules: a
+    ``Difference``/``AntiJoin`` flips polarity on its right side, a DTC
+    closure and unknown nodes are conservatively non-monotone)."""
+    if not _depends_on_relation(plan, relation):
+        return True
+    if isinstance(plan, RelationScan):
+        return True
+    if isinstance(plan, (Select, Project, Rename, Shared, CountSelect)):
+        return _is_monotone_relation(plan.children()[0], relation)
+    if isinstance(plan, (Join, JoinProject, Product, SemiJoin, Union)):
+        return all(_is_monotone_relation(child, relation)
+                   for child in plan.children())
+    if isinstance(plan, (Difference, AntiJoin)):
+        return _is_monotone_relation(plan.left, relation) and \
+            _is_antimonotone_relation(plan.right, relation)
+    if isinstance(plan, Cumulative):
+        return _is_monotone_relation(plan.full, relation)
+    if isinstance(plan, Fixpoint):
+        return _is_monotone_relation(plan.body, relation) and \
+            _is_monotone(plan.body, plan.relation)
+    if isinstance(plan, Closure):
+        return not plan.deterministic and \
+            _is_monotone_relation(plan.body, relation)
+    return False
+
+
+def _is_antimonotone_relation(plan: Plan, relation: str) -> bool:
+    """Whether growing base ``relation`` can only *shrink* ``plan``'s
+    value (the dual polarity, through difference right sides)."""
+    if not _depends_on_relation(plan, relation):
+        return True
+    if isinstance(plan, RelationScan):
+        return False
+    if isinstance(plan, (Select, Project, Rename, Shared, CountSelect)):
+        return _is_antimonotone_relation(plan.children()[0], relation)
+    if isinstance(plan, (Join, JoinProject, Product, SemiJoin, Union)):
+        return all(_is_antimonotone_relation(child, relation)
+                   for child in plan.children())
+    if isinstance(plan, (Difference, AntiJoin)):
+        return _is_antimonotone_relation(plan.left, relation) and \
+            _is_monotone_relation(plan.right, relation)
+    if isinstance(plan, Cumulative):
+        return _is_antimonotone_relation(plan.full, relation)
+    return False
+
+
+def differentiate_relation(plan: Plan, relation: str) -> Plan | None:
+    """The derivative of ``plan`` with respect to base ``relation``: a plan
+    that, executed with the changed rows bound in the context delta under
+    :func:`base_delta_name`, derives every row ``plan`` newly produces
+    after an insertion into ``relation`` (and, run against the *old*
+    structure with the deleted rows bound, every row that may have lost a
+    derivation).  Product rule exactly as :func:`differentiate`; ``None``
+    means no dependency; a return value that *is* ``plan`` is the fallback
+    (full re-derivation) — callers treat it as "not maintainable"."""
+    if not _depends_on_relation(plan, relation):
+        return None
+    if isinstance(plan, RelationScan):
+        return DeltaScan(base_delta_name(relation), plan.columns, plan.order)
+    if isinstance(plan, Select):
+        child = differentiate_relation(plan.child, relation)
+        return plan if child is plan.child else Select(child, plan.comparisons)
+    if isinstance(plan, Project):
+        child = differentiate_relation(plan.child, relation)
+        return plan if child is plan.child else Project(child, plan.columns)
+    if isinstance(plan, Rename):
+        child = differentiate_relation(plan.child, relation)
+        return plan if child is plan.child else Rename(child, plan.columns)
+    if isinstance(plan, Shared):
+        child = differentiate_relation(plan.child, relation)
+        return plan if child is plan.child else child
+    if isinstance(plan, Union):
+        parts = [differentiate_relation(op, relation) for op in plan.operands]
+        if any(part is op for part, op in zip(parts, plan.operands)):
+            return plan
+        live = tuple(part for part in parts if part is not None)
+        return live[0] if len(live) == 1 else Union(live)
+    if isinstance(plan, (Join, Product, SemiJoin, JoinProject)):
+        left = differentiate_relation(plan.left, relation)
+        right = differentiate_relation(plan.right, relation)
+        if left is plan.left or right is plan.right:
+            return plan  # a full-fallback side subsumes the delta terms
+
+        def rolled(side: Plan, derivative: Plan | None) -> Plan:
+            if derivative is not None and _is_monotone_relation(side, relation):
+                return Cumulative(side, derivative)
+            return side
+
+        parts = []
+        if left is not None:
+            parts.append(_with_children(plan, (left, rolled(plan.right, right))))
+        if right is not None:
+            parts.append(_with_children(plan, (rolled(plan.left, left), right)))
+        return parts[0] if len(parts) == 1 else Union(tuple(parts))
+    if isinstance(plan, (Difference, AntiJoin)):
+        if not _depends_on_relation(plan.right, relation):
+            left = differentiate_relation(plan.left, relation)
+            return plan if left is plan.left else type(plan)(left, plan.right)
+        return plan  # anti-monotone dependence: full re-derivation
+    # CountSelect, Fixpoint, Closure, domain nodes: the subtree itself is
+    # the (sound but full-cost) fallback derivative.
+    return plan
+
+
+def _peel_to_core(plan: Plan) -> tuple[Plan, tuple[int, ...]] | None:
+    """Strip row-preserving wrappers (Rename, Shared, bijective Project)
+    off the plan root.  Returns ``(core, permutation)`` with
+    ``memo_row[i] == core_row[permutation[i]]`` when the core is a
+    :class:`Closure` or :class:`Fixpoint` whose rows are fully recoverable
+    from the memoized relation, else ``None``."""
+    permutation = tuple(range(len(plan.columns)))
+    node = plan
+    while True:
+        if isinstance(node, (Rename, Shared)):
+            node = node.children()[0]
+        elif isinstance(node, Project):
+            child = node.child
+            child_columns = list(child.columns)
+            if len(set(node.columns)) != len(node.columns):
+                return None
+            try:
+                positions = [child_columns.index(c) for c in node.columns]
+            except ValueError:
+                return None
+            if sorted(positions) != list(range(len(child_columns))):
+                return None  # drops a column: the core is not recoverable
+            permutation = tuple(positions[p] for p in permutation)
+            node = child
+        else:
+            break
+    if isinstance(node, (Closure, Fixpoint)):
+        return node, permutation
+    return None
+
+
+@dataclass(frozen=True)
+class MaintenancePlan:
+    """The maintainability analysis' verdict for one (plan, changeset).
+
+    ``strategy`` is one of:
+
+    * ``"unchanged"`` — the plan reads none of the changed relations.
+    * ``"delta"`` — non-recursive and monotone in every changed relation:
+      inserts union in the derivative's rows; deletes over-delete the
+      derivative's candidates and re-derive each by a support check
+      (counting with counts recomputed on demand).
+    * ``"closure"`` — the root is a TC :class:`Closure`: Dyn-FO edge
+      insertion, DRed over-delete/re-derive per affected source on
+      deletion.
+    * ``"fixpoint"`` — the root is a :class:`Fixpoint` with a monotone,
+      delta-rewritten body: inserts seed semi-naive rounds from the
+      memoized total; deletes run DRed over the body derivative.
+    * ``"recompute"`` — anything the differentiator flags (a changed
+      relation under a ``Difference``/``AntiJoin`` right side or a
+      ``CountSelect``, a nested or non-monotone fixed point, a DTC
+      closure, an unrecoverable core): the memo entry is dropped and the
+      relation recomputed on next use, recorded as
+      ``DegradationEvent("ivm", "recompute")``.
+
+    ``core``/``permutation`` (closure/fixpoint strategies) identify the
+    recursive node and how memo rows map onto its rows.
+    """
+
+    strategy: str
+    reason: str = ""
+    core: Plan | None = None
+    permutation: tuple[int, ...] | None = None
+
+
+def maintenance_strategy(plan: Plan, changed: frozenset[str]
+                         ) -> MaintenancePlan:
+    """Pick the maintenance strategy for ``plan`` under a net changeset
+    touching the base relations ``changed`` (see :class:`MaintenancePlan`).
+    The choice is per *plan*, not per operation kind: a strategy must be
+    sound for inserts and deletes alike, since one batch can carry both.
+    """
+    dependent = frozenset(
+        name for name in changed if _depends_on_relation(plan, name))
+    if not dependent:
+        return MaintenancePlan("unchanged")
+    peeled = _peel_to_core(plan)
+    if peeled is not None:
+        core, permutation = peeled
+        if isinstance(core, Closure):
+            if core.deterministic:
+                return MaintenancePlan(
+                    "recompute", "DTC closure is non-monotone under updates")
+            if core.k != 1:
+                return MaintenancePlan(
+                    "recompute", "k-tuple closure (k > 1) maintenance "
+                    "degrades to recompute")
+            return MaintenancePlan("closure", core=core,
+                                   permutation=permutation)
+        body = core.body
+        for name in sorted(dependent):
+            if not _is_monotone_relation(body, name):
+                return MaintenancePlan(
+                    "recompute", f"fixpoint body non-monotone in {name}")
+            if differentiate_relation(body, name) is body:
+                return MaintenancePlan(
+                    "recompute", f"fixpoint body has no derivative in {name}")
+        if not _is_monotone(body, core.relation):
+            return MaintenancePlan(
+                "recompute",
+                f"fixpoint body non-monotone in its own relation "
+                f"{core.relation}")
+        if core.delta_body is None:
+            return MaintenancePlan(
+                "recompute", "fixpoint lacks a delta-rewritten body")
+        return MaintenancePlan("fixpoint", core=core, permutation=permutation)
+    for name in sorted(dependent):
+        if not _is_monotone_relation(plan, name):
+            return MaintenancePlan(
+                "recompute", f"plan non-monotone in {name}")
+        if differentiate_relation(plan, name) is plan:
+            return MaintenancePlan(
+                "recompute",
+                f"no derivative in {name} (recursive or counting construct)")
+    return MaintenancePlan("delta")

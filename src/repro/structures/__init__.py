@@ -27,6 +27,7 @@ from .graphs import (
     random_graph,
     random_permutations,
 )
+from .changeset import Change, Changeset
 from .intern import InternTable
 from .structure import Structure, from_database
 from .vocabulary import ALTERNATING_GRAPH_VOCABULARY, GRAPH_VOCABULARY, Vocabulary

@@ -1,0 +1,152 @@
+"""Changesets: ordered batches of single-fact updates to a structure.
+
+This is the write side of the Dyn-FO story (Patnaik-Immerman): a
+:class:`Changeset` is a sequence of single-tuple ``insert`` / ``delete``
+operations, applied in order by :meth:`Structure.apply
+<repro.structures.structure.Structure.apply>`.  ``apply`` returns the
+*net* changeset — the facts whose membership actually changed end to
+end — which is exactly the delta the incremental view maintenance layer
+(:mod:`repro.logic.ivm`) pushes through compiled plans.
+
+The JSON shape (the CLI's ``--updates`` file) is a list of operations::
+
+    [{"op": "insert", "relation": "E", "row": [0, 5]},
+     {"op": "delete", "relation": "E", "row": [1, 2]}]
+
+``"+"`` and ``"-"`` are accepted as aliases for ``"insert"`` /
+``"delete"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Change", "Changeset"]
+
+_OP_ALIASES = {"insert": "insert", "+": "insert", "delete": "delete", "-": "delete"}
+
+
+@dataclass(frozen=True)
+class Change:
+    """One single-fact update: insert or delete ``row`` in ``relation``.
+
+    ``row`` components are universe ranks (ints); on an interned structure
+    non-int components are labels, resolved — and for inserts, interned,
+    growing the universe — at application time.
+    """
+
+    op: str
+    relation: str
+    row: tuple
+
+    def __post_init__(self) -> None:
+        canonical = _OP_ALIASES.get(self.op)
+        if canonical is None:
+            raise ValueError(
+                f"unknown change op {self.op!r}: expected 'insert' or 'delete'"
+            )
+        object.__setattr__(self, "op", canonical)
+        object.__setattr__(self, "row", tuple(self.row))
+
+    def to_json(self) -> dict:
+        return {"op": self.op, "relation": self.relation, "row": list(self.row)}
+
+
+@dataclass(frozen=True)
+class Changeset:
+    """An ordered batch of :class:`Change` operations.
+
+    Order matters while applying (an insert followed by a delete of the
+    same fact nets out to nothing), but the *net* changeset ``apply``
+    hands back is order-free: per relation, its inserts and deletes are
+    disjoint.
+    """
+
+    changes: tuple[Change, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "changes", tuple(self.changes))
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def inserting(cls, relation: str, *rows: Sequence[Hashable]) -> "Changeset":
+        return cls(tuple(Change("insert", relation, tuple(row)) for row in rows))
+
+    @classmethod
+    def deleting(cls, relation: str, *rows: Sequence[Hashable]) -> "Changeset":
+        return cls(tuple(Change("delete", relation, tuple(row)) for row in rows))
+
+    def __add__(self, other: "Changeset") -> "Changeset":
+        if not isinstance(other, Changeset):
+            return NotImplemented
+        return Changeset(self.changes + other.changes)
+
+    # ------------------------------------------------------------- protocol
+
+    def __iter__(self) -> Iterator[Change]:
+        return iter(self.changes)
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __bool__(self) -> bool:
+        return bool(self.changes)
+
+    # ----------------------------------------------------------- summaries
+
+    def relations(self) -> frozenset[str]:
+        """Every relation symbol this changeset touches."""
+        return frozenset(change.relation for change in self.changes)
+
+    def by_op(self) -> tuple[dict[str, frozenset], dict[str, frozenset]]:
+        """``(inserted, deleted)`` as per-relation row sets.
+
+        Meaningful on a *net* changeset (the return value of
+        ``Structure.apply``), where each fact appears at most once.
+        """
+        inserted: dict[str, set] = {}
+        deleted: dict[str, set] = {}
+        for change in self.changes:
+            bucket = inserted if change.op == "insert" else deleted
+            bucket.setdefault(change.relation, set()).add(change.row)
+        return (
+            {name: frozenset(rows) for name, rows in inserted.items()},
+            {name: frozenset(rows) for name, rows in deleted.items()},
+        )
+
+    # ---------------------------------------------------------------- JSON
+
+    @classmethod
+    def from_json(cls, data: Iterable) -> "Changeset":
+        """Parse the CLI's ``--updates`` JSON shape (module docstring)."""
+        changes = []
+        for index, item in enumerate(data):
+            if isinstance(item, Mapping):
+                try:
+                    op, relation, row = item["op"], item["relation"], item["row"]
+                except KeyError as missing:
+                    raise ValueError(
+                        f"update {index}: missing key {missing}"
+                    ) from None
+            elif isinstance(item, Sequence) and not isinstance(item, str) \
+                    and len(item) == 3:
+                op, relation, row = item
+            else:
+                raise ValueError(
+                    f"update {index}: expected an object with op/relation/row "
+                    f"(or an [op, relation, row] triple), got {item!r}"
+                )
+            if not isinstance(row, Sequence) or isinstance(row, str):
+                raise ValueError(f"update {index}: row must be an array, got {row!r}")
+            changes.append(Change(op, relation, tuple(row)))
+        return cls(tuple(changes))
+
+    def to_json(self) -> list[dict]:
+        return [change.to_json() for change in self.changes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inserts = sum(1 for c in self.changes if c.op == "insert")
+        return (f"Changeset({len(self.changes)} changes: "
+                f"+{inserts}/-{len(self.changes) - inserts})")

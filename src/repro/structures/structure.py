@@ -15,6 +15,7 @@ from repro.core import Atom, Database, make_set, make_tuple
 from repro.core.errors import InvalidDatabaseError, SRLNameError
 from repro.core.values import SRLSet, SRLTuple, Value
 
+from .changeset import Change, Changeset
 from .intern import InternTable
 from .vocabulary import Vocabulary
 
@@ -158,6 +159,128 @@ class Structure:
                     make_set(*(make_tuple(*(Atom(v) for v in row)) for row in rows)),
                 )
         return database
+
+    # ------------------------------------------------------------ mutation
+
+    def insert(self, name: str, row: Sequence[Hashable]) -> bool:
+        """Insert one fact in place; True iff it was not already present.
+
+        Integer components are universe ranks and must be in range; on an
+        interned structure, non-int components are labels — unknown labels
+        are interned, growing the universe (the new element gets the next
+        rank and ``size`` grows with it).  See :meth:`apply` for the
+        batched form and the net-change contract.
+        """
+        return bool(self.apply(Changeset.inserting(name, row)))
+
+    def delete(self, name: str, row: Sequence[Hashable]) -> bool:
+        """Delete one fact in place; True iff it was present.
+
+        Deletion never shrinks the universe: an element interned by an
+        earlier insert stays in the universe even when its last fact goes.
+        """
+        return bool(self.apply(Changeset.deleting(name, row)))
+
+    def apply(self, changeset: Changeset) -> Changeset:
+        """Apply a batch of single-fact updates in order, in place.
+
+        Returns the **net** changeset: the facts whose membership actually
+        changed between the pre- and post-state (an insert later deleted in
+        the same batch nets out; re-inserting a present fact is a no-op).
+        The net changeset is what the incremental maintenance layer pushes
+        through compiled plans, so ``apply`` is the single choke point
+        every mutation path goes through.
+
+        Rows are validated like ``__post_init__``: known relation symbol,
+        exact arity, components inside the universe.  On an interned
+        structure, non-int components are labels; a label unknown at an
+        *insert* is interned first (``size`` grows).  Raises on the first
+        invalid operation — earlier operations in the batch stay applied,
+        so callers treating a batch as atomic should validate first or
+        re-snapshot.
+        """
+        if not isinstance(changeset, Changeset):
+            changeset = Changeset(tuple(changeset))
+        working: dict[str, set[tuple[int, ...]]] = {}
+        initial: dict[tuple[str, tuple[int, ...]], bool] = {}
+        for change in changeset:
+            name = change.relation
+            if name not in self.relations:
+                available = ", ".join(sorted(self.relations)) or "none"
+                raise SRLNameError(
+                    f"unknown relation {name!r} (available: {available})"
+                )
+            row = self._resolve_row(change)
+            rows = working.get(name)
+            if rows is None:
+                rows = working[name] = set(self.relations[name])
+            key = (name, row)
+            if key not in initial:
+                initial[key] = row in rows
+            if change.op == "insert":
+                rows.add(row)
+            else:
+                rows.discard(row)
+        net = []
+        for (name, row), was_present in initial.items():
+            is_present = row in working[name]
+            if is_present and not was_present:
+                net.append(Change("insert", name, row))
+            elif was_present and not is_present:
+                net.append(Change("delete", name, row))
+        for name, rows in working.items():
+            self.relations[name] = frozenset(rows)
+        return Changeset(tuple(net))
+
+    def _resolve_row(self, change: Change) -> tuple[int, ...]:
+        """Validate one operation's row and resolve labels to ranks,
+        interning (and growing the universe) for new labels on inserts."""
+        name, row = change.relation, change.row
+        arity = self.vocabulary.arity(name)
+        if len(row) != arity:
+            raise ValueError(
+                f"relation {name} expects arity {arity}, got tuple {row!r}"
+            )
+        resolved = []
+        for component in row:
+            if isinstance(component, int) and not isinstance(component, bool):
+                if not 0 <= component < self.size:
+                    raise ValueError(
+                        f"relation {name} tuple {row!r} outside universe "
+                        f"(size {self.size})"
+                    )
+                resolved.append(component)
+                continue
+            if self.intern is None:
+                raise ValueError(
+                    f"relation {name} tuple {row!r}: labeled components "
+                    f"need an interned structure (build via from_labeled)"
+                )
+            if component in self.intern:
+                resolved.append(self.intern.rank_of(component))
+            elif change.op == "insert":
+                resolved.append(self.intern.intern(component))
+                self.size = len(self.intern)
+            else:
+                raise ValueError(
+                    f"relation {name}: cannot delete fact {row!r} with "
+                    f"unknown label {component!r}"
+                )
+        return tuple(resolved)
+
+    @classmethod
+    def _unchecked(cls, vocabulary: Vocabulary, size: int,
+                   relations: dict[str, frozenset[tuple[int, ...]]],
+                   intern: InternTable | None) -> "Structure":
+        """Internal: a structure view skipping ``__post_init__`` validation
+        — the maintenance layer's pre-update snapshot (old relation
+        frozensets are shared, never copied, so this is O(#relations))."""
+        clone = object.__new__(cls)
+        clone.vocabulary = vocabulary
+        clone.size = size
+        clone.relations = relations
+        clone.intern = intern
+        return clone
 
     # ------------------------------------------------------------- algebra
 

@@ -69,6 +69,9 @@ INJECTION_POINTS: tuple[str, ...] = (
     "optimize.pass.share",
     "plan.fixpoint.round",
     "engine.memo.store",
+    "ivm.dred.overdelete",
+    "ivm.dred.rederive",
+    "ivm.memo.patch",
 )
 
 ACTIONS = ("raise", "delay", "corrupt")

@@ -1,0 +1,318 @@
+"""Unit tests for the incremental-maintenance layer (P8).
+
+Three levels, bottom up:
+
+* the maintainability analysis in :mod:`repro.logic.optimize` — per-plan
+  strategy verdicts, the base-relation derivative, core peeling;
+* the columnar closure-patch kernels (``reach_from`` /
+  ``patch_closure_insert`` / ``overdeleted_rows``) against the batch
+  ``closure_adjacency`` oracle;
+* the checker/session surface: ``ModelChecker.apply_update`` patches the
+  memo (verified against full recompute), drops what it cannot maintain
+  with a ``DegradationEvent("ivm", ...)``, and ``Session.update`` routes
+  through the live checker.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.columnar import (
+    closure_adjacency,
+    overdeleted_rows,
+    patch_closure_insert,
+    reach_from,
+)
+from repro.core.engine import Session
+from repro.logic.eval import ModelChecker, define_relation
+from repro.logic.formula import LFPAtom, and_, aux, exists, or_, rel, var
+from repro.logic.optimize import (
+    MaintenancePlan,
+    base_delta_name,
+    differentiate_relation,
+    maintenance_strategy,
+    optimize_formula,
+)
+from repro.logic.plan import DeltaScan, RelationScan
+from repro.logic.queries import CANONICAL_QUERIES
+from repro.structures import (
+    Changeset,
+    Structure,
+    path_graph,
+    random_alternating_graph,
+    random_graph,
+)
+
+E_CHANGED = frozenset({"E"})
+
+
+def lfp_tc(u="u", v="v"):
+    """Hand-rolled transitive closure as an LFP (maintainable: monotone
+    body with a delta rewrite, unlike the canonical ``apath``)."""
+    body = or_(rel("E", "x", "y"),
+               exists("z", and_(rel("E", "x", "z"), aux("R", "z", "y"))))
+    return LFPAtom("R", ("x", "y"), body, (var(u), var(v)))
+
+
+def two_hop():
+    return exists("z", and_(rel("E", "u", "z"), rel("E", "z", "v")))
+
+
+def plan_for(formula, structure=None):
+    return optimize_formula(formula,
+                            structure or random_alternating_graph(5, seed=0))
+
+
+# ------------------------------------------------- maintainability analysis
+
+
+@pytest.mark.parametrize("name, strategy", [
+    ("tc", "closure"),          # Dyn-FO edge patching on the k=1 closure
+    ("dtc", "recompute"),       # deterministic closure is non-monotone
+    ("apath", "recompute"),     # forall in the body: no delta rewrite
+    ("half-out", "recompute"),  # counting construct
+    ("non-reach", "recompute"),  # complement of a closure
+])
+def test_canonical_query_verdicts(name, strategy):
+    plan = plan_for(CANONICAL_QUERIES[name].formula())
+    assert maintenance_strategy(plan, E_CHANGED).strategy == strategy
+
+
+def test_monotone_lfp_gets_the_fixpoint_strategy():
+    verdict = maintenance_strategy(plan_for(lfp_tc()), E_CHANGED)
+    assert verdict.strategy == "fixpoint"
+    assert verdict.core is not None and verdict.permutation is not None
+
+
+def test_nonrecursive_monotone_plan_gets_the_delta_strategy():
+    assert maintenance_strategy(plan_for(two_hop()),
+                                E_CHANGED).strategy == "delta"
+
+
+def test_untouched_relations_mean_unchanged():
+    plan = plan_for(CANONICAL_QUERIES["tc"].formula())
+    verdict = maintenance_strategy(plan, frozenset({"A"}))
+    assert verdict == MaintenancePlan("unchanged")
+
+
+def test_closure_core_permutation_recovers_memo_rows():
+    verdict = maintenance_strategy(plan_for(CANONICAL_QUERIES["tc"].formula()),
+                                   E_CHANGED)
+    assert verdict.strategy == "closure"
+    assert sorted(verdict.permutation) == list(range(2))
+
+
+def test_base_delta_name_cannot_collide_with_auxiliaries():
+    assert "\x00" in base_delta_name("E")
+    assert base_delta_name("E") != base_delta_name("A")
+
+
+def test_differentiate_swaps_scans_for_deltas():
+    scan = RelationScan("E", ("x", "y"))
+    derivative = differentiate_relation(scan, "E")
+    assert isinstance(derivative, DeltaScan)
+    assert derivative.name == base_delta_name("E")
+    assert derivative.columns == scan.columns
+    assert differentiate_relation(scan, "A") is None
+
+
+def test_negated_dependence_has_no_derivative():
+    # E under a complement: the differentiator returns the plan itself,
+    # the sentinel the strategy analysis reads as "recompute".
+    plan = plan_for(CANONICAL_QUERIES["non-reach"].formula())
+    assert differentiate_relation(plan, "E") is plan
+
+
+# ------------------------------------------------- closure patch kernels
+
+
+def random_adjacency(rng, n):
+    edges = {(rng.randrange(n), rng.randrange(n))
+             for _ in range(rng.randrange(2 * n))}
+    adjacency = [0] * n
+    for u, v in edges:
+        adjacency[u] |= 1 << v
+    return adjacency, edges
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_patch_insert_matches_batch_closure(seed):
+    rng = random.Random(seed)
+    n = rng.randrange(2, 9)
+    adjacency, edges = random_adjacency(rng, n)
+    reach = closure_adjacency(list(adjacency), n)
+    u, v = rng.randrange(n), rng.randrange(n)
+    changed = patch_closure_insert(reach, u, v)
+    adjacency[u] |= 1 << v
+    assert reach == closure_adjacency(adjacency, n)
+    # every flagged source really reaches v now
+    for x in range(n):
+        if changed & (1 << x):
+            assert reach[x] & (1 << v)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_overdelete_then_rederive_matches_batch_closure(seed):
+    rng = random.Random(100 + seed)
+    n = rng.randrange(2, 9)
+    adjacency, edges = random_adjacency(rng, n)
+    if not edges:
+        pytest.skip("empty graph: nothing to delete")
+    reach = closure_adjacency(list(adjacency), n)
+    removed = rng.choice(sorted(edges))
+    adjacency[removed[0]] &= ~(1 << removed[1])
+    truth = closure_adjacency(adjacency, n)
+    over = overdeleted_rows(reach, [removed])
+    for x in range(n):
+        # over-deletion is conservative: everything truly dead is flagged
+        dead = (reach[x] | (1 << x)) & ~truth[x]
+        assert dead & ~over[x] == 0
+        # ... and re-derivation from the new edges restores the truth
+        rederived = reach_from(adjacency, x)
+        assert ((reach[x] & ~over[x]) | (rederived & over[x])) == truth[x]
+
+
+def test_reach_from_is_reflexive():
+    assert reach_from([0, 0, 0], 1) == 0b010
+
+
+# ------------------------------------------------- checker maintenance
+
+
+def tc_formula():
+    return CANONICAL_QUERIES["tc"].formula()
+
+
+def oracle(formula, structure):
+    return define_relation(formula, structure, ("u", "v"), backend="tuple")
+
+
+def copy_structure(structure):
+    return Structure(structure.vocabulary, structure.size,
+                     dict(structure.relations), intern=structure.intern)
+
+
+def test_apply_update_patches_the_tc_memo():
+    structure = path_graph(6)
+    checker = ModelChecker(structure, backend="plan")
+    checker.defined_relation(tc_formula())
+    checker.apply_update(Changeset.inserting("E", (5, 0)))
+    checker.apply_update(Changeset.deleting("E", (2, 3)))
+    columns, rows = checker.defined_relation(tc_formula())
+    assert {tuple(row[columns.index(c)] for c in ("u", "v"))
+            for row in rows} == oracle(tc_formula(), structure)
+    assert checker.ivm_stats.get("closure", 0) == 2
+    assert not [e for e in checker.degradations if e.stage == "ivm"]
+
+
+def test_apply_update_maintains_the_lfp_fixpoint():
+    structure = random_alternating_graph(6, seed=11)
+    checker = ModelChecker(structure, backend="plan")
+    checker.defined_relation(lfp_tc())
+    checker.apply_update(Changeset(
+        tuple(Changeset.inserting("E", (0, 5)))
+        + tuple(Changeset.deleting("E", next(iter(
+            sorted(structure.relations["E"])))))))
+    columns, rows = checker.defined_relation(lfp_tc())
+    assert {tuple(row[columns.index(c)] for c in ("u", "v"))
+            for row in rows} == oracle(lfp_tc(), structure)
+    assert checker.ivm_stats.get("fixpoint", 0) == 1
+
+
+def test_unmaintainable_memo_is_dropped_with_a_degradation():
+    structure = random_alternating_graph(5, seed=3)
+    checker = ModelChecker(structure, backend="plan")
+    apath = CANONICAL_QUERIES["apath"].formula()
+    checker.defined_relation(apath)
+    checker.apply_update(Changeset.inserting("E", (0, 4)))
+    assert checker.ivm_stats.get("recompute", 0) == 1
+    assert [e for e in checker.degradations if e.stage == "ivm"
+            and e.fallback == "recompute"]
+    # ... and the next read recomputes correctly, never serving stale rows.
+    columns, rows = checker.defined_relation(apath)
+    assert {tuple(row[columns.index(c)] for c in ("u", "v"))
+            for row in rows} == oracle(apath, structure)
+
+
+def test_universe_growth_drops_every_memo():
+    structure = Structure.from_labeled({"E": [("a", "b")]}, ["a", "b"],
+                                       vocabulary=path_graph(2).vocabulary)
+    checker = ModelChecker(structure, backend="plan")
+    checker.defined_relation(tc_formula())
+    checker.apply_update(Changeset.inserting("E", ("b", "c")))
+    assert checker.ivm_stats.get("recompute", 0) == 1
+    assert any("universe grew" in e.error for e in checker.degradations
+               if e.stage == "ivm")
+    columns, rows = checker.defined_relation(tc_formula())
+    assert {tuple(row[columns.index(c)] for c in ("u", "v"))
+            for row in rows} == oracle(tc_formula(), structure)
+
+
+def test_empty_net_changeset_is_a_no_op():
+    structure = path_graph(4)
+    checker = ModelChecker(structure, backend="plan")
+    checker.defined_relation(tc_formula())
+    net = checker.apply_update(Changeset(
+        tuple(Changeset.inserting("E", (3, 0)))
+        + tuple(Changeset.deleting("E", (3, 0)))))
+    assert not net
+    assert not checker.ivm_stats
+
+
+def test_tuple_backend_memos_drop_on_update():
+    structure = path_graph(5)
+    checker = ModelChecker(structure, backend="tuple")
+    assert checker.evaluate(tc_formula(), {"u": 0, "v": 4})
+    checker.apply_update(Changeset.deleting("E", (2, 3)))
+    assert not checker.evaluate(tc_formula(), {"u": 0, "v": 4})
+
+
+def test_session_update_maintains_the_live_checker():
+    structure = path_graph(6)
+    session = Session()
+    formula = tc_formula()
+    assert session.evaluate_formula(formula, structure,
+                                    {"u": 0, "v": 5})
+    net = session.update(structure, Changeset.deleting("E", (2, 3)))
+    assert len(net) == 1
+    assert not session.evaluate_formula(formula, structure,
+                                        {"u": 0, "v": 5})
+    assert session.evaluate_formula(formula, structure, {"u": 0, "v": 2})
+
+
+def test_session_update_without_a_checker_just_applies():
+    structure = path_graph(3)
+    session = Session()
+    session.update(structure, Changeset.inserting("E", (2, 0)))
+    assert (2, 0) in structure.relations["E"]
+
+
+def test_defined_relation_tuple_backend_sorts_the_layout():
+    structure = path_graph(4)
+    checker = ModelChecker(structure, backend="tuple")
+    columns, rows = checker.defined_relation(two_hop())
+    assert columns == ("u", "v")
+    assert rows == oracle(two_hop(), structure)
+
+
+def test_batched_update_equals_sequential_on_the_memo():
+    structure = random_graph(7, 0.3, seed=5)
+    batched = copy_structure(structure)
+    checker_b = ModelChecker(batched, backend="plan")
+    checker_s = ModelChecker(structure, backend="plan")
+    for checker in (checker_b, checker_s):
+        checker.defined_relation(tc_formula())
+    ops = [("insert", (0, 6)), ("delete", (0, 1)), ("insert", (6, 0))]
+    checker_b.apply_update(Changeset(tuple(
+        c for op, row in ops
+        for c in (Changeset.inserting("E", row) if op == "insert"
+                  else Changeset.deleting("E", row)))))
+    for op, row in ops:
+        checker_s.apply_update(Changeset.inserting("E", row)
+                               if op == "insert"
+                               else Changeset.deleting("E", row))
+    assert batched == structure
+    assert checker_b.defined_relation(tc_formula()) == \
+        checker_s.defined_relation(tc_formula())

@@ -1,0 +1,197 @@
+"""The mutation-API property suite (P8 acceptance): single-fact
+``Structure.insert`` / ``Structure.delete``, batched ``Structure.apply``,
+and the maintained-memo round trips behind them.
+
+The load-bearing properties:
+
+* ``insert ∘ delete`` (of a fact not previously present) round-trips the
+  structure to its original value — relations, universe size, and
+  ``InternTable`` statistics included;
+* a batched ``apply`` equals the sequential composition of its changes,
+  and the *net* changeset it returns replays to the same structure;
+* a :class:`~repro.logic.eval.ModelChecker`'s memoized defined relations
+  round-trip with the structure (insert ∘ delete leaves the memo rows
+  exactly where they started, via two incremental maintenance passes).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SRLNameError
+from repro.structures import Change, Changeset, Structure, path_graph
+from repro.structures.graphs import random_alternating_graph
+
+
+def copy_structure(structure: Structure) -> Structure:
+    return Structure(structure.vocabulary, structure.size,
+                     dict(structure.relations), intern=structure.intern)
+
+
+SIZES = st.integers(min_value=2, max_value=6)
+
+
+def changes(size: int):
+    row2 = st.tuples(st.integers(0, size - 1), st.integers(0, size - 1))
+    row1 = st.tuples(st.integers(0, size - 1))
+    return st.lists(
+        st.one_of(
+            st.tuples(st.sampled_from(["insert", "delete"]),
+                      st.just("E"), row2),
+            st.tuples(st.sampled_from(["insert", "delete"]),
+                      st.just("A"), row1),
+        ),
+        min_size=1, max_size=6,
+    )
+
+
+@st.composite
+def structure_and_changes(draw):
+    size = draw(SIZES)
+    seed = draw(st.integers(0, 50))
+    structure = random_alternating_graph(size, seed=seed)
+    return structure, draw(changes(size))
+
+
+# ----------------------------------------------------------- round trips
+
+
+@given(structure_and_changes())
+@settings(max_examples=60, deadline=None)
+def test_insert_then_delete_round_trips(case):
+    structure, ops = case
+    original = copy_structure(structure)
+    original_stats = structure.stats()
+    for _, name, row in ops:
+        present = row in structure.relations[name]
+        structure.insert(name, row)
+        assert row in structure.relations[name]
+        if not present:
+            structure.delete(name, row)
+        assert structure == original
+        assert structure.stats() == original_stats
+
+
+@given(structure_and_changes())
+@settings(max_examples=60, deadline=None)
+def test_batched_apply_equals_sequential_composition(case):
+    structure, ops = case
+    batched = copy_structure(structure)
+    sequential = copy_structure(structure)
+    changeset = Changeset(tuple(Change(op, name, row)
+                                for op, name, row in ops))
+    batched.apply(changeset)
+    for op, name, row in ops:
+        if op == "insert":
+            sequential.insert(name, row)
+        else:
+            sequential.delete(name, row)
+    assert batched == sequential
+
+
+@given(structure_and_changes())
+@settings(max_examples=60, deadline=None)
+def test_net_changeset_is_disjoint_and_replays(case):
+    structure, ops = case
+    before = copy_structure(structure)
+    net = structure.apply(Changeset(tuple(Change(op, name, row)
+                                          for op, name, row in ops)))
+    inserted, deleted = net.by_op()
+    for name in set(inserted) | set(deleted):
+        assert not inserted.get(name, frozenset()) & \
+            deleted.get(name, frozenset())
+        # Net means net: every reported change actually changed membership.
+        assert inserted.get(name, frozenset()) <= structure.relations[name]
+        assert not deleted.get(name, frozenset()) & structure.relations[name]
+        assert deleted.get(name, frozenset()) <= before.relations[name]
+    replayed = copy_structure(before)
+    replayed.apply(net)
+    assert replayed == structure
+
+
+@given(structure_and_changes())
+@settings(max_examples=30, deadline=None)
+def test_memoized_relations_round_trip_under_maintenance(case):
+    """insert ∘ delete through ``ModelChecker.apply_update`` returns every
+    memoized defined relation to its original rows — two maintenance
+    passes, no recompute needed to land back exactly."""
+    from repro.logic.eval import ModelChecker
+    from repro.logic.queries import CANONICAL_QUERIES
+
+    structure, ops = case
+    checker = ModelChecker(structure, backend="plan")
+    formulas = [CANONICAL_QUERIES[name].formula()
+                for name in ("tc", "half-out")]
+    baseline = [checker.defined_relation(f) for f in formulas]
+    original = copy_structure(structure)
+    original_stats = structure.stats()
+    for _, name, row in ops:
+        if row in structure.relations[name]:
+            continue
+        checker.apply_update(Changeset.inserting(name, row))
+        checker.apply_update(Changeset.deleting(name, row))
+        assert structure == original
+        assert structure.stats() == original_stats
+        assert [checker.defined_relation(f) for f in formulas] == baseline
+
+
+# --------------------------------------------------------------- label rows
+
+
+def test_insert_new_label_grows_the_universe_and_intern_table():
+    base = Structure.from_labeled(
+        {"E": [("a", "b"), ("b", "c")]}, ["a", "b", "c"],
+        vocabulary=path_graph(3).vocabulary)
+    assert base.size == 3
+    net = base.apply(Changeset.inserting("E", ("c", "d")))
+    assert base.size == 4
+    assert base.intern.rank_of("d") == 3
+    assert (2, 3) in base.relations["E"]
+    assert len(net) == 1
+    # Deleting the fact shrinks the relation but never the universe: the
+    # intern table is append-only (ranks are stable identities).
+    base.apply(Changeset.deleting("E", ("c", "d")))
+    assert (2, 3) not in base.relations["E"]
+    assert base.size == 4
+
+
+def test_delete_with_unknown_label_is_an_error():
+    base = Structure.from_labeled(
+        {"E": [("a", "b")]}, ["a", "b"],
+        vocabulary=path_graph(2).vocabulary)
+    with pytest.raises(ValueError):
+        base.delete("E", ("a", "zzz"))
+
+
+def test_unknown_relation_and_bad_rows_are_errors():
+    structure = path_graph(3)
+    with pytest.raises(SRLNameError):
+        structure.insert("NOPE", (0, 1))
+    with pytest.raises(ValueError):
+        structure.insert("E", (0, 7))      # rank outside the universe
+    with pytest.raises(ValueError):
+        structure.insert("E", (0,))        # arity mismatch
+    with pytest.raises(ValueError):
+        Change("frobnicate", "E", (0, 1))  # unknown op
+
+
+def test_insert_delete_report_whether_membership_changed():
+    structure = path_graph(3)
+    assert structure.insert("E", (2, 0))
+    assert not structure.insert("E", (2, 0))
+    assert structure.delete("E", (2, 0))
+    assert not structure.delete("E", (2, 0))
+
+
+def test_changeset_json_round_trip():
+    changeset = Changeset.from_json(
+        [{"op": "+", "relation": "E", "row": [0, 1]},
+         ["delete", "A", [2]]])
+    assert [c.op for c in changeset] == ["insert", "delete"]
+    assert Changeset.from_json(changeset.to_json()) == changeset
+    with pytest.raises(ValueError):
+        Changeset.from_json([{"op": "insert", "relation": "E"}])
+    with pytest.raises(ValueError):
+        Changeset.from_json([["insert", "E", "not-a-row"]])
