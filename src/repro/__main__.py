@@ -30,7 +30,19 @@ JSON-encoded finite structure and prints the defined relation::
 The structure file uses the same JSON shape as the database file (the
 relation names become the structure's relations; a set ``"D"`` of atoms,
 when present, fixes the universe size — exactly what
-:func:`repro.structures.structure.from_database` reads).
+:func:`repro.structures.structure.from_database` reads).  A binary
+snapshot file (magic ``RSNP``, any extension — ``.snap`` by convention)
+is detected by its leading bytes and loaded through
+:func:`repro.structures.snapshot.load_structure` instead: relations stay
+in their packed mmap views, so million-edge structures open in
+milliseconds without materializing tuple sets.
+
+The ``snapshot`` subcommand builds and inspects those files::
+
+    python -m repro snapshot build out.snap --zoo clustered clusters=8000
+    python -m repro snapshot build out.snap --edges edges.json [--size N]
+    python -m repro snapshot build out.snap --structure graph.json
+    python -m repro snapshot info out.snap
 """
 
 from __future__ import annotations
@@ -98,10 +110,12 @@ def _build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Parse, type-check, restriction-check and run an SRL program.",
-        epilog="Subcommand: 'python -m repro logic <query> --structure s.json' "
-               "evaluates a canonical FO(+TC/DTC/LFP) query over a JSON "
-               "structure (see 'python -m repro logic --help'); a program "
-               "file literally named 'logic' can be run as './logic'.",
+        epilog="Subcommands: 'python -m repro logic <query> --structure s' "
+               "evaluates a canonical FO(+TC/DTC/LFP) query over a JSON or "
+               "snapshot structure; 'python -m repro snapshot build/info' "
+               "manages binary snapshots (see each subcommand's --help); a "
+               "program file literally named 'logic' or 'snapshot' can be "
+               "run as './logic'.",
     )
     parser.add_argument("program", type=Path,
                         help="SRL source file (s-expression syntax)")
@@ -133,8 +147,10 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
                         help="query name from repro.logic.queries."
                              "CANONICAL_QUERIES (see --list)")
     parser.add_argument("--structure", type=Path, default=None,
-                        help="JSON structure file (database shape: relation "
-                             "name -> array of tuples, optional domain 'D')")
+                        help="structure file: JSON (database shape: relation "
+                             "name -> array of tuples, optional domain 'D') "
+                             "or a binary snapshot ('snapshot build'), "
+                             "detected by its RSNP magic")
     parser.add_argument("--backend", choices=("plan", "columnar", "tuple"),
                         default="plan",
                         help="logic evaluation strategy (default: plan — the "
@@ -156,9 +172,15 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-rows", type=int, default=None, metavar="N",
                         help="abort once the plan backend has materialized "
                              "more than N rows (exit code 3)")
+    parser.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                        help="abort once the packed working set of the "
+                             "big-n columnar backend exceeds N resident "
+                             "bytes (exit code 3)")
     parser.add_argument("--stats", action="store_true",
                         help="also print the plan execution counters (rows "
-                             "materialized, index probes, fixpoint rounds)")
+                             "materialized, index probes, fixpoint rounds, "
+                             "peak resident rows/bytes) and any degradation "
+                             "events (e.g. a columnar universe-cap fallback)")
     parser.add_argument("--updates", type=Path, default=None, metavar="FILE",
                         help="JSON update sequence (a list of {op, relation, "
                              "row} objects, op one of insert/delete/+/-): "
@@ -170,13 +192,26 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_structure_file(path: Path):
+    """A structure from either encoding: binary snapshots are recognized
+    by their leading ``RSNP`` magic, anything else parses as the JSON
+    database shape."""
+    from repro.structures.snapshot import MAGIC, load_structure
+    from repro.structures.structure import from_database
+
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+    if magic == MAGIC:
+        return load_structure(path)
+    return from_database(database_from_json(json.loads(path.read_text())))
+
+
 def logic_main(argv: list[str]) -> int:
     from repro.logic.compile import PlanCompilationError, explain
     from repro.logic.eval import define_relation
     from repro.logic.optimize import explain_optimized
     from repro.logic.plan import PlanStats
     from repro.logic.queries import CANONICAL_QUERIES
-    from repro.structures.structure import from_database
 
     args = _build_logic_argument_parser().parse_args(argv)
 
@@ -209,13 +244,14 @@ def logic_main(argv: list[str]) -> int:
         print("warning: --stats counts plan executions; the tuple backend "
               "records nothing", file=sys.stderr)
     budget = None
-    if args.timeout is not None or args.max_rows is not None:
+    if args.timeout is not None or args.max_rows is not None \
+            or args.max_bytes is not None:
         budget = Budget(deadline_seconds=args.timeout,
-                        max_rows_materialized=args.max_rows)
+                        max_rows_materialized=args.max_rows,
+                        max_bytes_resident=args.max_bytes)
+    degradations: list = []
     try:
-        structure = from_database(
-            database_from_json(json.loads(args.structure.read_text()))
-        )
+        structure = _load_structure_file(args.structure)
         formula = query.formula()
         if args.explain:
             if args.backend in ("plan", "columnar") and optimize:
@@ -244,11 +280,13 @@ def logic_main(argv: list[str]) -> int:
             else:
                 relation = rows
             ivm_summary = dict(checker.ivm_stats)
+            degradations.extend(checker.degradations)
         else:
             relation = define_relation(formula, structure, query.variables,
                                        backend=args.backend,
                                        optimize=optimize,
-                                       stats=stats, budget=budget)
+                                       stats=stats, budget=budget,
+                                       degradations=degradations)
     except PlanCompilationError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_INPUT
@@ -257,6 +295,12 @@ def logic_main(argv: list[str]) -> int:
 
     strategy = args.backend if args.backend == "tuple" else \
         (args.backend if optimize else f"{args.backend}, unoptimized")
+    if degradations:
+        ladder = ", ".join(f"{event.stage}->{event.fallback}"
+                           for event in degradations)
+        print(f"note: degraded mid-run ({ladder}); the result is exact but "
+              "came from a slower backend (--stats shows the causes)",
+              file=sys.stderr)
     print(f"query:       {args.query} over n = {structure.size} "
           f"({strategy} backend)")
     if ivm_summary is not None:
@@ -289,6 +333,10 @@ def logic_main(argv: list[str]) -> int:
                 if report["tuple_fallbacks"]:
                     print("fallbacks:   "
                           + ", ".join(report["tuple_fallbacks"]))
+    if args.stats:
+        for event in degradations:
+            print(f"degraded:    {event.stage} -> {event.fallback} "
+                  f"({event.error})")
     if not query.variables:
         print(f"result:      {() in relation}")
         return 0
@@ -299,10 +347,104 @@ def logic_main(argv: list[str]) -> int:
     return 0
 
 
+def _build_snapshot_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro snapshot",
+        description="Build and inspect binary structure snapshots "
+                    "(packed bitset/CSR relations, mmap-loadable).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    build = commands.add_parser(
+        "build", help="stream a graph into a snapshot file")
+    build.add_argument("output", type=Path, help="snapshot file to write")
+    source = build.add_mutually_exclusive_group(required=True)
+    source.add_argument("--edges", type=Path, metavar="FILE",
+                        help="JSON array of [u, v] pairs (ranks with "
+                             "--size, otherwise labels interned in "
+                             "first-occurrence order)")
+    source.add_argument("--structure", type=Path, metavar="FILE",
+                        help="JSON structure file (database shape) to "
+                             "convert wholesale")
+    source.add_argument("--zoo", nargs="+", metavar="FAMILY|KEY=VALUE",
+                        help="generate from repro.structures.zoo: a family "
+                             "name then key=value parameters, e.g. "
+                             "'--zoo clustered clusters=8000 seed=1'")
+    build.add_argument("--size", type=int, default=None, metavar="N",
+                       help="universe size for --edges (components are "
+                            "then ranks in 0..N-1)")
+    build.add_argument("--relation", default="E", metavar="NAME",
+                       help="relation name for --edges/--zoo (default: E)")
+    info = commands.add_parser("info", help="print a snapshot's header")
+    info.add_argument("snapshot", type=Path, help="snapshot file to inspect")
+    return parser
+
+
+def _zoo_stream(spec: list[str]):
+    """``['clustered', 'clusters=8000']`` -> the family's ``(edge stream,
+    universe size)``; raises ``ValueError`` on unknown families/keys."""
+    from repro.structures.zoo import ZOO
+
+    family = ZOO.get(spec[0])
+    if family is None:
+        raise ValueError(f"unknown zoo family {spec[0]!r}; known: "
+                         f"{', '.join(sorted(ZOO))}")
+    parameters = {}
+    for item in spec[1:]:
+        key, separator, raw = item.partition("=")
+        if not separator:
+            raise ValueError(f"zoo parameter {item!r} is not KEY=VALUE")
+        parameters[key] = float(raw) if key == "probability" else int(raw)
+    try:
+        return family(**parameters)
+    except TypeError as error:
+        raise ValueError(f"bad parameters for zoo family {spec[0]!r}: "
+                         f"{error}") from error
+
+
+def snapshot_main(argv: list[str]) -> int:
+    from repro.structures.snapshot import (
+        build_snapshot,
+        load_snapshot,
+        save_snapshot,
+    )
+
+    args = _build_snapshot_argument_parser().parse_args(argv)
+    try:
+        if args.command == "info":
+            with load_snapshot(args.snapshot) as snapshot:
+                print(json.dumps(snapshot.info(), indent=2, default=str))
+            return 0
+        if args.zoo is not None:
+            stream, size = _zoo_stream(args.zoo)
+            header = build_snapshot(stream, args.output,
+                                    relation=args.relation, size=size)
+        elif args.edges is not None:
+            pairs = json.loads(args.edges.read_text())
+            header = build_snapshot(pairs, args.output,
+                                    relation=args.relation, size=args.size)
+        else:
+            structure = _load_structure_file(args.structure)
+            header = save_snapshot(structure, args.output)
+        rows = sum(entry["rows"]
+                   for entry in header.get("relations", {}).values())
+        print(f"wrote {args.output}: n = {header['size']}, "
+              f"{rows} rows across "
+              f"{len(header.get('relations', {}))} relation(s)")
+        return 0
+    except (SRLError, OSError, json.JSONDecodeError) as error:
+        return _report(error)
+    except ValueError as error:
+        # Bad zoo/edge parameters are the caller's fault, not the engine's.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_INPUT
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "logic":
         return logic_main(argv[1:])
+    if argv and argv[0] == "snapshot":
+        return snapshot_main(argv[1:])
     args = _build_argument_parser().parse_args(argv)
 
     try:

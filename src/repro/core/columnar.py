@@ -25,14 +25,26 @@ frontier BFS with a visited bitset).  The module-level kernels operate on
 the *raw* payloads (ints, lists of ints, sets) — they are what the
 per-plan code generator (:mod:`repro.logic.codegen`) emits calls to, so
 the boxed class never appears on the hot path.
+
+**Big universes.**  The bitmask-row encoding is dense: one Python int per
+source whose size is O(highest set bit / 8) bytes, so a sparse relation
+over ``n`` elements still costs up to ``n**2 / 8`` bytes.  Above
+:data:`DENSE_WIDTH_THRESHOLD` the *chunked* kernels below take over:
+arity-2 payloads become machine-word CSR pairs (``array('q')`` offsets +
+``array('i')`` targets, memory O(rows)), closure runs over the SCC
+condensation with memory O(output), and single-source reachability is a
+plain frontier BFS with a byte-per-node visited array.  These are what
+the big-n plan interpreter (:mod:`repro.logic.chunked`) calls.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, Iterable, Iterator, Sequence
 
 __all__ = [
     "ColumnarRelation",
+    "DENSE_WIDTH_THRESHOLD",
     "bits_of_unary",
     "rows_of_bits",
     "adjacency_of_binary",
@@ -54,6 +66,16 @@ __all__ = [
     "reach_from",
     "patch_closure_insert",
     "overdeleted_rows",
+    "csr_of_pairs",
+    "csr_of_sparse",
+    "sparse_of_csr",
+    "iter_csr_rows",
+    "csr_bytes",
+    "transpose_csr",
+    "compose_csr",
+    "scc_csr",
+    "closure_csr",
+    "reach_from_csr",
 ]
 
 
@@ -449,6 +471,320 @@ def overdeleted_rows(reach: list[int], removed: Iterable[tuple[int, int]]
     for x in range(n):
         out[x] &= reach[x] & ~(1 << x)
     return out
+
+
+# --------------------------------------------------------- chunked kernels
+#
+# Machine-word CSR kernels for universes too wide for giant-int rows.
+# Payload convention: ``offsets`` is an ``array('q')`` of length ``n + 1``
+# and ``targets`` an ``array('i')`` with ``targets[offsets[x]:
+# offsets[x + 1]]`` the strictly ascending, duplicate-free successors of
+# ``x`` — the same invariant the snapshot format persists, so an mmap'd
+# section is directly consumable.
+
+#: Universe width above which giant-int bitmask rows (O(n) bytes *per
+#: source*, O(n**2) total) are abandoned for machine-word CSR payloads.
+#: At and below it the dense kernels win on constant factors; above it
+#: they cannot even be allocated for sparse million-edge structures.
+DENSE_WIDTH_THRESHOLD = 1 << 13
+
+
+def csr_of_pairs(sources: Sequence[int], targets: Sequence[int], n: int
+                 ) -> tuple[array, array]:
+    """CSR from parallel source/target sequences by counting sort, with
+    per-row dedup — one O(rows) pass plus one short sort per row, never a
+    global sort and never a tuple set."""
+    counts = array("q", bytes(8 * (n + 1)))
+    for source in sources:
+        counts[source + 1] += 1
+    offsets = counts  # prefix-sum in place
+    for index in range(1, n + 1):
+        offsets[index] += offsets[index - 1]
+    out = array("i", bytes(4 * len(targets)))
+    cursor = list(offsets[:n])
+    for source, target in zip(sources, targets):
+        out[cursor[source]] = target
+        cursor[source] += 1
+    # Sort each row in place; the first duplicate forces a compacting
+    # rebuild (re-sorting the already-sorted prefix is idempotent).
+    for source in range(n):
+        start, end = offsets[source], offsets[source + 1]
+        if end - start > 1:
+            row = sorted(set(out[start:end]))
+            if len(row) != end - start:
+                clean_offsets = array("q", bytes(8 * (n + 1)))
+                clean_targets = array("i")
+                for src in range(n):
+                    lo, hi = offsets[src], offsets[src + 1]
+                    if hi > lo:
+                        clean_targets.extend(sorted(set(out[lo:hi])))
+                    clean_offsets[src + 1] = len(clean_targets)
+                return clean_offsets, clean_targets
+            out[start:end] = array("i", row)
+    return offsets, out
+
+
+def csr_of_sparse(rows: dict, n: int) -> tuple[array, array]:
+    """CSR from a sparse ``{source: set-of-targets}`` dict (the working
+    form the chunked plan interpreter mutates)."""
+    offsets = array("q", bytes(8 * (n + 1)))
+    targets = array("i")
+    for source in range(n):
+        row = rows.get(source)
+        if row:
+            targets.extend(sorted(row))
+        offsets[source + 1] = len(targets)
+    return offsets, targets
+
+
+def sparse_of_csr(offsets: Sequence[int], targets: Sequence[int]) -> dict:
+    """Sparse ``{source: set-of-targets}`` dict of a CSR pair (absent
+    sources have no successors)."""
+    rows: dict[int, set[int]] = {}
+    for source in range(len(offsets) - 1):
+        start, end = offsets[source], offsets[source + 1]
+        if end > start:
+            rows[source] = set(targets[start:end])
+    return rows
+
+
+def iter_csr_rows(offsets: Sequence[int], targets: Sequence[int]
+                  ) -> Iterator[tuple[int, int]]:
+    """The pair rows of a CSR pair, in (source, target) order."""
+    for source in range(len(offsets) - 1):
+        for position in range(offsets[source], offsets[source + 1]):
+            yield source, targets[position]
+
+
+def csr_bytes(offsets: array, targets: array) -> int:
+    """The structural byte footprint of a CSR pair (what the memory
+    governor accounts)."""
+    return (offsets.itemsize * len(offsets)
+            + targets.itemsize * len(targets))
+
+
+def transpose_csr(offsets: Sequence[int], targets: Sequence[int], n: int
+                  ) -> tuple[array, array]:
+    """The converse relation, by counting sort on the target column.
+    Output rows come out sorted for free (sources are visited ascending)."""
+    counts = array("q", bytes(8 * (n + 1)))
+    for target in targets:
+        counts[target + 1] += 1
+    out_offsets = counts
+    for index in range(1, n + 1):
+        out_offsets[index] += out_offsets[index - 1]
+    out_targets = array("i", bytes(4 * len(targets)))
+    cursor = list(out_offsets[:n])
+    for source in range(n):
+        for position in range(offsets[source], offsets[source + 1]):
+            target = targets[position]
+            out_targets[cursor[target]] = source
+            cursor[target] += 1
+    return out_offsets, out_targets
+
+
+def compose_csr(left_offsets: Sequence[int], left_targets: Sequence[int],
+                right_offsets: Sequence[int], right_targets: Sequence[int],
+                n: int, governor=None) -> tuple[array, array]:
+    """Relational composition ``{(x, z) : (x, y) in L and (y, z) in R}``
+    of two CSR pairs.  Works row-at-a-time — the live set is one output
+    row plus the inputs, never a dense matrix."""
+    offsets = array("q", bytes(8 * (n + 1)))
+    out = array("i")
+    for source in range(n):
+        start, end = left_offsets[source], left_offsets[source + 1]
+        if end > start:
+            row: set[int] = set()
+            for position in range(start, end):
+                mid = left_targets[position]
+                row.update(
+                    right_targets[right_offsets[mid]:right_offsets[mid + 1]])
+            out.extend(sorted(row))
+            if governor is not None:
+                governor.note_rows(len(row))
+        offsets[source + 1] = len(out)
+    return offsets, out
+
+
+def scc_csr(offsets: Sequence[int], targets: Sequence[int], n: int
+            ) -> tuple[array, int]:
+    """Strongly connected components of a CSR graph by iterative Tarjan.
+
+    Returns ``(component, count)`` where ``component[x]`` is ``x``'s
+    component id.  Ids are assigned in completion order, which for Tarjan
+    is *reverse topological*: every edge crossing components goes from a
+    higher id to a lower one, so a single ascending sweep visits each
+    component after everything it reaches.
+    """
+    unvisited = -1
+    index = [unvisited] * n
+    low = [0] * n
+    component = array("q", bytes(8 * n))
+    stack: list[int] = []
+    on_stack = bytearray(n)
+    work: list[list[int]] = []  # [node, next-edge-position] frames
+    counter = 0
+    count = 0
+    for root in range(n):
+        if index[root] != unvisited:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = 1
+        work.append([root, offsets[root]])
+        while work:
+            frame = work[-1]
+            node, position = frame
+            end = offsets[node + 1]
+            descended = False
+            while position < end:
+                successor = targets[position]
+                position += 1
+                seen = index[successor]
+                if seen == unvisited:
+                    frame[1] = position
+                    index[successor] = low[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack[successor] = 1
+                    work.append([successor, offsets[successor]])
+                    descended = True
+                    break
+                if on_stack[successor] and seen < low[node]:
+                    low[node] = seen
+            if descended:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = 0
+                    component[member] = count
+                    if member == node:
+                        break
+                count += 1
+            if work:
+                parent = work[-1][0]
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
+    return component, count
+
+
+def _functional_csr(offsets: Sequence[int], targets: Sequence[int], n: int
+                    ) -> tuple[array, array]:
+    """The DTC reading: only out-degree-one sources keep their edge."""
+    out_offsets = array("q", bytes(8 * (n + 1)))
+    out_targets = array("i")
+    for source in range(n):
+        start, end = offsets[source], offsets[source + 1]
+        if end - start == 1:
+            out_targets.append(targets[start])
+        out_offsets[source + 1] = len(out_targets)
+    return out_offsets, out_targets
+
+
+def closure_csr(offsets: Sequence[int], targets: Sequence[int], n: int,
+                deterministic: bool = False, governor=None, stats=None
+                ) -> tuple[array, array]:
+    """The *reflexive* transitive closure of a CSR graph, via the SCC
+    condensation: Tarjan numbers components in reverse topological order,
+    one ascending sweep accumulates per-component reach sets (each from
+    already-finished successors), and every node's output row is its
+    component's expansion — shared across the component, built once with
+    C-speed ``array.extend``.
+
+    Memory is O(|closure| + n) words, never the dense ``n**2 / 8`` bits:
+    the per-component reach sets are exactly the condensation's closure,
+    which the output subsumes.  A ``governor`` gets ``check_rows_ahead``
+    before the expansion is allocated and ``note_bytes`` as it grows; a
+    ``stats`` (:class:`~repro.logic.plan.PlanStats`) records the peak
+    working set.  (The kernel is not round-iterative, so a fixpoint-round
+    budget does not constrain it; deadline and cancellation bite through
+    ``tick`` between components.)
+    """
+    if deterministic:
+        offsets, targets = _functional_csr(offsets, targets, n)
+    component, count = scc_csr(offsets, targets, n)
+    members: list[array] = [array("i") for _ in range(count)]
+    for node in range(n):
+        members[component[node]].append(node)
+    successors: list[set[int]] = [set() for _ in range(count)]
+    for source in range(n):
+        own = component[source]
+        row = successors[own]
+        for position in range(offsets[source], offsets[source + 1]):
+            other = component[targets[position]]
+            if other != own:
+                row.add(other)
+    # Reach sets over the condensation, sinks first (ascending ids): every
+    # successor component carries a smaller id, so its entry is final.
+    reach: list = [None] * count
+    for comp in range(count):
+        row = {comp}
+        for successor in successors[comp]:
+            row |= reach[successor]
+        reach[comp] = row
+        if governor is not None:
+            governor.tick(len(row))
+    # Expansion: one shared target row per component.
+    total = 0
+    for comp in range(count):
+        size = 0
+        for reached in reach[comp]:
+            size += len(members[reached])
+        total += size * len(members[comp])
+    if governor is not None:
+        governor.check_rows_ahead(total)
+    expansions: list[array] = []
+    for comp in range(count):
+        row = array("i")
+        for reached in sorted(reach[comp]):
+            row.extend(members[reached])
+        buffer = array("i", sorted(row)) if len(reach[comp]) > 1 else row
+        expansions.append(buffer)
+        if governor is not None:
+            governor.tick(len(buffer))
+    out_offsets = array("q", bytes(8 * (n + 1)))
+    out_targets = array("i", bytes(4 * total))
+    position = 0
+    for node in range(n):
+        row = expansions[component[node]]
+        width = len(row)
+        out_targets[position:position + width] = row
+        position += width
+        out_offsets[node + 1] = position
+    resident = csr_bytes(out_offsets, out_targets) + 4 * total
+    if governor is not None:
+        governor.note_bytes(resident)
+    if stats is not None:
+        stats.note_resident(rows=total, byte_count=resident)
+    return out_offsets, out_targets
+
+
+def reach_from_csr(offsets: Sequence[int], targets: Sequence[int], n: int,
+                   source: int, governor=None) -> array:
+    """The *reflexive* reach set of one source over a CSR graph, as a
+    sorted ``array('i')`` — level-synchronized BFS with a byte-per-node
+    visited array, one governor round per wave (the chunked analogue of
+    :func:`reach_from`)."""
+    seen = bytearray(n)
+    seen[source] = 1
+    reached = [source]
+    frontier = [source]
+    while frontier:
+        if governor is not None:
+            governor.note_round()
+        step: list[int] = []
+        for node in frontier:
+            for position in range(offsets[node], offsets[node + 1]):
+                target = targets[position]
+                if not seen[target]:
+                    seen[target] = 1
+                    step.append(target)
+        reached.extend(step)
+        frontier = step
+    return array("i", sorted(reached))
 
 
 # ------------------------------------------------------------ the boxed form

@@ -73,6 +73,14 @@ class InvalidDatabaseError(SRLRuntimeError):
     input, not an engine failure)."""
 
 
+class SnapshotError(InvalidDatabaseError):
+    """Raised when a binary structure snapshot cannot be read: bad magic,
+    unsupported version, a header that is not valid JSON, section offsets
+    pointing past the end of the file, or a payload truncated mid-word.
+    Subclasses :class:`InvalidDatabaseError` so the CLI maps it to exit
+    code 2 (bad input) without new plumbing."""
+
+
 class ResourceLimitExceeded(SRLRuntimeError):
     """Raised when evaluation exceeds a configured budget — the classic
     step / insert / set-size limits of :class:`EvaluationLimits`, or one
@@ -123,3 +131,10 @@ class FixpointRoundLimitExceeded(ResourceLimitExceeded):
 class MemoLimitExceeded(ResourceLimitExceeded):
     """Storing one more memoized relation would exceed the budget's
     ``max_memo_entries``."""
+
+
+class MemoryLimitExceeded(ResourceLimitExceeded):
+    """Resident working-set bytes (packed columnar payloads: bitset words,
+    CSR offset/target arrays) exceeded the budget's ``max_bytes_resident``.
+    The estimate is structural — words held by live kernels, not the
+    process RSS — so it is deterministic and testable."""

@@ -43,6 +43,7 @@ from .errors import (
     EvaluationCancelled,
     FixpointRoundLimitExceeded,
     MemoLimitExceeded,
+    MemoryLimitExceeded,
     RowLimitExceeded,
 )
 
@@ -90,10 +91,12 @@ class Budget:
     max_memo_entries: int | None = None
     cancel_token: CancelToken | None = None
     check_interval: int = 1024
+    max_bytes_resident: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("deadline_seconds", "max_rows_materialized",
-                     "max_fixpoint_rounds", "max_memo_entries"):
+                     "max_fixpoint_rounds", "max_memo_entries",
+                     "max_bytes_resident"):
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ValueError(f"Budget.{name} must be >= 0, got {value!r}")
@@ -106,7 +109,8 @@ class Budget:
                 and self.max_rows_materialized is None
                 and self.max_fixpoint_rounds is None
                 and self.max_memo_entries is None
-                and self.cancel_token is None)
+                and self.cancel_token is None
+                and self.max_bytes_resident is None)
 
     def start(self, stats=None) -> "Governor":
         """Mint the per-run enforcement object.  ``stats`` (typically a
@@ -135,7 +139,7 @@ class Governor:
     """Mutable per-run budget enforcement.  Create via ``Budget.start()``."""
 
     __slots__ = ("budget", "stats", "_deadline", "_token", "_interval",
-                 "_countdown", "_rows", "_rounds")
+                 "_countdown", "_rows", "_rounds", "_bytes")
 
     def __init__(self, budget: Budget, stats=None) -> None:
         self.budget = budget
@@ -147,6 +151,7 @@ class Governor:
         self._countdown = self._interval
         self._rows = 0
         self._rounds = 0
+        self._bytes = 0
 
     # ------------------------------------------------------------ wall clock
 
@@ -191,6 +196,25 @@ class Governor:
         if limit is not None and self._rows + count > limit:
             raise RowLimitExceeded("rows_materialized", limit,
                                    self._rows + count, stats=self.stats)
+
+    # ----------------------------------------------------------------- bytes
+
+    @property
+    def bytes_resident(self) -> int:
+        """Peak structural working-set estimate seen so far (bytes)."""
+        return self._bytes
+
+    def note_bytes(self, count: int) -> None:
+        """Report that a kernel currently holds ``count`` bytes of packed
+        payloads (bitset words, CSR offset/target arrays).  Absolute, not a
+        delta: the governor keeps the peak and enforces the budget's
+        ``max_bytes_resident`` against it."""
+        if count > self._bytes:
+            self._bytes = count
+        limit = self.budget.max_bytes_resident
+        if limit is not None and count > limit:
+            raise MemoryLimitExceeded("bytes_resident", limit, count,
+                                      stats=self.stats)
 
     # ---------------------------------------------------------------- rounds
 

@@ -435,7 +435,7 @@ def naive_fixpoint(step: Callable[[frozenset], frozenset],
 
 def seminaive_fixpoint(initial: Iterable,
                        delta_step: Callable[[frozenset, set], Iterable],
-                       *, governor=None) -> frozenset:
+                       *, governor=None, stats=None) -> frozenset:
     """The least fixed point by delta propagation.
 
     ``delta_step(delta, total)`` must return every fact derivable with at
@@ -444,13 +444,17 @@ def seminaive_fixpoint(initial: Iterable,
     set and must not be mutated by the callback.  The first round passes
     ``delta = initial`` (so an empty ``initial`` still gets one round to
     seed the iteration with premise-free derivations).  ``governor`` is
-    checked once per round.
+    checked once per round; ``stats`` (a
+    :class:`~repro.logic.plan.PlanStats`) records the peak resident row
+    count — total plus frontier — per round.
     """
     total = set(initial)
     delta = frozenset(total)
     while True:
         if governor is not None:
             governor.note_round()
+        if stats is not None:
+            stats.note_resident(rows=len(total) + len(delta))
         derived = delta_step(delta, total)
         delta = frozenset(row for row in derived if row not in total)
         if not delta:

@@ -44,10 +44,12 @@ masks and merges, there is no hash index to probe.
 
 from __future__ import annotations
 
+import os
 from itertools import product as _cartesian
 from typing import Callable, Iterable
 
 from repro.core.columnar import (
+    DENSE_WIDTH_THRESHOLD,
     adjacency_of_binary,
     and_rows,
     andnot_rows,
@@ -104,14 +106,45 @@ __all__ = [
     "execute_columnar",
     "last_report",
     "representation_of",
+    "set_max_columnar_universe",
 ]
 
 
-#: Largest universe the columnar representations are built for.  Beyond
-#: this the n-bit masks and n-entry row lists stop paying for themselves
-#: against hash sets; the cost gate in :func:`execute_columnar` refuses
-#: larger structures so the caller's ladder falls back to the set backend.
-MAX_COLUMNAR_UNIVERSE = 1 << 16
+def _default_max_universe() -> int:
+    """The columnar cap, overridable via ``REPRO_MAX_COLUMNAR_UNIVERSE``
+    (falling back to the built-in default on a malformed value)."""
+    raw = os.environ.get("REPRO_MAX_COLUMNAR_UNIVERSE")
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            return 1 << 22
+        if value >= 0:
+            return value
+    return 1 << 22
+
+
+#: Largest universe any columnar backend is built for.  Up to
+#: :data:`~repro.core.columnar.DENSE_WIDTH_THRESHOLD` the generated code
+#: runs on dense giant-int payloads; past it :func:`execute_columnar`
+#: routes to the chunked interpreter (:mod:`repro.logic.chunked`), whose
+#: CSR payloads stay O(edges), so the cap can sit far higher than the
+#: dense default ever could.  The gate refuses universes past this so the
+#: caller's ladder falls back to the set backend.  Override with the
+#: ``REPRO_MAX_COLUMNAR_UNIVERSE`` environment variable (read at import)
+#: or :func:`set_max_columnar_universe`.
+MAX_COLUMNAR_UNIVERSE = _default_max_universe()
+
+
+def set_max_columnar_universe(value: int) -> int:
+    """Set the columnar universe cap, returning the previous value (tests
+    and embedders use this to shrink or widen the gate at run time)."""
+    global MAX_COLUMNAR_UNIVERSE
+    if value < 0:
+        raise ValueError(f"columnar universe cap must be >= 0, got {value!r}")
+    previous = MAX_COLUMNAR_UNIVERSE
+    MAX_COLUMNAR_UNIVERSE = value
+    return previous
 
 _KIND = {"0": "unit", "b": "bitset", "r": "csr", "t": "tuples"}
 
@@ -1249,16 +1282,32 @@ def execute_columnar(plan: Plan, structure, auxiliary=None,
     """Compile (cached) and run ``plan`` columnar; the one-call entry the
     evaluation ladder uses.
 
-    The cost gate refuses universes past :data:`MAX_COLUMNAR_UNIVERSE`
-    (mask widths stop paying for themselves), and every node that fell
-    back to the tuple representation is surfaced as a
-    ``DegradationEvent("representation", "tuple", ...)`` when the caller
-    passes a ``degradations`` list.
+    The cost gate refuses universes past :data:`MAX_COLUMNAR_UNIVERSE`.
+    Between :data:`~repro.core.columnar.DENSE_WIDTH_THRESHOLD` and the cap
+    the plan runs on the chunked interpreter (CSR payloads, O(edges)
+    memory) instead of the dense generated code (giant-int masks, O(n)
+    bytes per row).  Every node that fell back to the tuple representation
+    is surfaced as a ``DegradationEvent("representation", "tuple", ...)``
+    when the caller passes a ``degradations`` list.
     """
+    global _LAST_REPORT
     if structure.size > MAX_COLUMNAR_UNIVERSE:
         raise ValueError(
             f"universe of {structure.size} exceeds the columnar limit "
             f"{MAX_COLUMNAR_UNIVERSE}")
+    if structure.size > DENSE_WIDTH_THRESHOLD:
+        from .chunked import execute_chunked
+
+        result = execute_chunked(plan, structure, auxiliary=auxiliary,
+                                 seminaive=seminaive, stats=stats,
+                                 governor=governor)
+        _LAST_REPORT = {
+            "universe": structure.size,
+            "backend": "chunked",
+            "representations": {"*": "chunked-csr"},
+            "tuple_fallbacks": [],
+        }
+        return result
     compiled = compiled_columnar(plan, structure.size, seminaive, stats)
     if degradations is not None:
         for label in compiled.fallbacks:

@@ -66,6 +66,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.core.columnar import (
+    DENSE_WIDTH_THRESHOLD,
     adjacency_of_binary,
     iter_bits,
     overdeleted_rows,
@@ -312,6 +313,13 @@ def _maintain_closure(core: Closure, permutation: tuple[int, ...],
     if core.k != 1:
         raise MaintenanceFallback("k-tuple closure (k > 1)")
     n = new_structure.size
+    if n > DENSE_WIDTH_THRESHOLD:
+        # The dense patch keeps an n-row giant-int reach matrix resident —
+        # O(n^2) bits.  Past the columnar width threshold that dwarfs the
+        # O(frontier) chunked recompute, so degrade instead of thrashing.
+        raise MaintenanceFallback(
+            f"universe {n} above dense maintenance threshold "
+            f"{DENSE_WIDTH_THRESHOLD}")
     scan = _body_scan(core.body)
     if scan is not None and state is not None:
         return _maintain_closure_scan(scan, rows, permutation, n,

@@ -111,24 +111,49 @@ __all__ = [
 
 
 class CostModel:
-    """Cardinality statistics for cost-based decisions: the universe size
-    and the live input-relation sizes of the structure the plan will run
-    over.  :meth:`key` is the hashable identity the optimizer memoizes on —
+    """Cardinality statistics for cost-based decisions: the universe size,
+    the live input-relation sizes, and — when available — per-relation
+    degree statistics (``distinct_sources`` / ``distinct_targets`` /
+    ``max_out_degree``, the shape facts a snapshot header persists).
+    :meth:`key` is the hashable identity the optimizer memoizes on —
     two structures with the same statistics optimize identically."""
 
-    __slots__ = ("size", "sizes")
+    __slots__ = ("size", "sizes", "degrees")
 
-    def __init__(self, size: int, sizes: Mapping[str, int] | None = None):
+    def __init__(self, size: int, sizes: Mapping[str, int] | None = None,
+                 degrees: Mapping[str, Mapping[str, int]] | None = None):
         self.size = max(int(size), 1)
         self.sizes = dict(sizes or {})
+        self.degrees = {name: dict(stats)
+                        for name, stats in (degrees or {}).items()}
 
     @classmethod
     def from_structure(cls, structure: Structure) -> "CostModel":
         return cls(structure.size,
-                   {name: len(rows) for name, rows in structure.relations.items()})
+                   {name: len(rows) for name, rows in structure.relations.items()},
+                   getattr(structure, "degree_stats", None))
+
+    def fanout(self, name: str, from_source: bool) -> float | None:
+        """The average out- (or in-) degree of a binary relation over its
+        *active* sources (targets), from persisted degree statistics;
+        ``None`` when no statistics are recorded for the relation."""
+        stats = self.degrees.get(name)
+        if not stats:
+            return None
+        rows = stats.get("rows", self.sizes.get(name, 0))
+        anchor = stats.get("distinct_sources" if from_source
+                           else "distinct_targets", 0)
+        if not anchor:
+            return 0.0
+        return rows / anchor
 
     def key(self) -> tuple:
-        return (self.size, tuple(sorted(self.sizes.items())))
+        base = (self.size, tuple(sorted(self.sizes.items())))
+        if not self.degrees:
+            return base
+        return base + (tuple(sorted(
+            (name, tuple(sorted(stats.items())))
+            for name, stats in self.degrees.items())),)
 
 
 #: Estimated fraction of rows surviving one comparison predicate.
@@ -169,8 +194,14 @@ def estimate(plan: Plan, cost: CostModel, memo: dict | None = None) -> float:
     elif isinstance(plan, Cumulative):
         value = sub(plan.full)
     elif isinstance(plan, (Join, JoinProject)):
-        shared = len(set(plan.left.columns) & set(plan.right.columns))
+        shared_names = set(plan.left.columns) & set(plan.right.columns)
+        shared = len(shared_names)
         value = sub(plan.left) * sub(plan.right) / (n ** shared)
+        if shared == 1:
+            refined = _degree_join_estimate(plan, cost, sub,
+                                            next(iter(shared_names)))
+            if refined is not None:
+                value = min(value, refined)
     elif isinstance(plan, Product):
         value = sub(plan.left) * sub(plan.right)
     elif isinstance(plan, SemiJoin):
@@ -192,6 +223,33 @@ def estimate(plan: Plan, cost: CostModel, memo: dict | None = None) -> float:
     value = min(value, cap)
     memo[plan] = value
     return value
+
+
+def _degree_join_estimate(plan, cost: CostModel, sub, shared_name: str
+                          ) -> float | None:
+    """A tighter join bound from persisted degree statistics: when one
+    side is (a wrapper around) a binary relation scan joined on one of
+    its columns, each build-side row matches on average ``rows / distinct
+    anchors`` scan rows — skew-aware where ``|L|·|R| / n`` assumes keys
+    spread uniformly over the whole universe."""
+    best = None
+    for probe, build in ((plan.right, plan.left), (plan.left, plan.right)):
+        if len(probe.columns) != 2 or shared_name not in probe.columns:
+            continue
+        position = probe.columns.index(shared_name)
+        node = probe
+        while isinstance(node, (Shared, Rename)):
+            node = node.child  # positions survive renaming and sharing
+        if not isinstance(node, RelationScan):
+            continue
+        raw = position if node.order is None else node.order[position]
+        fanout = cost.fanout(node.name, from_source=(raw == 0))
+        if fanout is None:
+            continue
+        candidate = sub(build) * fanout
+        if best is None or candidate < best:
+            best = candidate
+    return best
 
 
 def _predicates_selectivity(comparisons, n: float) -> float:

@@ -123,6 +123,12 @@ class PlanStats:
     * ``codegen_cache_hits`` — columnar plans answered from the compiled-
       closure cache instead of re-running codegen (see
       :mod:`repro.logic.codegen`).
+    * ``peak_rows_resident`` — the largest number of rows simultaneously
+      live in one kernel's working set (frontier + accumulated result for
+      closures; the O(frontier) memory claim made observable).
+    * ``bytes_resident`` — peak structural byte estimate of packed columnar
+      payloads (bitset words, CSR offset/target arrays) held at once.
+      Both peaks are max-merged, never summed, across plans.
     """
 
     rows_materialized: int = 0
@@ -130,7 +136,17 @@ class PlanStats:
     fixpoint_rounds: int = 0
     shared_hits: int = 0
     codegen_cache_hits: int = 0
+    peak_rows_resident: int = 0
+    bytes_resident: int = 0
     fixpoint_round_rows: list[int] = field(default_factory=list)
+
+    def note_resident(self, rows: int | None = None,
+                      byte_count: int | None = None) -> None:
+        """Max-merge a kernel's current working-set size into the peaks."""
+        if rows is not None and rows > self.peak_rows_resident:
+            self.peak_rows_resident = rows
+        if byte_count is not None and byte_count > self.bytes_resident:
+            self.bytes_resident = byte_count
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -139,6 +155,8 @@ class PlanStats:
             "fixpoint_rounds": self.fixpoint_rounds,
             "shared_hits": self.shared_hits,
             "codegen_cache_hits": self.codegen_cache_hits,
+            "peak_rows_resident": self.peak_rows_resident,
+            "bytes_resident": self.bytes_resident,
             "max_fixpoint_round_rows": max(self.fixpoint_round_rows, default=0),
         }
 
@@ -1042,6 +1060,12 @@ class Fixpoint(Plan):
                 stats.fixpoint_rounds += 1
                 stats.fixpoint_round_rows.append(stats.rows_materialized - before)
 
+        def resident(total_rows: int, frontier_rows: int) -> None:
+            # Working set per round: the accumulated relation plus the live
+            # frontier (the O(frontier) headroom over the final result).
+            if stats is not None:
+                stats.note_resident(rows=total_rows + frontier_rows)
+
         if governor is not None:
             governor.note_round()
         before = 0 if stats is None else stats.rows_materialized
@@ -1051,6 +1075,7 @@ class Fixpoint(Plan):
                                 self.body.execute(stage).rows, corrupt=corrupt))
         round_rows(before)
         delta = frozenset(total)
+        resident(len(total), len(delta))
         while delta:
             if governor is not None:
                 governor.note_round()
@@ -1064,6 +1089,7 @@ class Fixpoint(Plan):
             round_rows(before)
             delta = frozenset(row for row in derived if row not in total)
             total.update(delta)
+            resident(len(total), len(delta))
         return IndexedRelation(total, arity=arity)
 
     def label(self) -> str:

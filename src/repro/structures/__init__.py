@@ -29,8 +29,26 @@ from .graphs import (
 )
 from .changeset import Change, Changeset
 from .intern import InternTable
+from .snapshot import (
+    Snapshot,
+    SnapshotError,
+    SnapshotRelation,
+    build_snapshot,
+    load_snapshot,
+    load_structure,
+    save_snapshot,
+)
 from .structure import Structure, from_database
 from .vocabulary import ALTERNATING_GRAPH_VOCABULARY, GRAPH_VOCABULARY, Vocabulary
+from .zoo import (
+    ZOO,
+    clustered_graph,
+    dense_graph,
+    grid_graph,
+    layered_dag,
+    sparse_graph,
+    tournament_graph,
+)
 from .wl import (
     ColoredGraph,
     are_isomorphic,

@@ -133,6 +133,51 @@ class Structure:
                    {name: frozenset(rows) for name, rows in ranked.items()},
                    intern=table)
 
+    @classmethod
+    def from_edge_stream(cls, edges: Iterable[Sequence[Hashable]],
+                         relation: str = "E", size: int | None = None,
+                         elements: Iterable[Hashable] = ()) -> "Structure":
+        """Build a graph structure from an edge stream in one bounded pass.
+
+        Edges are packed into machine-word arrays as they arrive — the
+        relation is held as a CSR view
+        (:class:`~repro.structures.snapshot.PackedCSRRelation`), never as
+        a set of Python tuples, so peak memory is O(edges) *words*.  With
+        ``size`` given, components must be ranks in ``0..size-1``; without
+        it every distinct component is interned in first-occurrence order
+        (``elements`` pre-seeds the ordering, exactly like
+        :meth:`from_labeled`) and the intern table is persisted.
+        """
+        from array import array
+
+        from .snapshot import PackedCSRRelation
+        from repro.core.columnar import csr_of_pairs
+
+        sources, targets = array("i"), array("i")
+        if size is None:
+            table = InternTable(elements)
+            for row in edges:
+                source, target = row
+                sources.append(table.intern(source))
+                targets.append(table.intern(target))
+            n = len(table)
+        else:
+            table = None
+            n = int(size)
+            for row in edges:
+                source, target = row
+                if not (0 <= source < n and 0 <= target < n):
+                    raise ValueError(
+                        f"relation {relation} edge ({source!r}, {target!r}) "
+                        f"outside universe (size {n})")
+                sources.append(source)
+                targets.append(target)
+        offsets, packed = csr_of_pairs(sources, targets, n)
+        del sources, targets
+        return cls._unchecked(
+            Vocabulary.of(**{relation: 2}), n,
+            {relation: PackedCSRRelation(offsets, packed)}, table)
+
     # ----------------------------------------------------------- conversion
 
     def to_database(self, include_domain: bool = True,

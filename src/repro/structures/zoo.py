@@ -1,0 +1,192 @@
+"""The structure-generator zoo: seeded families for scale experiments.
+
+:mod:`repro.structures.graphs` holds the small paper-shaped workloads
+(paths, cycles, alternating graphs); this module is the big-n counterpart
+the snapshot tooling builds from.  Every generator comes in two forms:
+
+* ``*_edges`` — a lazy **edge stream** (an iterator of ``(u, v)`` rank
+  pairs) suitable for :meth:`~repro.structures.structure.Structure.
+  from_edge_stream` and ``snapshot build``: nothing is held in memory
+  beyond the packing arrays, so a million-edge graph streams straight
+  into CSR form.
+* a ``Structure``-returning convenience wrapping the stream (for tests
+  and small-n use).
+
+All families are deterministic given their ``seed`` — two runs, or two
+machines, produce byte-identical snapshots.  ``ZOO`` maps family names
+to their stream constructors for the CLI (``snapshot build --zoo``).
+
+Families:
+
+``layered``
+    A layered DAG: ``layers`` ranks of ``width`` vertices, edges only
+    between adjacent ranks — closures are deep but acyclic.
+``sparse``
+    A fixed-out-degree random digraph (``degree`` successors per
+    vertex) — the classic sparse-reachability shape.
+``dense``
+    An Erdős–Rényi digraph of expected density ``probability`` (use
+    small ``n``: the edge count is quadratic).
+``grid``
+    The directed ``rows × cols`` grid (right and down edges) — long
+    diameters, tiny degree.
+``tournament``
+    A random tournament: exactly one directed edge between every vertex
+    pair (quadratic; small ``n``).
+``clustered``
+    Dense clusters of ``cluster_size`` vertices with ``intra`` random
+    edges each, plus a sparse ring of bridges between consecutive
+    clusters — millions of edges with a closure that stays near-linear
+    in the edge count, the P9 benchmark workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from .structure import Structure
+
+__all__ = [
+    "ZOO",
+    "clustered_edges",
+    "clustered_graph",
+    "dense_edges",
+    "dense_graph",
+    "grid_edges",
+    "grid_graph",
+    "layered_edges",
+    "layered_dag",
+    "sparse_edges",
+    "sparse_graph",
+    "tournament_edges",
+    "tournament_graph",
+]
+
+
+def layered_edges(layers: int, width: int, degree: int = 2, seed: int = 0
+                  ) -> Iterator[tuple[int, int]]:
+    """A layered DAG stream: each vertex gets ``degree`` random successors
+    in the next layer.  Vertices are numbered layer-major, so 0 is in the
+    first layer and ``layers*width - 1`` in the last."""
+    rng = random.Random(seed)
+    fanout = min(degree, width)
+    for layer in range(layers - 1):
+        base, nxt = layer * width, (layer + 1) * width
+        for offset in range(width):
+            source = base + offset
+            for target in rng.sample(range(nxt, nxt + width), fanout):
+                yield source, target
+
+
+def layered_dag(layers: int, width: int, degree: int = 2, seed: int = 0
+                ) -> Structure:
+    return Structure.from_edge_stream(
+        layered_edges(layers, width, degree, seed), size=layers * width)
+
+
+def sparse_edges(size: int, degree: int = 3, seed: int = 0
+                 ) -> Iterator[tuple[int, int]]:
+    """A fixed-out-degree random digraph stream (no self-loops)."""
+    rng = random.Random(seed)
+    fanout = min(degree, size - 1) if size > 1 else 0
+    for source in range(size):
+        seen: set[int] = set()
+        while len(seen) < fanout:
+            target = rng.randrange(size)
+            if target != source and target not in seen:
+                seen.add(target)
+                yield source, target
+
+
+def sparse_graph(size: int, degree: int = 3, seed: int = 0) -> Structure:
+    return Structure.from_edge_stream(sparse_edges(size, degree, seed),
+                                      size=size)
+
+
+def dense_edges(size: int, probability: float = 0.3, seed: int = 0
+                ) -> Iterator[tuple[int, int]]:
+    """An Erdős–Rényi digraph stream (quadratic work: keep ``size`` small)."""
+    rng = random.Random(seed)
+    for source in range(size):
+        for target in range(size):
+            if source != target and rng.random() < probability:
+                yield source, target
+
+
+def dense_graph(size: int, probability: float = 0.3, seed: int = 0
+                ) -> Structure:
+    return Structure.from_edge_stream(dense_edges(size, probability, seed),
+                                      size=size)
+
+
+def grid_edges(rows: int, cols: int) -> Iterator[tuple[int, int]]:
+    """The directed grid: right and down edges, row-major numbering."""
+    for row in range(rows):
+        for col in range(cols):
+            vertex = row * cols + col
+            if col + 1 < cols:
+                yield vertex, vertex + 1
+            if row + 1 < rows:
+                yield vertex, vertex + cols
+
+
+def grid_graph(rows: int, cols: int) -> Structure:
+    return Structure.from_edge_stream(grid_edges(rows, cols),
+                                      size=rows * cols)
+
+
+def tournament_edges(size: int, seed: int = 0) -> Iterator[tuple[int, int]]:
+    """A random tournament stream: one directed edge per vertex pair."""
+    rng = random.Random(seed)
+    for low in range(size):
+        for high in range(low + 1, size):
+            yield (low, high) if rng.random() < 0.5 else (high, low)
+
+
+def tournament_graph(size: int, seed: int = 0) -> Structure:
+    return Structure.from_edge_stream(tournament_edges(size, seed), size=size)
+
+
+def clustered_edges(clusters: int, cluster_size: int = 25, intra: int = 125,
+                    seed: int = 0) -> Iterator[tuple[int, int]]:
+    """The P9 million-edge workload: ``clusters`` dense clusters of
+    ``cluster_size`` vertices with ``intra`` random internal edges each,
+    chained by one bridge edge between consecutive clusters.  The closure
+    is near-linear in the edge count (each vertex reaches roughly its own
+    cluster and the bridged tail), so transitive closure at ``n = 2·10^5``
+    stays feasible in bounded memory."""
+    rng = random.Random(seed)
+    for cluster in range(clusters):
+        base = cluster * cluster_size
+        for _ in range(intra):
+            yield (base + rng.randrange(cluster_size),
+                   base + rng.randrange(cluster_size))
+        if cluster + 1 < clusters:
+            yield base, base + cluster_size
+
+
+def clustered_graph(clusters: int, cluster_size: int = 25, intra: int = 125,
+                    seed: int = 0) -> Structure:
+    return Structure.from_edge_stream(
+        clustered_edges(clusters, cluster_size, intra, seed),
+        size=clusters * cluster_size)
+
+
+#: Stream constructors by family name, for ``snapshot build --zoo``.  Each
+#: maps keyword parameters (all integers except ``probability``) to an
+#: ``(edge stream, universe size)`` pair.
+ZOO = {
+    "layered": lambda layers=64, width=64, degree=2, seed=0: (
+        layered_edges(layers, width, degree, seed), layers * width),
+    "sparse": lambda size=1024, degree=3, seed=0: (
+        sparse_edges(size, degree, seed), size),
+    "dense": lambda size=128, probability=0.3, seed=0: (
+        dense_edges(size, probability, seed), size),
+    "grid": lambda rows=32, cols=32: (grid_edges(rows, cols), rows * cols),
+    "tournament": lambda size=128, seed=0: (tournament_edges(size, seed),
+                                            size),
+    "clustered": lambda clusters=1000, cluster_size=25, intra=125, seed=0: (
+        clustered_edges(clusters, cluster_size, intra, seed),
+        clusters * cluster_size),
+}

@@ -258,6 +258,18 @@ class TestFixpointKernels:
         # is never produced because known facts are filtered -> loop stops.
         assert calls == [[(0,)], [(1,)]]
 
+    def test_seminaive_notes_peak_resident_rows(self):
+        from repro.logic.plan import PlanStats
+
+        stats = PlanStats()
+        grow = lambda delta, total: {(value + 1,) for (value,) in delta
+                                     if value < 5}
+        result = seminaive_fixpoint({(0,)}, grow, stats=stats)
+        assert result == {(v,) for v in range(6)}
+        # Peak = total + frontier at the final (empty-derivation) round:
+        # all six facts accumulated plus the one-row frontier still live.
+        assert stats.peak_rows_resident == 7
+
     def test_engine_least_fixpoint_signatures(self):
         step = lambda current: frozenset(current | {1})
         assert least_fixpoint(step, frozenset()) == {1}

@@ -107,6 +107,83 @@ class TestSuccessStillZero:
         assert "rows:" in capsys.readouterr().out
 
 
+class TestSnapshotSubcommand:
+    def test_build_info_query_round_trip(self, tmp_path, graph_json, capsys):
+        snap = tmp_path / "g.snap"
+        assert main(["snapshot", "build", str(snap),
+                     "--structure", str(graph_json)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["snapshot", "info", str(snap)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["size"] == 6 and info["vocabulary"] == {"A": 1, "E": 2}
+        # The same query over JSON and over the snapshot must agree.
+        assert main(["logic", "tc", "--structure", str(graph_json)]) == 0
+        from_json = capsys.readouterr().out
+        assert main(["logic", "tc", "--structure", str(snap)]) == 0
+        assert capsys.readouterr().out == from_json
+
+    def test_build_from_zoo(self, tmp_path, capsys):
+        snap = tmp_path / "zoo.snap"
+        assert main(["snapshot", "build", str(snap), "--zoo", "grid",
+                     "rows=4", "cols=4"]) == 0
+        assert "n = 16" in capsys.readouterr().out
+        assert main(["logic", "reach", "--structure", str(snap),
+                     "--backend", "columnar"]) == 0
+
+    def test_build_from_edges(self, tmp_path, capsys):
+        edges = tmp_path / "edges.json"
+        edges.write_text(json.dumps([[0, 1], [1, 2]]))
+        snap = tmp_path / "edges.snap"
+        assert main(["snapshot", "build", str(snap), "--edges", str(edges),
+                     "--size", "3"]) == 0
+        assert main(["logic", "tc", "--structure", str(snap)]) == 0
+        assert "rows:" in capsys.readouterr().out
+
+    def test_unknown_zoo_family_is_input_error(self, tmp_path, capsys):
+        assert main(["snapshot", "build", str(tmp_path / "x.snap"),
+                     "--zoo", "mystery"]) == EXIT_INPUT
+        assert "unknown zoo family" in capsys.readouterr().err
+
+    def test_bad_zoo_parameter_is_input_error(self, tmp_path, capsys):
+        assert main(["snapshot", "build", str(tmp_path / "x.snap"),
+                     "--zoo", "grid", "sides=3"]) == EXIT_INPUT
+
+    def test_corrupt_snapshot_is_input_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"RSNP" + b"\xff" * 40)
+        assert main(["snapshot", "info", str(bad)]) == EXIT_INPUT
+        assert main(["logic", "tc", "--structure", str(bad)]) == EXIT_INPUT
+
+    def test_degradation_prints_a_notice(self, tmp_path, graph_json, capsys):
+        from repro.logic.codegen import set_max_columnar_universe
+
+        previous = set_max_columnar_universe(2)
+        try:
+            assert main(["logic", "reach", "--structure", str(graph_json),
+                         "--backend", "columnar", "--stats"]) == 0
+        finally:
+            set_max_columnar_universe(previous)
+        captured = capsys.readouterr()
+        assert "degraded mid-run (columnar->plan)" in captured.err
+        assert "degraded:    columnar -> plan" in captured.out
+        assert "peak_rows_resident" in captured.out
+
+    def test_max_bytes_is_a_resource_error(self, tmp_path, capsys):
+        snap = tmp_path / "big.snap"
+        assert main(["snapshot", "build", str(snap), "--zoo", "clustered",
+                     "clusters=40"]) == 0
+        import repro.logic.codegen as codegen
+        original = codegen.DENSE_WIDTH_THRESHOLD
+        codegen.DENSE_WIDTH_THRESHOLD = 2
+        try:
+            assert main(["logic", "tc", "--structure", str(snap),
+                         "--backend", "columnar",
+                         "--max-bytes", "64"]) == EXIT_RESOURCE
+        finally:
+            codegen.DENSE_WIDTH_THRESHOLD = original
+        assert "bytes_resident" in capsys.readouterr().err
+
+
 def test_taxonomy_constants_are_distinct():
     assert len({0, EXIT_INPUT, EXIT_RESOURCE, EXIT_INTERNAL}) == 4
     assert (EXIT_INPUT, EXIT_RESOURCE, EXIT_INTERNAL) == (2, 3, 4)

@@ -236,6 +236,26 @@ def test_unmaintainable_memo_is_dropped_with_a_degradation():
             for row in rows} == oracle(apath, structure)
 
 
+def test_wide_universe_closure_degrades_to_recompute(monkeypatch):
+    """Past the dense width threshold the closure patch would allocate an
+    O(n^2)-bit reach matrix; the maintainer must fall back to recompute
+    (P9) instead — and the recomputed rows must still be exact."""
+    import repro.logic.ivm as ivm
+
+    monkeypatch.setattr(ivm, "DENSE_WIDTH_THRESHOLD", 3)
+    structure = path_graph(6)
+    checker = ModelChecker(structure, backend="plan")
+    checker.defined_relation(tc_formula())
+    checker.apply_update(Changeset.inserting("E", (5, 0)))
+    assert checker.ivm_stats.get("closure", 0) == 0
+    assert [e for e in checker.degradations if e.stage == "ivm"
+            and e.fallback == "recompute"
+            and "dense maintenance threshold" in e.error]
+    columns, rows = checker.defined_relation(tc_formula())
+    assert {tuple(row[columns.index(c)] for c in ("u", "v"))
+            for row in rows} == oracle(tc_formula(), structure)
+
+
 def test_universe_growth_drops_every_memo():
     structure = Structure.from_labeled({"E": [("a", "b")]}, ["a", "b"],
                                        vocabulary=path_graph(2).vocabulary)

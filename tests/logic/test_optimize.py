@@ -447,3 +447,43 @@ class TestExplainOptimized:
         assert "logical plan:" in text
         assert "optimized plan:" in text
         assert "Closure[TC, k=1]" in text
+
+
+class TestDegreeStatistics:
+    """Snapshot-persisted degree stats feed the cost model (P9)."""
+
+    def test_from_structure_reads_snapshot_degree_stats(self, tmp_path):
+        from repro.structures import load_structure, save_snapshot
+
+        g = random_graph(8, edge_probability=0.4, seed=9)
+        save_snapshot(g, tmp_path / "g.snap")
+        loaded = load_structure(tmp_path / "g.snap")
+        cost = CostModel.from_structure(loaded)
+        stats = loaded.degree_stats["E"]
+        assert cost.fanout("E", from_source=True) == \
+            stats["rows"] / stats["distinct_sources"]
+        assert cost.fanout("E", from_source=False) == \
+            stats["rows"] / stats["distinct_targets"]
+        # Plain structures record no degrees: fanout stays unknown.
+        assert CostModel.from_structure(g).fanout("E", True) is None
+
+    def test_degrees_change_the_memo_key(self):
+        plain = CostModel(8, {"E": 12})
+        informed = CostModel(8, {"E": 12}, degrees={
+            "E": {"rows": 12, "distinct_sources": 2,
+                  "distinct_targets": 12, "max_out_degree": 6}})
+        assert plain.key() != informed.key()
+
+    def test_fanout_tightens_the_join_estimate(self):
+        from repro.logic.plan import Join, RelationScan
+
+        join = Join(RelationScan("E", ("x", "y")),
+                    RelationScan("E", ("y", "z")))
+        # Uniform: |E|^2 / n = 50 * 50 / 10 = 250.  With every target
+        # distinct the per-target fanout is 1, so probing the build side
+        # row by row bounds the join at |E| * 1 = 50.
+        skewed = CostModel(10, {"E": 50}, degrees={
+            "E": {"rows": 50, "distinct_sources": 25,
+                  "distinct_targets": 50, "max_out_degree": 2}})
+        uniform = CostModel(10, {"E": 50})
+        assert estimate(join, skewed) < estimate(join, uniform)

@@ -1,0 +1,110 @@
+"""The structure-generator zoo: determinism, shape invariants, and
+stream/structure agreement (P9 satellite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.structures import Structure
+from repro.structures.zoo import (
+    ZOO,
+    clustered_edges,
+    clustered_graph,
+    dense_edges,
+    grid_edges,
+    grid_graph,
+    layered_edges,
+    layered_dag,
+    sparse_edges,
+    sparse_graph,
+    tournament_edges,
+)
+
+
+def test_every_family_is_deterministic_per_seed():
+    for name, family in ZOO.items():
+        first, size = family()
+        second, again = family()
+        assert size == again
+        assert list(first) == list(second), name
+
+
+def test_seed_changes_the_random_families():
+    assert list(sparse_edges(30, seed=0)) != list(sparse_edges(30, seed=1))
+    assert list(clustered_edges(4, seed=0)) != list(clustered_edges(4, seed=1))
+
+
+def test_streams_agree_with_structure_wrappers():
+    structure = sparse_graph(20, degree=2, seed=7)
+    assert structure.relations["E"] == frozenset(
+        sparse_edges(20, degree=2, seed=7))
+    assert structure.size == 20
+    grid = grid_graph(3, 4)
+    assert grid.relations["E"] == frozenset(grid_edges(3, 4))
+    assert grid.size == 12
+
+
+def test_layered_dag_edges_only_cross_adjacent_layers():
+    layers, width = 5, 4
+    for source, target in layered_edges(layers, width, degree=2, seed=3):
+        assert target // width == source // width + 1
+    dag = layered_dag(layers, width, degree=2, seed=3)
+    assert dag.size == layers * width
+
+
+def test_sparse_graph_has_fixed_out_degree_and_no_self_loops():
+    edges = list(sparse_edges(25, degree=3, seed=1))
+    assert all(u != v for u, v in edges)
+    out = {}
+    for u, _ in edges:
+        out[u] = out.get(u, 0) + 1
+    assert set(out.values()) == {3}
+
+
+def test_tournament_covers_every_pair_exactly_once():
+    size = 12
+    edges = list(tournament_edges(size, seed=4))
+    assert len(edges) == size * (size - 1) // 2
+    seen = {frozenset(edge) for edge in edges}
+    assert len(seen) == len(edges)
+
+
+def test_grid_has_the_right_edge_count():
+    rows, cols = 4, 6
+    assert len(list(grid_edges(rows, cols))) == \
+        rows * (cols - 1) + (rows - 1) * cols
+
+
+def test_dense_probability_extremes():
+    assert list(dense_edges(6, probability=0.0)) == []
+    full = list(dense_edges(6, probability=1.0))
+    assert len(full) == 6 * 5
+
+
+def test_clustered_edges_stay_in_cluster_or_bridge():
+    clusters, cluster_size = 6, 5
+    bridges = []
+    for u, v in clustered_edges(clusters, cluster_size, intra=10, seed=2):
+        if u // cluster_size == v // cluster_size:
+            continue
+        bridges.append((u, v))
+    assert bridges == [(c * cluster_size, (c + 1) * cluster_size)
+                       for c in range(clusters - 1)]
+    graph = clustered_graph(clusters, cluster_size, intra=10, seed=2)
+    assert graph.size == clusters * cluster_size
+    assert isinstance(graph, Structure)
+
+
+def test_zoo_defaults_are_modest():
+    for name, family in ZOO.items():
+        stream, size = family()
+        edges = sum(1 for _ in stream)
+        assert 0 < edges < 200_000, name
+        assert 0 < size <= 25_000, name
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_zoo_streams_fit_their_declared_universe(name):
+    stream, size = ZOO[name]()
+    for u, v in stream:
+        assert 0 <= u < size and 0 <= v < size
