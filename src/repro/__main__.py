@@ -43,6 +43,16 @@ The ``snapshot`` subcommand builds and inspects those files::
     python -m repro snapshot build out.snap --edges edges.json [--size N]
     python -m repro snapshot build out.snap --structure graph.json
     python -m repro snapshot info out.snap
+
+The ``serve`` subcommand starts the long-lived query service (resident
+structures, supervised worker pool, HTTP/JSON endpoints — see
+``repro.service``)::
+
+    python -m repro serve --load g=graph.snap [--port 8377] [--workers 2]
+
+Long-running subcommands exit cleanly on SIGINT/SIGTERM: the first
+signal cancels the evaluation cooperatively (exit code 3, partial stats
+on stderr), a second one falls back to the blunt default.
 """
 
 from __future__ import annotations
@@ -70,7 +80,7 @@ from repro.core.errors import (
     SRLSyntaxError,
     SRLTypeError,
 )
-from repro.core.governor import Budget
+from repro.core.governor import Budget, CancelToken, cancel_on_signals
 from repro.core.restrictions import strictest_restriction
 from repro.core.typecheck import check_program, database_types
 from repro.core.values import format_value
@@ -195,21 +205,13 @@ def _build_logic_argument_parser() -> argparse.ArgumentParser:
 def _load_structure_file(path: Path):
     """A structure from either encoding: binary snapshots are recognized
     by their leading ``RSNP`` magic, anything else parses as the JSON
-    database shape."""
-    from repro.structures.snapshot import MAGIC, load_structure
-    from repro.structures.structure import from_database
+    database shape (shared with the query-service workers)."""
+    from repro.structures.structure import load_structure_file
 
-    with open(path, "rb") as handle:
-        magic = handle.read(len(MAGIC))
-    if magic == MAGIC:
-        return load_structure(path)
-    return from_database(database_from_json(json.loads(path.read_text())))
+    return load_structure_file(path)
 
 
 def logic_main(argv: list[str]) -> int:
-    from repro.logic.compile import PlanCompilationError, explain
-    from repro.logic.eval import define_relation
-    from repro.logic.optimize import explain_optimized
     from repro.logic.plan import PlanStats
     from repro.logic.queries import CANONICAL_QUERIES
 
@@ -243,13 +245,26 @@ def logic_main(argv: list[str]) -> int:
     if args.stats and stats is None:
         print("warning: --stats counts plan executions; the tuple backend "
               "records nothing", file=sys.stderr)
-    budget = None
-    if args.timeout is not None or args.max_rows is not None \
-            or args.max_bytes is not None:
-        budget = Budget(deadline_seconds=args.timeout,
-                        max_rows_materialized=args.max_rows,
-                        max_bytes_resident=args.max_bytes)
+    # Ctrl-C / SIGTERM land as cooperative cancellation: the governor
+    # raises EvaluationCancelled at its next checkpoint, which _report
+    # turns into exit 3 with the partial stats — not a KeyboardInterrupt
+    # traceback.  A second signal falls back to the blunt default.
+    token = CancelToken()
+    budget = Budget(deadline_seconds=args.timeout,
+                    max_rows_materialized=args.max_rows,
+                    max_bytes_resident=args.max_bytes,
+                    cancel_token=token)
     degradations: list = []
+    with cancel_on_signals(token):
+        return _logic_run(args, query, optimize, stats, budget, degradations)
+
+
+def _logic_run(args, query, optimize, stats, budget,
+               degradations: list) -> int:
+    from repro.logic.compile import PlanCompilationError, explain
+    from repro.logic.eval import define_relation
+    from repro.logic.optimize import explain_optimized
+
     try:
         structure = _load_structure_file(args.structure)
         formula = query.formula()
@@ -401,6 +416,24 @@ def _zoo_stream(spec: list[str]):
                          f"{error}") from error
 
 
+def _cancellable_stream(stream, token: CancelToken, every: int = 4096):
+    """Yield ``stream``'s edges, checking the cancel token every ``every``
+    edges — the choke point that lets Ctrl-C stop a million-edge
+    ``snapshot build`` as a typed exit-3 instead of a traceback."""
+    from repro.core.errors import EvaluationCancelled
+
+    countdown = every
+    for edge in stream:
+        countdown -= 1
+        if countdown <= 0:
+            countdown = every
+            if token.cancelled:
+                raise EvaluationCancelled()
+        yield edge
+    if token.cancelled:
+        raise EvaluationCancelled()
+
+
 def snapshot_main(argv: list[str]) -> int:
     from repro.structures.snapshot import (
         build_snapshot,
@@ -409,22 +442,26 @@ def snapshot_main(argv: list[str]) -> int:
     )
 
     args = _build_snapshot_argument_parser().parse_args(argv)
+    token = CancelToken()
     try:
         if args.command == "info":
             with load_snapshot(args.snapshot) as snapshot:
                 print(json.dumps(snapshot.info(), indent=2, default=str))
             return 0
-        if args.zoo is not None:
-            stream, size = _zoo_stream(args.zoo)
-            header = build_snapshot(stream, args.output,
-                                    relation=args.relation, size=size)
-        elif args.edges is not None:
-            pairs = json.loads(args.edges.read_text())
-            header = build_snapshot(pairs, args.output,
-                                    relation=args.relation, size=args.size)
-        else:
-            structure = _load_structure_file(args.structure)
-            header = save_snapshot(structure, args.output)
+        with cancel_on_signals(token):
+            if args.zoo is not None:
+                stream, size = _zoo_stream(args.zoo)
+                header = build_snapshot(
+                    _cancellable_stream(stream, token), args.output,
+                    relation=args.relation, size=size)
+            elif args.edges is not None:
+                pairs = json.loads(args.edges.read_text())
+                header = build_snapshot(
+                    _cancellable_stream(pairs, token), args.output,
+                    relation=args.relation, size=args.size)
+            else:
+                structure = _load_structure_file(args.structure)
+                header = save_snapshot(structure, args.output)
         rows = sum(entry["rows"]
                    for entry in header.get("relations", {}).values())
         print(f"wrote {args.output}: n = {header['size']}, "
@@ -445,6 +482,10 @@ def main(argv: list[str] | None = None) -> int:
         return logic_main(argv[1:])
     if argv and argv[0] == "snapshot":
         return snapshot_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.server import serve_main
+
+        return serve_main(argv[1:])
     args = _build_argument_parser().parse_args(argv)
 
     try:
@@ -475,11 +516,12 @@ def main(argv: list[str] | None = None) -> int:
 
         limits = EvaluationLimits(max_steps=args.max_steps) \
             if args.max_steps is not None else None
-        budget = Budget(deadline_seconds=args.timeout) \
-            if args.timeout is not None else None
+        token = CancelToken()
+        budget = Budget(deadline_seconds=args.timeout, cancel_token=token)
         session = Session(program, limits=limits, backend=args.backend,
                           budget=budget)
-        value = session.run(database)
+        with cancel_on_signals(token):
+            value = session.run(database)
     except (SRLError, OSError, json.JSONDecodeError) as error:
         return _report(error)
 

@@ -290,7 +290,12 @@ class Session:
 
     def _checker_for(self, structure) -> "ModelChecker":
         """The session's per-structure checker, created on first use and
-        reused while the structure identity and backend settings hold."""
+        reused while the structure identity and backend settings hold.
+
+        Thread note: the slot is a single tuple read/written atomically
+        (CPython attribute assignment), and the checker itself serializes
+        its public entry points, so concurrent sessions threads are safe;
+        a lost race here merely builds a redundant checker."""
         from repro.logic.eval import ModelChecker
         cached = self._logic_checker
         if cached is not None and cached[0] is structure \

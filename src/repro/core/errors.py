@@ -138,3 +138,54 @@ class MemoryLimitExceeded(ResourceLimitExceeded):
     CSR offset/target arrays) exceeded the budget's ``max_bytes_resident``.
     The estimate is structural — words held by live kernels, not the
     process RSS — so it is deterministic and testable."""
+
+
+# --------------------------------------------------------- service taxonomy
+#
+# The query service (``repro.service``) extends PR 6's single-process
+# failure semantics — "correct answer or clean error, never wrong" —
+# across process boundaries.  Every way a request can fail *between*
+# processes gets its own type, so clients (and the chaos availability
+# gate) can tell a dead worker from a full queue from a blown budget.
+
+
+class ServiceError(SRLError):
+    """Base class for failures of the query service layer itself —
+    worker supervision, admission control, and the wire protocol — as
+    opposed to failures of the query being evaluated."""
+
+
+class ProtocolError(ServiceError):
+    """A length-prefixed JSON frame could not be read or written: the
+    stream ended mid-frame, the length prefix is implausible, or the body
+    is not valid JSON.  Between server and worker this is treated exactly
+    like a worker crash (the connection is no longer trustworthy)."""
+
+
+class WorkerCrashed(ServiceError):
+    """A worker process died (pipe EOF, heartbeat loss, or a hang past
+    the deadline grace) while holding this request, and the retry budget
+    could not produce an answer from a healthy worker.
+
+    ``attempts`` counts how many workers tried the request; ``stats``
+    optionally carries whatever partial counters the supervisor knows
+    (e.g. the per-attempt worker pids) — never a partial *answer*: a
+    request either completes with the full, correct relation or with a
+    typed error."""
+
+    def __init__(self, message: str, attempts: int = 1, stats=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.stats = stats
+
+
+class Overloaded(ServiceError):
+    """Admission control shed this request: the bounded queue is full (or
+    the pool has no healthy worker and the caller's deadline cannot wait
+    out the respawn backoff).  ``retry_after`` is the server's suggested
+    wait in seconds — the HTTP layer surfaces it as a ``Retry-After``
+    header."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

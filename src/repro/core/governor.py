@@ -35,7 +35,9 @@ whose single boolean flip is safe to perform from another thread.
 
 from __future__ import annotations
 
+import signal
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from .errors import (
@@ -47,7 +49,8 @@ from .errors import (
     RowLimitExceeded,
 )
 
-__all__ = ["Budget", "CancelToken", "DegradationEvent", "Governor"]
+__all__ = ["Budget", "CancelToken", "DegradationEvent", "Governor",
+           "cancel_on_signals"]
 
 
 class CancelToken:
@@ -175,6 +178,14 @@ class Governor:
             self._countdown = self._interval
             self.check_time()
 
+    def remaining_seconds(self) -> float | None:
+        """Wall-clock budget still available (``None`` = no deadline).
+        Never negative; the query service uses this to hand a worker the
+        *remaining* deadline, not the original one."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
     # ------------------------------------------------------------------ rows
 
     @property
@@ -240,3 +251,53 @@ class Governor:
         if limit is not None and entries > limit:
             raise MemoLimitExceeded("memo_entries", limit, entries,
                                     stats=self.stats)
+
+
+# ------------------------------------------------------------------ signals
+
+
+@contextmanager
+def cancel_on_signals(token: CancelToken,
+                      signals: tuple[int, ...] = (signal.SIGINT,
+                                                  signal.SIGTERM)):
+    """Map SIGINT/SIGTERM to cooperative cancellation for the duration of
+    the block: the first signal cancels ``token`` (the evaluation then
+    raises :class:`~repro.core.errors.EvaluationCancelled` at its next
+    governor checkpoint — a typed error with partial stats, not a
+    ``KeyboardInterrupt`` traceback); a *second* signal falls back to the
+    default handler, so a stuck process can still be killed the blunt
+    way.  Previous handlers are restored on exit.
+
+    Only the main thread of the main interpreter may install signal
+    handlers; elsewhere (a worker thread running a query) this is a
+    no-op passthrough — cancellation there is the caller's job.
+    """
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        yield token
+        return
+
+    previous: dict[int, object] = {}
+
+    def handler(signum, frame):
+        token.cancel()
+        # Second signal: restore the default behaviour immediately so the
+        # user is never trapped behind a checkpoint that does not come.
+        for number, old in previous.items():
+            signal.signal(number, old)
+
+    try:
+        for number in signals:
+            previous[number] = signal.signal(number, handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic embeddings
+        yield token
+        return
+    try:
+        yield token
+    finally:
+        for number, old in previous.items():
+            try:
+                signal.signal(number, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass

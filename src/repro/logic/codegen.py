@@ -45,6 +45,7 @@ masks and merges, there is no hash index to probe.
 from __future__ import annotations
 
 import os
+import threading
 from itertools import product as _cartesian
 from typing import Callable, Iterable
 
@@ -1240,6 +1241,12 @@ def compile_columnar(plan: Plan, n: int, seminaive: bool = True
 
 _CODEGEN_CACHE: dict[tuple, CompiledColumnarPlan] = {}
 _CODEGEN_CACHE_LIMIT = 512
+# The cache is shared process-wide (the query service evaluates from
+# several threads at once); the lock covers the get/evict/store sequence
+# so a concurrent eviction can never interleave with a store.  Compiled
+# plans themselves are immutable, so a duplicate compile under a lost
+# race would be wasted work, not corruption — the lock spares even that.
+_CODEGEN_LOCK = threading.Lock()
 
 #: The most recently compiled-or-fetched plan's report, for the CLI.
 _LAST_REPORT: dict | None = None
@@ -1247,7 +1254,8 @@ _LAST_REPORT: dict | None = None
 
 def clear_codegen_cache() -> None:
     """Drop every compiled plan (chaos/benchmark fixtures call this)."""
-    _CODEGEN_CACHE.clear()
+    with _CODEGEN_LOCK:
+        _CODEGEN_CACHE.clear()
 
 
 def compiled_columnar(plan: Plan, n: int, seminaive: bool = True,
@@ -1256,15 +1264,17 @@ def compiled_columnar(plan: Plan, n: int, seminaive: bool = True,
     representation signature.  Hits are counted on ``stats``."""
     global _LAST_REPORT
     key = (plan, n, seminaive)
-    compiled = _CODEGEN_CACHE.get(key)
+    with _CODEGEN_LOCK:
+        compiled = _CODEGEN_CACHE.get(key)
     if compiled is not None:
         if stats is not None:
             stats.codegen_cache_hits += 1
     else:
-        if len(_CODEGEN_CACHE) >= _CODEGEN_CACHE_LIMIT:
-            _CODEGEN_CACHE.clear()
         compiled = compile_columnar(plan, n, seminaive)
-        _CODEGEN_CACHE[key] = compiled
+        with _CODEGEN_LOCK:
+            if len(_CODEGEN_CACHE) >= _CODEGEN_CACHE_LIMIT:
+                _CODEGEN_CACHE.clear()
+            _CODEGEN_CACHE[key] = compiled
     _LAST_REPORT = compiled.report()
     return compiled
 

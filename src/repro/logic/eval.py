@@ -35,6 +35,7 @@ architecture" and "Semi-naive evaluation"):
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from itertools import product
 from typing import Mapping
@@ -255,6 +256,15 @@ class ModelChecker:
         # recorded rows object *is* the cached one, so a dropped or
         # recomputed memo entry silently invalidates its scratch.
         self._ivm_state: dict = {}
+        # Serializes the public entry points: a checker mutates and
+        # restores shared state (auxiliary relations, the one _governor
+        # slot, both memo tables) during every call, so concurrent
+        # threads must take turns.  Reentrant because apply_update's
+        # maintenance path re-enters defined_relation on the same
+        # checker.  Cross-thread *parallelism* comes from running one
+        # checker per thread (or per worker process, as the query
+        # service does), not from sharing one.
+        self._thread_lock = threading.RLock()
 
     # -------------------------------------------------------------- terms
 
@@ -284,6 +294,7 @@ class ModelChecker:
         # Copy so the quantifiers' in-place rebinding never leaks into the
         # caller's mapping.
         assignment = dict(assignment or {})
+        self._thread_lock.acquire()
         previous = self._governor
         self._governor = governor = \
             self.budget.start(self.plan_stats) if self.budget is not None \
@@ -297,6 +308,7 @@ class ModelChecker:
                 return self._eval(formula, assignment)
         finally:
             self._governor = previous
+            self._thread_lock.release()
 
     def defined_relation(self, formula: Formula
                          ) -> tuple[tuple[str, ...], frozenset]:
@@ -309,6 +321,7 @@ class ModelChecker:
         rows come from the governed tuple enumeration over the formula's
         free variables, sorted.
         """
+        self._thread_lock.acquire()
         previous = self._governor
         self._governor = governor = \
             self.budget.start(self.plan_stats) if self.budget is not None \
@@ -334,6 +347,7 @@ class ModelChecker:
                 return layout, frozenset(rows)
         finally:
             self._governor = previous
+            self._thread_lock.release()
 
     # --------------------------------------------------- incremental updates
 
@@ -352,6 +366,10 @@ class ModelChecker:
         update that grows the universe drop unconditionally.  Returns the
         net :class:`~repro.structures.changeset.Changeset`.
         """
+        with self._thread_lock:
+            return self._apply_update_locked(changeset)
+
+    def _apply_update_locked(self, changeset) -> "Changeset":
         from .ivm import MaintenanceFallback, maintain, relation_names
         from .optimize import _depends_on_relation, maintenance_strategy
 

@@ -1,0 +1,132 @@
+"""Admission control: bounded concurrency, bounded queue, load shedding.
+
+The service accepts a request only when it can actually serve it soon:
+``max_concurrency`` slots execute at once, at most ``max_queue_depth``
+more may wait, and everything past that is shed immediately with a typed
+:class:`~repro.core.errors.Overloaded` carrying a ``retry_after`` hint
+(the HTTP front end turns it into ``503`` + ``Retry-After``).  Shedding
+at the door is the robustness choice: a queue without a bound converts
+overload into unbounded latency for *every* request, which the deadline
+layer then converts into a pool-wide storm of ``DeadlineExceeded``.
+
+The ``service.queue.overflow`` chaos point fires before the capacity
+check and forces a shed as if the queue were full, so tests can assert
+the overload surface (typed error, Retry-After, no hang) without having
+to actually saturate a pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.errors import Overloaded
+from repro.testing.chaos import ChaosError, chaos_point
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """A counting gate: ``slot()`` admits, queues, or sheds.
+
+    Use as a context manager per request::
+
+        with admission.slot(deadline_seconds=remaining):
+            ... dispatch to the pool ...
+
+    ``slot`` blocks (bounded by the caller's deadline) only while the
+    request holds a *queue* position; once past ``max_queue_depth``
+    waiters, or when the wait would outlive the deadline, it raises
+    :class:`Overloaded` instead of blocking.
+    """
+
+    def __init__(self, max_concurrency: int = 4, max_queue_depth: int = 16):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.max_concurrency = max_concurrency
+        self.max_queue_depth = max_queue_depth
+        self._lock = threading.Lock()
+        self._freed = threading.Condition(self._lock)
+        self._active = 0
+        self._queued = 0
+        self.stats = {"admitted": 0, "queued": 0, "shed": 0}
+
+    # ------------------------------------------------------------- the gate
+
+    def slot(self, deadline_seconds: float | None = None):
+        return _Slot(self, deadline_seconds)
+
+    def _acquire(self, deadline_seconds: float | None) -> None:
+        try:
+            chaos_point("service.queue.overflow")
+        except ChaosError as error:
+            self.stats["shed"] += 1
+            raise Overloaded(
+                "load shed (injected queue overflow)",
+                retry_after=self._retry_after()) from error
+        with self._lock:
+            if self._active < self.max_concurrency:
+                self._active += 1
+                self.stats["admitted"] += 1
+                return
+            if self._queued >= self.max_queue_depth:
+                self.stats["shed"] += 1
+                raise Overloaded(
+                    f"queue full ({self._queued} waiting, "
+                    f"{self._active} executing)",
+                    retry_after=self._retry_after())
+            self._queued += 1
+            self.stats["queued"] += 1
+            deadline = None if deadline_seconds is None \
+                else time.monotonic() + deadline_seconds
+            try:
+                while self._active >= self.max_concurrency:
+                    if deadline is None:
+                        self._freed.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._freed.wait(
+                            timeout=remaining):
+                        self.stats["shed"] += 1
+                        raise Overloaded(
+                            "queued past the request deadline",
+                            retry_after=self._retry_after())
+                self._active += 1
+                self.stats["admitted"] += 1
+            finally:
+                self._queued -= 1
+
+    def _release(self) -> None:
+        with self._lock:
+            self._active -= 1
+            self._freed.notify()
+
+    def _retry_after(self) -> float:
+        """A crude but honest hint: one second per queued request ahead,
+        floored at one second."""
+        return float(max(1, self._queued))
+
+    # ------------------------------------------------------------ reporting
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"active": self._active, "queued": self._queued,
+                    "max_concurrency": self.max_concurrency,
+                    "max_queue_depth": self.max_queue_depth,
+                    **self.stats}
+
+
+class _Slot:
+    def __init__(self, controller: AdmissionController,
+                 deadline_seconds: float | None):
+        self._controller = controller
+        self._deadline_seconds = deadline_seconds
+
+    def __enter__(self) -> "_Slot":
+        self._controller._acquire(self._deadline_seconds)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._controller._release()

@@ -51,6 +51,8 @@ import json
 import mmap
 import os
 import sys
+import tempfile
+import zlib
 from array import array
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
@@ -376,6 +378,9 @@ def save_snapshot(structure: Structure, path: str | os.PathLike,
         arity = len(next(iter(rows), ()))
         add(name, arity, rows, derived_entries)
 
+    checksum = 0
+    for payload in payloads:
+        checksum = zlib.crc32(payload, checksum)
     header = {
         "format": "repro-structure-snapshot",
         "version": VERSION,
@@ -384,17 +389,38 @@ def save_snapshot(structure: Structure, path: str | os.PathLike,
         "labels": labels,
         "relations": entries,
         "derived": derived_entries,
+        # Verified on open: a torn or bit-flipped payload section fails
+        # loudly as SnapshotError instead of decoding into wrong rows.
+        "checksum": {"algorithm": "crc32", "value": checksum,
+                     "payload_bytes": cursor},
     }
     encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    with open(path, "wb") as handle:
-        handle.write(MAGIC)
-        handle.write((VERSION).to_bytes(2, "little"))
-        handle.write(b"\0\0")
-        handle.write(len(encoded).to_bytes(8, "little"))
-        handle.write(encoded)
-        handle.write(b"\0" * _pad8(_HEADER_PREFIX + len(encoded)))
-        for payload in payloads:
-            handle.write(payload)
+    # Atomic publish: write a sibling temp file, fsync it, then
+    # os.replace onto the target — a crash mid-write leaves either the
+    # old snapshot or no snapshot, never a torn file under the real name.
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write((VERSION).to_bytes(2, "little"))
+            handle.write(b"\0\0")
+            handle.write(len(encoded).to_bytes(8, "little"))
+            handle.write(encoded)
+            handle.write(b"\0" * _pad8(_HEADER_PREFIX + len(encoded)))
+            for payload in payloads:
+                handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
     return header
 
 
@@ -478,6 +504,25 @@ class Snapshot:
                      f"{self.path}: header {bucket} must be an object")
         self._payload_base = _HEADER_PREFIX + header_length \
             + _pad8(_HEADER_PREFIX + header_length)
+        checksum = header.get("checksum")
+        if checksum is not None:
+            # Files written before the checksum existed simply lack the
+            # field; files that carry one must verify, in full, at open.
+            _require(isinstance(checksum, dict)
+                     and checksum.get("algorithm") == "crc32"
+                     and isinstance(checksum.get("value"), int)
+                     and isinstance(checksum.get("payload_bytes"), int),
+                     f"{self.path}: malformed checksum entry {checksum!r}")
+            span = checksum["payload_bytes"]
+            _require(self._payload_base + span <= len(view),
+                     f"{self.path}: checksummed payload ({span} bytes) "
+                     f"runs past the end of the file ({len(view)} bytes)")
+            actual = zlib.crc32(
+                view[self._payload_base:self._payload_base + span])
+            _require(actual == checksum["value"],
+                     f"{self.path}: payload checksum mismatch (stored "
+                     f"crc32 {checksum['value']:#010x}, computed "
+                     f"{actual:#010x}) — the snapshot is corrupt or torn")
         return header
 
     # ------------------------------------------------------------ sections

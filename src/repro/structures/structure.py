@@ -19,7 +19,7 @@ from .changeset import Change, Changeset
 from .intern import InternTable
 from .vocabulary import Vocabulary
 
-__all__ = ["Structure", "from_database"]
+__all__ = ["Structure", "from_database", "load_structure_file"]
 
 
 @dataclass
@@ -439,3 +439,23 @@ def from_database(database: Database | Mapping[str, object],
         # Mixed arities within one relation (the vocabulary records the
         # maximum; shorter facts then fail the arity check).
         raise InvalidDatabaseError(str(error)) from error
+
+
+def load_structure_file(path) -> Structure:
+    """A structure from either on-disk encoding: binary snapshots are
+    recognized by their leading ``RSNP`` magic, anything else parses as
+    the JSON database shape.  Shared by the CLI and the query-service
+    workers, so both front ends accept exactly the same files."""
+    import json
+    from pathlib import Path
+
+    from .snapshot import MAGIC, load_structure
+
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+    if magic == MAGIC:
+        return load_structure(path)
+    from repro.core.engine import database_from_json
+
+    return from_database(database_from_json(json.loads(path.read_text())))

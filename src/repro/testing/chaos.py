@@ -22,6 +22,17 @@ injection point             where it fires
                             derived rows)
 ``engine.memo.store``       before a memo table stores an entry (corrupt:
                             the stored rows are garbage)
+``service.worker.crash``    in a query-service worker, between receiving a
+                            request and evaluating it; a ``raise`` here is
+                            escalated by the worker main loop to
+                            ``os._exit`` — a real process death, not an
+                            exception the ladder could absorb
+``service.net.drop``        around one protocol frame write (raise: the
+                            frame never leaves; corrupt: the frame is
+                            truncated mid-payload)
+``service.queue.overflow``  in admission control, before capacity is
+                            checked; a ``raise`` forces a load-shed as if
+                            the queue were full
 ==========================  ================================================
 
 Corruption is *detectable by construction*: every corrupt payload a site
@@ -72,6 +83,9 @@ INJECTION_POINTS: tuple[str, ...] = (
     "ivm.dred.overdelete",
     "ivm.dred.rederive",
     "ivm.memo.patch",
+    "service.worker.crash",
+    "service.net.drop",
+    "service.queue.overflow",
 )
 
 ACTIONS = ("raise", "delay", "corrupt")
@@ -207,3 +221,63 @@ def chaos(*faults: Fault, seed: int = 0) -> Iterator[ChaosPolicy]:
         yield policy
     finally:
         uninstall_policy()
+
+
+# ----------------------------------------------------- cross-process arming
+#
+# Query-service workers are separate processes: a policy installed in the
+# parent does not exist in the child.  The pool serializes the policy into
+# the child's environment; the worker main() arms it before serving.
+
+#: The environment variable a worker reads its chaos policy from.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+def policy_to_json(policy: ChaosPolicy) -> str:
+    """The policy as a JSON string fit for :data:`CHAOS_ENV`."""
+    import json
+
+    return json.dumps({
+        "seed": policy.seed,
+        "faults": [
+            {"point": fault.point, "action": fault.action,
+             "probability": fault.probability,
+             "delay_seconds": fault.delay_seconds,
+             "max_fires": fault.max_fires}
+            for fault in policy.faults
+        ],
+    })
+
+
+def policy_from_json(raw: str) -> ChaosPolicy:
+    """Rebuild a policy from :func:`policy_to_json` output.  Raises
+    ``ValueError`` on anything malformed (a worker would rather die loudly
+    at spawn than serve with a half-armed policy)."""
+    import json
+
+    data = json.loads(raw)
+    if not isinstance(data, dict) or not isinstance(data.get("faults"), list):
+        raise ValueError(f"chaos policy JSON must be an object with a "
+                         f"'faults' list, got {raw!r}")
+    faults = tuple(
+        Fault(point=spec["point"], action=spec.get("action", "raise"),
+              probability=spec.get("probability", 1.0),
+              delay_seconds=spec.get("delay_seconds", 0.0),
+              max_fires=spec.get("max_fires", 1))
+        for spec in data["faults"]
+    )
+    return ChaosPolicy(faults, seed=int(data.get("seed", 0)))
+
+
+def install_policy_from_env() -> ChaosPolicy | None:
+    """Arm the policy serialized in :data:`CHAOS_ENV`, if any — the worker
+    process's half of the cross-process handshake.  Returns the installed
+    policy (or ``None`` when the variable is unset)."""
+    import os
+
+    raw = os.environ.get(CHAOS_ENV)
+    if not raw:
+        return None
+    policy = policy_from_json(raw)
+    install_policy(policy)
+    return policy

@@ -308,15 +308,29 @@ def main(argv: list[str] | None = None) -> int:
     print(f"fuzz sweep: {args.cases} cases from base seed {base} "
           f"(replay the sweep with --base-seed {base})")
     exercised: dict[str, int] = {}
-    for index in range(args.cases):
-        seed = base + index
-        try:
-            for strategy, count in run_case(seed,
-                                            profile=args.profile).items():
-                exercised[strategy] = exercised.get(strategy, 0) + count
-        except FuzzFailure as failure:
-            print(failure, file=sys.stderr)
-            return 1
+    # Ctrl-C / SIGTERM between cases ends the sweep as a typed exit 3
+    # with the partial tally, not a KeyboardInterrupt traceback.
+    from repro.core.governor import CancelToken, cancel_on_signals
+
+    token = CancelToken()
+    with cancel_on_signals(token):
+        for index in range(args.cases):
+            if token.cancelled:
+                summary = ", ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(exercised.items()))
+                print(f"fuzz sweep cancelled after {index} of "
+                      f"{args.cases} cases (maintenance exercised: "
+                      f"{summary or 'none'})", file=sys.stderr)
+                return 3
+            seed = base + index
+            try:
+                for strategy, count in run_case(
+                        seed, profile=args.profile).items():
+                    exercised[strategy] = exercised.get(strategy, 0) + count
+            except FuzzFailure as failure:
+                print(failure, file=sys.stderr)
+                return 1
     summary = ", ".join(f"{name}={count}"
                         for name, count in sorted(exercised.items()))
     print(f"fuzz sweep: {args.cases} cases OK "

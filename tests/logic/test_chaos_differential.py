@@ -79,7 +79,31 @@ def test_the_sweep_actually_fires_every_point(inject_faults):
     structure = random_alternating_graph(5, seed=3)
     for point in INJECTION_POINTS:
         fired_anywhere = False
-        if point.startswith("ivm."):
+        if point.startswith("service."):
+            # The service points live in the query-service layer, not the
+            # evaluation ladder: probe each at its own seam (P10).
+            policy = inject_faults(Fault(point, max_fires=None))
+            if point == "service.worker.crash":
+                from repro.service.worker import Worker
+
+                with pytest.raises(ChaosError):
+                    Worker().handle({"op": "query", "structure": "g",
+                                     "query": "tc"})
+            elif point == "service.net.drop":
+                from repro.core.errors import ProtocolError
+                from repro.service.protocol import encode_frame
+
+                with pytest.raises(ProtocolError):
+                    encode_frame({"op": "ping"})
+            else:  # service.queue.overflow
+                from repro.core.errors import Overloaded
+                from repro.service.admission import AdmissionController
+
+                with pytest.raises(Overloaded):
+                    with AdmissionController().slot():
+                        pass
+            fired_anywhere = bool(policy.fired)
+        elif point.startswith("ivm."):
             # The maintenance points only exist on the update path: memoize
             # TC over a path, then delete a middle edge (a real over-delete,
             # so the DRed points both run).

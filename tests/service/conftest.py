@@ -1,0 +1,61 @@
+"""Shared fixtures for the query-service suite (P10).
+
+Pool tests spawn real worker *processes*, so the fixtures keep the
+structures small and the pools short-lived; every pool is drained on
+teardown so no test leaks a child process into the next.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.logic.eval import define_relation
+from repro.logic.queries import CANONICAL_QUERIES
+from repro.structures import random_alternating_graph, save_snapshot
+
+
+@pytest.fixture(scope="session")
+def graph_structure_fixture():
+    """The one structure every service test queries (small on purpose:
+    worker spawn, not evaluation, dominates these tests' budget)."""
+    return random_alternating_graph(6, seed=11)
+
+
+@pytest.fixture(scope="session")
+def snapshot_path(tmp_path_factory, graph_structure_fixture):
+    path = tmp_path_factory.mktemp("service") / "g.snap"
+    save_snapshot(graph_structure_fixture, path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def json_path(tmp_path_factory, graph_structure_fixture):
+    """The same structure as a JSON database file (the other load path).
+    ``D`` pins the universe size the way the CLI's own fixtures do."""
+    structure = graph_structure_fixture
+    payload = {"D": list(range(structure.size))}
+    for name, relation in structure.relations.items():
+        rows = sorted(relation)
+        if rows and len(rows[0]) == 1:
+            payload[name] = [row[0] for row in rows]
+        else:
+            payload[name] = [list(row) for row in rows]
+    path = tmp_path_factory.mktemp("service") / "g.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture(scope="session")
+def oracle(graph_structure_fixture):
+    """Tuple-backend ground truth, in the worker's wire shape (sorted
+    lists of lists), keyed by query name."""
+
+    def answer(name):
+        query = CANONICAL_QUERIES[name]
+        rows = define_relation(query.formula(), graph_structure_fixture,
+                               query.variables, backend="tuple")
+        return sorted(list(row) for row in rows)
+
+    return answer

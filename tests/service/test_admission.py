@@ -1,0 +1,90 @@
+"""Admission-control tests: bounded concurrency, bounded queue, typed
+shedding.  Nothing here may block unboundedly: a request is admitted,
+queued (bounded by the deadline), or shed with :class:`Overloaded`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import Overloaded
+from repro.service.admission import AdmissionController
+from repro.testing.chaos import Fault
+
+
+def test_admits_up_to_the_concurrency_cap():
+    admission = AdmissionController(max_concurrency=3, max_queue_depth=0)
+    slots = [admission.slot().__enter__() for _ in range(3)]
+    assert admission.snapshot()["active"] == 3
+    for slot in slots:
+        slot.__exit__(None, None, None)
+    assert admission.snapshot()["active"] == 0
+    assert admission.snapshot()["admitted"] == 3
+
+
+def test_sheds_past_the_queue_depth():
+    admission = AdmissionController(max_concurrency=1, max_queue_depth=0)
+    with admission.slot():
+        with pytest.raises(Overloaded) as shed:
+            with admission.slot():
+                pass
+        assert shed.value.retry_after >= 1.0
+    assert admission.snapshot()["shed"] == 1
+
+
+def test_queued_request_runs_when_a_slot_frees():
+    admission = AdmissionController(max_concurrency=1, max_queue_depth=4)
+    entered = threading.Event()
+    released = threading.Event()
+
+    def occupant():
+        with admission.slot():
+            entered.set()
+            released.wait(timeout=5.0)
+
+    thread = threading.Thread(target=occupant)
+    thread.start()
+    assert entered.wait(timeout=5.0)
+    results = []
+
+    def waiter():
+        with admission.slot(deadline_seconds=5.0):
+            results.append("ran")
+
+    queued = threading.Thread(target=waiter)
+    queued.start()
+    time.sleep(0.05)  # the waiter is parked in the queue
+    assert admission.snapshot()["queued"] == 1
+    released.set()
+    queued.join(timeout=5.0)
+    thread.join(timeout=5.0)
+    assert results == ["ran"]
+
+
+def test_queued_past_the_deadline_is_shed_not_hung():
+    admission = AdmissionController(max_concurrency=1, max_queue_depth=4)
+    with admission.slot():
+        started = time.monotonic()
+        with pytest.raises(Overloaded, match="deadline"):
+            with admission.slot(deadline_seconds=0.05):
+                pass
+        assert time.monotonic() - started < 2.0
+
+
+def test_overflow_chaos_point_forces_a_shed(inject_faults):
+    inject_faults(Fault("service.queue.overflow"))
+    admission = AdmissionController(max_concurrency=8)
+    with pytest.raises(Overloaded, match="injected"):
+        with admission.slot():
+            pass
+    assert admission.snapshot()["shed"] == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(max_concurrency=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue_depth=-1)

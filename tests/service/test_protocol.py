@@ -1,0 +1,173 @@
+"""Wire-protocol tests: framing round trips, torn frames, deadlines.
+
+Everything that can go wrong on the wire must surface as a typed
+:class:`~repro.core.errors.ProtocolError` (or ``None`` for a clean EOF
+*between* frames — that is how a worker death is told apart from a torn
+message).  Nothing here may hang: :class:`FrameStream` reads carry
+deadlines.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import threading
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    FrameStream,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.testing.chaos import Fault
+
+# ------------------------------------------------------------ file-like
+
+
+def test_round_trip():
+    message = {"op": "query", "rows": [[0, 1], [1, 2]], "π": "ok"}
+    buffer = io.BytesIO()
+    write_frame(buffer, message)
+    buffer.seek(0)
+    assert read_frame(buffer) == message
+    assert read_frame(buffer) is None  # clean EOF between frames
+
+
+def test_many_frames_back_to_back():
+    buffer = io.BytesIO()
+    for index in range(5):
+        write_frame(buffer, {"id": index})
+    buffer.seek(0)
+    assert [read_frame(buffer)["id"] for _ in range(5)] == list(range(5))
+
+
+def test_torn_length_prefix():
+    with pytest.raises(ProtocolError, match="length prefix"):
+        read_frame(io.BytesIO(b"\x00\x00"))
+
+
+def test_torn_payload():
+    frame = encode_frame({"op": "ping"})
+    with pytest.raises(ProtocolError, match="inside a frame payload"):
+        read_frame(io.BytesIO(frame[:-3]))
+
+
+def test_payload_must_be_json():
+    bad = len(b"not json").to_bytes(4, "big") + b"not json"
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        read_frame(io.BytesIO(bad))
+
+
+def test_payload_must_be_an_object():
+    frame = len(b"[1,2]").to_bytes(4, "big") + b"[1,2]"
+    with pytest.raises(ProtocolError, match="JSON object"):
+        read_frame(io.BytesIO(frame))
+
+
+def test_implausible_length_prefix_is_rejected_before_allocation():
+    huge = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    with pytest.raises(ProtocolError, match="cap"):
+        read_frame(io.BytesIO(huge + b"x"))
+
+
+# ------------------------------------------------------------ FrameStream
+
+
+@pytest.fixture
+def pipe_pair():
+    """Two FrameStreams over a real pipe: ``left`` writes, ``right``
+    reads (one direction is all these tests need)."""
+    read_fd, write_fd = os.pipe()
+    left = FrameStream(None, write_fd)
+    right = FrameStream(read_fd, None)
+    yield left, right
+    left.close()
+    right.close()
+
+
+def test_stream_round_trip(pipe_pair):
+    left, right = pipe_pair
+    left.send({"op": "ping", "id": 7})
+    assert right.receive(timeout=5.0) == {"op": "ping", "id": 7}
+
+
+def test_stream_eof_is_none(pipe_pair):
+    left, right = pipe_pair
+    left.close()
+    assert right.receive(timeout=5.0) is None
+
+
+def test_stream_eof_mid_frame_is_a_protocol_error(pipe_pair):
+    left, right = pipe_pair
+    frame = encode_frame({"op": "ping"})
+    os.write(left._write_fd, frame[:-2])
+    left.close()
+    with pytest.raises(ProtocolError, match="ended inside a frame"):
+        right.receive(timeout=5.0)
+
+
+def test_stream_read_deadline(pipe_pair):
+    """A silent peer (hung worker) surfaces as TimeoutError, never a
+    blocked thread."""
+    _, right = pipe_pair
+    with pytest.raises(TimeoutError):
+        right.receive(timeout=0.05)
+
+
+def test_stream_deadline_mid_frame(pipe_pair):
+    left, right = pipe_pair
+    os.write(left._write_fd, encode_frame({"op": "ping"})[:4])
+    with pytest.raises(TimeoutError):
+        right.receive(timeout=0.05)
+
+
+def test_stream_send_after_close_is_typed(pipe_pair):
+    left, _ = pipe_pair
+    left.close()
+    with pytest.raises(ProtocolError, match="write-closed"):
+        left.send({"op": "ping"})
+
+
+def test_stream_write_to_broken_pipe_is_typed(pipe_pair):
+    left, right = pipe_pair
+    right.close()
+    with pytest.raises(ProtocolError, match="cannot write frame"):
+        # One huge frame overflows the pipe buffer so the broken pipe is
+        # observed synchronously even before the first read.
+        left.send({"blob": "x" * (1 << 20)})
+
+
+def test_stream_interleaved_from_another_thread(pipe_pair):
+    left, right = pipe_pair
+
+    def feed():
+        for index in range(3):
+            left.send({"id": index})
+
+    thread = threading.Thread(target=feed)
+    thread.start()
+    got = [right.receive(timeout=5.0)["id"] for _ in range(3)]
+    thread.join()
+    assert got == [0, 1, 2]
+
+
+# ----------------------------------------------------------- chaos seam
+
+
+def test_net_drop_chaos_raises(inject_faults):
+    inject_faults(Fault("service.net.drop"))
+    with pytest.raises(ProtocolError, match="dropped in transit"):
+        encode_frame({"op": "ping"})
+
+
+def test_net_corrupt_chaos_truncates_to_a_torn_frame(inject_faults):
+    """A corrupted (truncated) frame must parse as a *torn* frame on the
+    read side — never as a half-valid message."""
+    inject_faults(Fault("service.net.drop", action="corrupt"))
+    mangled = encode_frame({"op": "ping", "padding": "x" * 64})
+    with pytest.raises(ProtocolError):
+        read_frame(io.BytesIO(mangled))

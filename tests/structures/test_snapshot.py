@@ -248,8 +248,23 @@ def _payload_base(raw: bytes) -> int:
     return base + (-base) % 8
 
 
+def _strip_checksum(raw: bytes) -> bytes:
+    """Remove the header's checksum entry (padding to keep every payload
+    offset identical) — the shape of a pre-P10 snapshot, so the decoder's
+    own structural validation is what the corruption tests exercise."""
+    header_length = int.from_bytes(raw[8:16], "little")
+    header = json.loads(raw[_HEADER_PREFIX:_HEADER_PREFIX + header_length])
+    header.pop("checksum", None)
+    body = json.dumps(header, separators=(",", ":")).encode()
+    assert len(body) <= header_length
+    body += b" " * (header_length - len(body))
+    out = bytearray(raw)
+    out[_HEADER_PREFIX:_HEADER_PREFIX + header_length] = body
+    return bytes(out)
+
+
 def test_non_monotone_csr_offsets(tmp_path):
-    raw = bytearray(_valid_snapshot_bytes(tmp_path))
+    raw = bytearray(_strip_checksum(_valid_snapshot_bytes(tmp_path)))
     base = _payload_base(bytes(raw))
     # The sole relation's CSR offsets start at the payload base; breaking
     # offsets[0] != 0 must be caught, not walked.
@@ -258,7 +273,7 @@ def test_non_monotone_csr_offsets(tmp_path):
 
 
 def test_out_of_universe_targets(tmp_path):
-    raw = bytearray(_valid_snapshot_bytes(tmp_path))
+    raw = bytearray(_strip_checksum(_valid_snapshot_bytes(tmp_path)))
     base = _payload_base(bytes(raw))
     header = json.loads(
         raw[_HEADER_PREFIX:_HEADER_PREFIX
@@ -346,3 +361,75 @@ def test_snapshot_info_reports_shape(tmp_path):
         assert info["relations"]["A"]["encoding"] == "bitset"
         assert "max_out_degree" in info["relations"]["E"]["stats"]
         assert info["file_bytes"] == path.stat().st_size
+
+
+# --------------------------------------------------- atomic writes + CRC32
+
+
+def test_checksum_round_trip(tmp_path):
+    path = tmp_path / "crc.snap"
+    structure = random_alternating_graph(6, seed=9)
+    header = save_snapshot(structure, path)
+    checksum = header["checksum"]
+    assert checksum["algorithm"] == "crc32"
+    assert checksum["payload_bytes"] > 0
+    assert load_structure(path) == structure
+    # The persisted header carries the same checksum entry.
+    assert load_snapshot(path).header["checksum"] == checksum
+
+
+def test_payload_corruption_fails_the_checksum(tmp_path):
+    raw = bytearray(_valid_snapshot_bytes(tmp_path))
+    raw[-1] ^= 0xFF  # flip one payload bit
+    _expect_error(tmp_path, bytes(raw), "checksum mismatch")
+
+
+def test_malformed_checksum_entry_is_rejected(tmp_path):
+    raw = bytearray(_valid_snapshot_bytes(tmp_path))
+    header_length = int.from_bytes(raw[8:16], "little")
+    header = json.loads(raw[_HEADER_PREFIX:_HEADER_PREFIX + header_length])
+    header["checksum"] = {"algorithm": "crc32"}  # value/span missing
+    body = json.dumps(header, separators=(",", ":")).encode()
+    assert len(body) <= header_length
+    body += b" " * (header_length - len(body))
+    raw[_HEADER_PREFIX:_HEADER_PREFIX + header_length] = body
+    _expect_error(tmp_path, bytes(raw), "malformed checksum")
+
+
+def test_checksum_free_legacy_files_still_load(tmp_path):
+    path = tmp_path / "legacy.snap"
+    structure = random_alternating_graph(5, seed=4)
+    save_snapshot(structure, path)
+    path.write_bytes(_strip_checksum(path.read_bytes()))
+    assert load_structure(path) == structure
+
+
+def test_save_is_atomic_over_an_existing_snapshot(tmp_path, monkeypatch):
+    """A failing save must leave the previous snapshot intact and no temp
+    litter — the write goes to a sibling temp file and only a completed,
+    fsynced file is os.replace'd over the target."""
+    import os as _os
+
+    from repro.structures import snapshot as snapshot_module
+
+    path = tmp_path / "atomic.snap"
+    original = random_alternating_graph(5, seed=1)
+    save_snapshot(original, path)
+    before = path.read_bytes()
+
+    def exploding_fsync(fd):
+        raise OSError("disk full (injected)")
+
+    monkeypatch.setattr(snapshot_module.os, "fsync", exploding_fsync)
+    with pytest.raises(OSError, match="disk full"):
+        save_snapshot(random_alternating_graph(6, seed=2), path)
+    monkeypatch.undo()
+    assert path.read_bytes() == before, "failed save tore the old snapshot"
+    assert [name for name in _os.listdir(tmp_path) if ".tmp" in name] == []
+    assert load_structure(path) == original
+
+
+def test_save_leaves_no_temp_files_on_success(tmp_path):
+    path = tmp_path / "clean.snap"
+    save_snapshot(random_alternating_graph(4, seed=0), path)
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["clean.snap"]
